@@ -1,0 +1,114 @@
+// Ablation study of the local-search design choices (DESIGN.md §3):
+//   (a) randomized restarts (Algorithm 3) vs a single deterministic start;
+//   (b) the improvement ratio r of Definition 6.1;
+//   (c) the exchange-candidate sampling cap (our efficiency knob).
+// All runs use BLS on the NYC-like city at the Table 6 defaults.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/local_search.h"
+#include "eval/table_printer.h"
+#include "market/workload.h"
+
+int main() {
+  using namespace mroam;  // NOLINT: harness brevity
+  bench::BenchScale scale = bench::ScaleFromEnv();
+  model::Dataset dataset = bench::MakeCity(bench::City::kNyc, scale);
+  influence::InfluenceIndex index = bench::MakeIndex(dataset, 100.0);
+  bench::PrintBanner("Ablation: local-search knobs (BLS, NYC-like)", dataset,
+                     index);
+
+  market::WorkloadConfig workload;  // Table 6 defaults
+  common::Rng workload_rng(7);
+  auto ads_or =
+      market::GenerateAdvertisers(index.TotalSupply(), workload,
+                                  &workload_rng);
+  if (!ads_or.ok()) {
+    std::cerr << ads_or.status() << "\n";
+    return 1;
+  }
+  const std::vector<market::Advertiser> ads = std::move(ads_or).value();
+
+  struct Variant {
+    std::string name;
+    core::LocalSearchConfig config;
+  };
+  core::LocalSearchConfig base;
+  base.restarts = 2;
+  base.max_sweeps = 4;
+  base.max_exchange_candidates = 300;
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"baseline (2 restarts, r=0, cap=300)", base};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no restarts (greedy start only)", base};
+    v.config.restarts = 0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"4 restarts", base};
+    v.config.restarts = 4;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"improvement ratio r=0.01", base};
+    v.config.improvement_ratio = 0.01;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"exchange cap 50 (aggressive sampling)", base};
+    v.config.max_exchange_candidates = 50;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"exchange cap 2000 (near-exhaustive)", base};
+    v.config.max_exchange_candidates = 2000;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"best-improvement exchanges", base};
+    v.config.best_improvement = true;
+    variants.push_back(v);
+  }
+
+  eval::TablePrinter table({"variant", "regret", "satisfied", "moves",
+                            "deltas", "time_s"});
+  for (const Variant& v : variants) {
+    common::Stopwatch watch;
+    common::Rng rng(42);
+    core::LocalSearchStats stats;
+    core::Assignment best = core::RandomizedLocalSearch(
+        index, ads, core::RegretParams{0.5},
+        core::SearchStrategy::kBillboardDriven, v.config, &rng, &stats);
+    core::RegretBreakdown b = best.Breakdown();
+    table.AddRow({v.name, common::FormatDouble(b.total, 1),
+                  std::to_string(b.satisfied_count) + "/" +
+                      std::to_string(b.advertiser_count),
+                  std::to_string(stats.moves_applied),
+                  std::to_string(stats.deltas_evaluated),
+                  common::FormatDouble(watch.ElapsedSeconds(), 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nALS vs BLS head-to-head at the same budget:\n";
+  eval::TablePrinter duel({"strategy", "regret", "time_s"});
+  for (core::SearchStrategy strategy :
+       {core::SearchStrategy::kAdvertiserDriven,
+        core::SearchStrategy::kBillboardDriven}) {
+    common::Stopwatch watch;
+    common::Rng rng(42);
+    core::Assignment best = core::RandomizedLocalSearch(
+        index, ads, core::RegretParams{0.5}, strategy, base, &rng);
+    duel.AddRow({strategy == core::SearchStrategy::kAdvertiserDriven
+                     ? "ALS"
+                     : "BLS",
+                 common::FormatDouble(best.TotalRegret(), 1),
+                 common::FormatDouble(watch.ElapsedSeconds(), 3)});
+  }
+  duel.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Optimality-gap study (ours): on small random instances where the exact
+// branch-and-bound optimum is computable, how far is each heuristic from
+// OPT? MROAM is NP-hard to approximate, so no method can promise a
+// factor on the primal — this measures what the heuristics actually
+// achieve at small scale.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "core/exact.h"
+#include "eval/table_printer.h"
+
+int main() {
+  using namespace mroam;  // NOLINT: harness brevity
+  std::cout << "### Optimality gap on small random instances\n"
+            << "(12 billboards, 2-3 advertisers, 30 trajectories, "
+               "gamma=0.5, 40 instances)\n\n";
+
+  constexpr int kInstances = 40;
+  struct Tally {
+    double regret_sum = 0.0;
+    double worst_excess = 0.0;  // max (method - opt)
+    int32_t optimal_hits = 0;
+  };
+  std::vector<Tally> tallies(core::AllMethods().size());
+  double opt_sum = 0.0;
+  int64_t nodes_sum = 0;
+  int solved = 0;
+
+  common::Rng rng(20240701);
+  for (int inst = 0; inst < kInstances; ++inst) {
+    const int32_t num_billboards = 12;
+    const int32_t num_trajectories = 30;
+    std::vector<std::vector<model::TrajectoryId>> covered(num_billboards);
+    for (auto& list : covered) {
+      for (int32_t t = 0; t < num_trajectories; ++t) {
+        if (rng.Bernoulli(0.22)) list.push_back(t);
+      }
+    }
+    // Incidence fixture: billboards far apart, trajectories standing at
+    // their billboards (same trick as the test suite).
+    model::Dataset dataset;
+    dataset.name = "gap-instance";
+    for (size_t i = 0; i < covered.size(); ++i) {
+      model::Billboard b;
+      b.id = static_cast<model::BillboardId>(i);
+      b.location = {10000.0 * static_cast<double>(i), 0.0};
+      dataset.billboards.push_back(b);
+    }
+    dataset.trajectories.resize(num_trajectories);
+    for (int32_t t = 0; t < num_trajectories; ++t) {
+      dataset.trajectories[t].id = t;
+      dataset.trajectories[t].points = {{-1e6, -1e6}};
+    }
+    for (size_t i = 0; i < covered.size(); ++i) {
+      for (model::TrajectoryId t : covered[i]) {
+        dataset.trajectories[t].points.push_back(
+            dataset.billboards[i].location);
+      }
+    }
+    auto index = influence::InfluenceIndex::Build(dataset, 1.0);
+
+    std::vector<market::Advertiser> ads;
+    int32_t num_ads = 2 + static_cast<int32_t>(rng.UniformU64(2));
+    for (int32_t a = 0; a < num_ads; ++a) {
+      int64_t demand = 3 + static_cast<int64_t>(rng.UniformU64(12));
+      ads.push_back({.id = a,
+                     .demand = demand,
+                     .payment = std::floor(1.5 * static_cast<double>(demand))});
+    }
+
+    core::ExactSolverConfig exact_config;
+    exact_config.regret.gamma = 0.5;
+    auto exact = core::ExactSolve(index, ads, exact_config);
+    if (!exact.ok()) continue;  // node budget: skip the instance
+    ++solved;
+    opt_sum += exact->optimal_regret;
+    nodes_sum += exact->nodes_explored;
+
+    const auto methods = core::AllMethods();
+    for (size_t m = 0; m < methods.size(); ++m) {
+      core::SolverConfig config;
+      config.method = methods[m];
+      config.regret.gamma = 0.5;
+      config.local_search.restarts = 3;
+      core::SolveResult result = core::Solve(index, ads, config);
+      double excess = result.breakdown.total - exact->optimal_regret;
+      tallies[m].regret_sum += result.breakdown.total;
+      tallies[m].worst_excess = std::max(tallies[m].worst_excess, excess);
+      if (excess < 1e-9) ++tallies[m].optimal_hits;
+    }
+  }
+
+  eval::TablePrinter table(
+      {"method", "avg regret", "avg OPT", "avg excess over OPT",
+       "optimal hits", "worst excess"});
+  const auto methods = core::AllMethods();
+  for (size_t m = 0; m < methods.size(); ++m) {
+    table.AddRow(
+        {core::MethodName(methods[m]),
+         common::FormatDouble(tallies[m].regret_sum / solved, 2),
+         common::FormatDouble(opt_sum / solved, 2),
+         common::FormatDouble(
+             (tallies[m].regret_sum - opt_sum) / solved, 2),
+         std::to_string(tallies[m].optimal_hits) + "/" +
+             std::to_string(solved),
+         common::FormatDouble(tallies[m].worst_excess, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nexact solver: " << solved << "/" << kInstances
+            << " instances solved, avg "
+            << common::FormatWithCommas(nodes_sum / std::max(1, solved))
+            << " nodes each\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef MROAM_BENCH_BENCH_COMMON_H_
+#define MROAM_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "gen/city_generators.h"
+#include "influence/influence_index.h"
+#include "model/dataset.h"
+
+namespace mroam::bench {
+
+/// Which synthetic city a bench runs against.
+enum class City { kNyc, kSg };
+
+const char* CityName(City city);
+
+/// Default bench scale (DESIGN.md §4): billboard counts match the paper's
+/// Table 5 (1,462 / 4,092); trajectory counts are reduced so every bench
+/// binary finishes on a single-core budget. Override the trajectory counts
+/// with the MROAM_BENCH_SCALE env var (a float multiplier, e.g. "0.25" for
+/// a quick smoke run or "20" to approach paper scale).
+struct BenchScale {
+  int32_t nyc_trajectories = 60000;
+  int32_t sg_trajectories = 80000;
+};
+
+/// Reads MROAM_BENCH_SCALE and applies it to the defaults.
+BenchScale ScaleFromEnv();
+
+/// Generates the requested city at bench scale with a fixed seed.
+model::Dataset MakeCity(City city, const BenchScale& scale);
+
+/// Builds the influence index for `city` at distance threshold `lambda`.
+influence::InfluenceIndex MakeIndex(const model::Dataset& dataset,
+                                    double lambda);
+
+/// Experiment defaults shared by every figure bench: Table 6 defaults
+/// (alpha=100%, p=5%, gamma=0.5) plus bounded local-search effort
+/// (restarts=2, sweeps<=4, 300 sampled exchange candidates per pair).
+eval::ExperimentConfig DefaultExperimentConfig();
+
+/// Prints the standard bench banner: dataset, scale, Table 6 defaults.
+void PrintBanner(const std::string& experiment, const model::Dataset& dataset,
+                 const influence::InfluenceIndex& index);
+
+/// Shared driver for Figures 2-7: regret vs demand-supply ratio alpha at a
+/// fixed average-individual demand ratio `p`.
+void RunRegretVsAlpha(City city, double p, const std::string& figure_name);
+
+/// Shared driver for Figures 10-11: regret vs unsatisfied penalty gamma.
+void RunRegretVsGamma(City city, const std::string& figure_name);
+
+}  // namespace mroam::bench
+
+#endif  // MROAM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,61 @@
+// Extension experiment (ours): digital billboards sold per time slot
+// (paper §3.2: "we treat each digital billboard as multiple billboards,
+// one for a certain time slot"). Splitting the day into finer windows
+// multiplies the sellable inventory into smaller-influence units, which
+// lets the solvers pack demands more exactly — excess influence shrinks —
+// at the cost of a larger assignment problem.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "eval/table_printer.h"
+#include "temporal/time_slots.h"
+
+int main() {
+  using namespace mroam;  // NOLINT: harness brevity
+  bench::BenchScale scale = bench::ScaleFromEnv();
+  model::Dataset dataset = bench::MakeCity(bench::City::kNyc, scale);
+
+  std::cout << "### Extension: digital billboards sold per time slot "
+               "(NYC-like)\n\n";
+
+  eval::TablePrinter table({"slots/day", "sellable units", "supply I*",
+                            "method", "regret", "excess%", "unsat%",
+                            "satisfied", "time_s"});
+  for (int32_t k : {1, 2, 4}) {
+    temporal::TemporalConfig config;
+    config.slots_per_day = k;
+    config.lambda = 100.0;
+    temporal::TemporalMarket market =
+        temporal::BuildTemporalMarket(dataset, config);
+
+    // Table 6's p at alpha=80% — the excess-dominated regime, where
+    // packing quality is visible (at alpha>=100% the unsatisfied penalty
+    // of the one advertiser that cannot be served dominates the total).
+    eval::ExperimentConfig experiment = bench::DefaultExperimentConfig();
+    experiment.workload.alpha = 0.8;
+    auto point = eval::RunExperimentPoint(market.index, experiment,
+                                          "k=" + std::to_string(k));
+    if (!point.ok()) {
+      std::cerr << "point failed: " << point.status() << "\n";
+      continue;
+    }
+    for (const eval::MethodResult& r : point->results) {
+      table.AddRow({std::to_string(k),
+                    std::to_string(market.index.num_billboards()),
+                    common::FormatWithCommas(market.index.TotalSupply()),
+                    core::MethodName(r.method),
+                    common::FormatDouble(r.breakdown.total, 1),
+                    common::FormatDouble(r.breakdown.ExcessivePercent(), 1),
+                    common::FormatDouble(r.breakdown.UnsatisfiedPercent(), 1),
+                    std::to_string(r.breakdown.satisfied_count) + "/" +
+                        std::to_string(r.breakdown.advertiser_count),
+                    common::FormatDouble(r.seconds, 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nDemands scale with each market's own supply (alpha fixed "
+               "at 80%),\nso rows compare packing quality, not market "
+               "size.\n";
+  return 0;
+}

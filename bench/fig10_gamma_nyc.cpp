@@ -1,0 +1,7 @@
+// Figure 10: impact of the unsatisfied penalty ratio gamma, NYC.
+#include "bench_common.h"
+
+int main() {
+  mroam::bench::RunRegretVsGamma(mroam::bench::City::kNyc, "Figure 10");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 11: impact of the unsatisfied penalty ratio gamma, SG.
+#include "bench_common.h"
+
+int main() {
+  mroam::bench::RunRegretVsGamma(mroam::bench::City::kSg, "Figure 11");
+  return 0;
+}

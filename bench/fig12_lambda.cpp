@@ -1,0 +1,38 @@
+// Figure 12: impact of the influence range lambda on both cities. The
+// index (and thus the supply I*) is rebuilt per lambda; demands scale with
+// the supply (alpha and p fixed at their defaults), so the paper's
+// proportional-regret effect appears on NYC while SG stays flat until
+// lambda reaches the inter-stop/intersection scale.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "eval/table_printer.h"
+
+int main() {
+  using namespace mroam;  // NOLINT: harness brevity
+  bench::BenchScale scale = bench::ScaleFromEnv();
+
+  std::cout << "### Figure 12: regret vs lambda (alpha=100%, p=5%, "
+               "gamma=0.5)\n\n";
+  for (bench::City city : {bench::City::kNyc, bench::City::kSg}) {
+    model::Dataset dataset = bench::MakeCity(city, scale);
+    std::vector<eval::ExperimentPoint> points;
+    for (double lambda : {50.0, 100.0, 150.0, 200.0}) {
+      influence::InfluenceIndex index = bench::MakeIndex(dataset, lambda);
+      eval::ExperimentConfig config = bench::DefaultExperimentConfig();
+      auto point = eval::RunExperimentPoint(
+          index, config,
+          "lambda=" + common::FormatDouble(lambda, 0) + "m (I*=" +
+              common::FormatWithCommas(index.TotalSupply()) + ")");
+      if (!point.ok()) {
+        std::cerr << "point failed: " << point.status() << "\n";
+        continue;
+      }
+      points.push_back(std::move(point).value());
+    }
+    eval::PrintExperimentSeries(
+        std::cout, std::string("Figure 12 — ") + dataset.name, points);
+  }
+  return 0;
+}

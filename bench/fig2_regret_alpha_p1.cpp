@@ -1,0 +1,8 @@
+// Figure 2: regret vs demand-supply ratio alpha at p = 1% (|A| = 100
+// small advertisers), NYC.
+#include "bench_common.h"
+
+int main() {
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.01, "Figure 2");
+  return 0;
+}

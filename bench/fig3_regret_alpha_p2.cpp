@@ -1,0 +1,7 @@
+// Figure 3: regret vs demand-supply ratio alpha at p = 2% (|A| = 50), NYC.
+#include "bench_common.h"
+
+int main() {
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.02, "Figure 3");
+  return 0;
+}

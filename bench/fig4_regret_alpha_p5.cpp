@@ -1,0 +1,7 @@
+// Figure 4: regret vs demand-supply ratio alpha at p = 5% (|A| = 20), NYC.
+#include "bench_common.h"
+
+int main() {
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.05, "Figure 4");
+  return 0;
+}

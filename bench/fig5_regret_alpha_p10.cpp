@@ -1,0 +1,8 @@
+// Figure 5: regret vs demand-supply ratio alpha at p = 10% (|A| = 10 big
+// advertisers), NYC.
+#include "bench_common.h"
+
+int main() {
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.10, "Figure 5");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 6: regret vs demand-supply ratio alpha at p = 20% (|A| = 5 huge
+// advertisers), NYC.
+#include "bench_common.h"
+
+int main() {
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.20, "Figure 6");
+  return 0;
+}

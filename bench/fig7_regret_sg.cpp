@@ -1,0 +1,8 @@
+// Figure 7: regret on the SG dataset under the default settings (p = 5%),
+// varying the demand-supply ratio alpha.
+#include "bench_common.h"
+
+int main() {
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kSg, 0.05, "Figure 7");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 8: running time of the four methods as the demand-supply ratio
+// alpha grows, on both cities. (The paper reports the average of five
+// runs; we report one deterministic run and note the seed.)
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "eval/table_printer.h"
+
+int main() {
+  using namespace mroam;  // NOLINT: harness brevity
+  bench::BenchScale scale = bench::ScaleFromEnv();
+
+  std::cout << "### Figure 8: running time vs alpha (p=5%, gamma=0.5)\n\n";
+  for (bench::City city : {bench::City::kNyc, bench::City::kSg}) {
+    model::Dataset dataset = bench::MakeCity(city, scale);
+    influence::InfluenceIndex index = bench::MakeIndex(dataset, 100.0);
+    eval::ExperimentConfig config = bench::DefaultExperimentConfig();
+
+    eval::TablePrinter table(
+        {"alpha", "G-Order (s)", "G-Global (s)", "ALS (s)", "BLS (s)"});
+    for (double alpha : {0.4, 0.6, 0.8, 1.0, 1.2}) {
+      config.workload.alpha = alpha;
+      auto point = eval::RunExperimentPoint(
+          index, config, "alpha=" + common::FormatDouble(alpha, 1));
+      if (!point.ok()) {
+        std::cerr << "point failed: " << point.status() << "\n";
+        continue;
+      }
+      std::vector<std::string> row{common::FormatDouble(alpha * 100, 0) + "%"};
+      for (const eval::MethodResult& r : point->results) {
+        row.push_back(common::FormatDouble(r.seconds, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::cout << dataset.name << ":\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: running time of the four methods as the average-individual
+// demand ratio p varies (alpha = 100%), on both cities.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "eval/table_printer.h"
+
+int main() {
+  using namespace mroam;  // NOLINT: harness brevity
+  bench::BenchScale scale = bench::ScaleFromEnv();
+
+  std::cout << "### Figure 9: running time vs p (alpha=100%, gamma=0.5)\n\n";
+  for (bench::City city : {bench::City::kNyc, bench::City::kSg}) {
+    model::Dataset dataset = bench::MakeCity(city, scale);
+    influence::InfluenceIndex index = bench::MakeIndex(dataset, 100.0);
+    eval::ExperimentConfig config = bench::DefaultExperimentConfig();
+
+    eval::TablePrinter table(
+        {"p", "|A|", "G-Order (s)", "G-Global (s)", "ALS (s)", "BLS (s)"});
+    for (double p : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+      config.workload.avg_individual_demand_ratio = p;
+      auto point = eval::RunExperimentPoint(
+          index, config, "p=" + common::FormatDouble(p, 2));
+      if (!point.ok()) {
+        std::cerr << "point failed: " << point.status() << "\n";
+        continue;
+      }
+      std::vector<std::string> row{
+          common::FormatDouble(p * 100, 0) + "%",
+          std::to_string(point->num_advertisers)};
+      for (const eval::MethodResult& r : point->results) {
+        row.push_back(common::FormatDouble(r.seconds, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::cout << dataset.name << ":\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

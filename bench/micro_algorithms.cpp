@@ -1,0 +1,135 @@
+// google-benchmark micro-benchmarks of the solver algorithms on a small
+// NYC-like market: greedy heuristics, the local searches, and the
+// assignment move primitives they are built from.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+#include "core/local_search.h"
+#include "market/workload.h"
+
+namespace {
+
+using namespace mroam;  // NOLINT: harness brevity
+
+struct Fixture {
+  model::Dataset dataset;
+  influence::InfluenceIndex index;
+  std::vector<market::Advertiser> advertisers;
+
+  Fixture()
+      : dataset([] {
+          gen::NycLikeConfig config;
+          config.num_billboards = 300;
+          config.num_trajectories = 3000;
+          common::Rng rng(1);
+          return gen::GenerateNycLike(config, &rng);
+        }()),
+        index(influence::InfluenceIndex::Build(dataset, 100.0)) {
+    market::WorkloadConfig workload;  // alpha=1, p=5% -> 20 advertisers
+    common::Rng rng(7);
+    advertisers = market::GenerateAdvertisers(index.TotalSupply(), workload,
+                                              &rng)
+                      .value();
+  }
+};
+
+Fixture& TheFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_BudgetEffectiveGreedy(benchmark::State& state) {
+  Fixture& f = TheFixture();
+  for (auto _ : state) {
+    core::Assignment s(&f.index, f.advertisers, core::RegretParams{0.5});
+    core::BudgetEffectiveGreedy(&s);
+    benchmark::DoNotOptimize(s.TotalRegret());
+  }
+}
+BENCHMARK(BM_BudgetEffectiveGreedy)->Unit(benchmark::kMillisecond);
+
+void BM_SynchronousGreedy(benchmark::State& state) {
+  Fixture& f = TheFixture();
+  for (auto _ : state) {
+    core::Assignment s(&f.index, f.advertisers, core::RegretParams{0.5});
+    core::SynchronousGreedy(&s);
+    benchmark::DoNotOptimize(s.TotalRegret());
+  }
+}
+BENCHMARK(BM_SynchronousGreedy)->Unit(benchmark::kMillisecond);
+
+void BM_AdvertiserDrivenLocalSearch(benchmark::State& state) {
+  Fixture& f = TheFixture();
+  core::Assignment greedy(&f.index, f.advertisers, core::RegretParams{0.5});
+  core::SynchronousGreedy(&greedy);
+  for (auto _ : state) {
+    core::Assignment s = greedy;
+    core::LocalSearchConfig config;
+    core::AdvertiserDrivenLocalSearch(&s, config);
+    benchmark::DoNotOptimize(s.TotalRegret());
+  }
+}
+BENCHMARK(BM_AdvertiserDrivenLocalSearch)->Unit(benchmark::kMillisecond);
+
+void BM_BillboardDrivenLocalSearch(benchmark::State& state) {
+  Fixture& f = TheFixture();
+  core::Assignment greedy(&f.index, f.advertisers, core::RegretParams{0.5});
+  core::SynchronousGreedy(&greedy);
+  for (auto _ : state) {
+    core::Assignment s = greedy;
+    core::LocalSearchConfig config;
+    config.max_sweeps = 2;
+    config.max_exchange_candidates = 200;
+    common::Rng rng(3);
+    core::BillboardDrivenLocalSearch(&s, config, &rng);
+    benchmark::DoNotOptimize(s.TotalRegret());
+  }
+}
+BENCHMARK(BM_BillboardDrivenLocalSearch)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaExchangeAcross(benchmark::State& state) {
+  Fixture& f = TheFixture();
+  core::Assignment s(&f.index, f.advertisers, core::RegretParams{0.5});
+  core::SynchronousGreedy(&s);
+  // Pick two advertisers with billboards.
+  market::AdvertiserId a = 0, b = 1;
+  for (int32_t i = 0; i < s.num_advertisers(); ++i) {
+    if (!s.BillboardsOf(i).empty()) {
+      a = i;
+      break;
+    }
+  }
+  for (int32_t i = a + 1; i < s.num_advertisers(); ++i) {
+    if (!s.BillboardsOf(i).empty()) {
+      b = i;
+      break;
+    }
+  }
+  size_t pa = 0, pb = 0;
+  for (auto _ : state) {
+    const auto& sa = s.BillboardsOf(a);
+    const auto& sb = s.BillboardsOf(b);
+    benchmark::DoNotOptimize(
+        s.DeltaExchangeAcross(sa[pa % sa.size()], sb[pb % sb.size()]));
+    ++pa;
+    ++pb;
+  }
+}
+BENCHMARK(BM_DeltaExchangeAcross);
+
+void BM_AssignReleaseRoundTrip(benchmark::State& state) {
+  Fixture& f = TheFixture();
+  core::Assignment s(&f.index, f.advertisers, core::RegretParams{0.5});
+  for (auto _ : state) {
+    model::BillboardId o = s.FreeBillboards().front();
+    s.Assign(o, 0);
+    s.Release(o);
+    benchmark::DoNotOptimize(s.TotalRegret());
+  }
+}
+BENCHMARK(BM_AssignReleaseRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

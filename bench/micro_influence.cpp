@@ -1,0 +1,99 @@
+// google-benchmark micro-benchmarks of the influence engine: index build,
+// coverage counter operations, and move-delta evaluation primitives.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "influence/coverage_counter.h"
+
+namespace {
+
+using namespace mroam;  // NOLINT: harness brevity
+
+model::Dataset& SmallNyc() {
+  static model::Dataset* dataset = [] {
+    gen::NycLikeConfig config;
+    config.num_billboards = 400;
+    config.num_trajectories = 4000;
+    common::Rng rng(1);
+    return new model::Dataset(gen::GenerateNycLike(config, &rng));
+  }();
+  return *dataset;
+}
+
+influence::InfluenceIndex& SmallIndex() {
+  static influence::InfluenceIndex* index = [] {
+    return new influence::InfluenceIndex(
+        influence::InfluenceIndex::Build(SmallNyc(), 100.0));
+  }();
+  return *index;
+}
+
+void BM_InfluenceIndexBuild(benchmark::State& state) {
+  const model::Dataset& dataset = SmallNyc();
+  for (auto _ : state) {
+    influence::InfluenceIndex index =
+        influence::InfluenceIndex::Build(dataset, 100.0);
+    benchmark::DoNotOptimize(index.TotalSupply());
+  }
+}
+BENCHMARK(BM_InfluenceIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_CoverageCounterAddRemove(benchmark::State& state) {
+  influence::InfluenceIndex& index = SmallIndex();
+  influence::CoverageCounter counter(&index);
+  common::Rng rng(2);
+  std::vector<model::BillboardId> order(index.num_billboards());
+  for (int32_t i = 0; i < index.num_billboards(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  size_t pos = 0;
+  for (auto _ : state) {
+    model::BillboardId o = order[pos];
+    counter.Add(o);
+    counter.Remove(o);
+    pos = (pos + 1) % order.size();
+    benchmark::DoNotOptimize(counter.influence());
+  }
+}
+BENCHMARK(BM_CoverageCounterAddRemove);
+
+void BM_MarginalGain(benchmark::State& state) {
+  influence::InfluenceIndex& index = SmallIndex();
+  influence::CoverageCounter counter(&index);
+  for (int32_t o = 0; o < index.num_billboards(); o += 2) counter.Add(o);
+  int32_t probe = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.MarginalGain(probe));
+    probe += 2;
+    if (probe >= index.num_billboards()) probe = 1;
+  }
+}
+BENCHMARK(BM_MarginalGain);
+
+void BM_MarginalGainAfterRemove(benchmark::State& state) {
+  influence::InfluenceIndex& index = SmallIndex();
+  influence::CoverageCounter counter(&index);
+  for (int32_t o = 0; o < index.num_billboards(); o += 2) counter.Add(o);
+  int32_t add = 1, rem = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.MarginalGainAfterRemove(add, rem));
+    add += 2;
+    rem += 2;
+    if (add >= index.num_billboards()) add = 1;
+    if (rem >= index.num_billboards()) rem = 0;
+  }
+}
+BENCHMARK(BM_MarginalGainAfterRemove);
+
+void BM_InfluenceOfSet(benchmark::State& state) {
+  influence::InfluenceIndex& index = SmallIndex();
+  std::vector<model::BillboardId> set;
+  for (int32_t o = 0; o < index.num_billboards(); o += 7) set.push_back(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.InfluenceOfSet(set));
+  }
+}
+BENCHMARK(BM_InfluenceOfSet)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table 5: dataset statistics — |T|, |U|, average trip distance and travel
+// time — for the two synthetic cities, next to the paper's reported values
+// for the real datasets they stand in for.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "eval/table_printer.h"
+
+int main() {
+  using namespace mroam;  // NOLINT: harness brevity
+  bench::BenchScale scale = bench::ScaleFromEnv();
+
+  eval::TablePrinter table({"dataset", "|T|", "|U|", "AvgDistance",
+                            "AvgTravelTime", "source"});
+  table.AddRow({"NYC (paper)", "1,700,000", "1462", "2.9km", "569s",
+                "TLC taxi + LAMAR"});
+  table.AddRow({"SG (paper)", "2,200,000", "4092", "4.2km", "1342s",
+                "EZ-link + JCDecaux"});
+
+  for (bench::City city : {bench::City::kNyc, bench::City::kSg}) {
+    model::Dataset dataset = bench::MakeCity(city, scale);
+    model::DatasetStats stats = model::ComputeStats(dataset);
+    table.AddRow(
+        {dataset.name,
+         common::FormatWithCommas(static_cast<int64_t>(stats.num_trajectories)),
+         std::to_string(stats.num_billboards),
+         common::FormatDouble(stats.avg_distance_km, 1) + "km",
+         common::FormatDouble(stats.avg_travel_time_sec, 0) + "s",
+         "synthetic (DESIGN.md §4)"});
+  }
+
+  std::cout << "### Table 5: dataset statistics\n"
+            << "(synthetic trajectory counts are scaled down for the bench "
+               "budget;\n set MROAM_BENCH_SCALE to change)\n\n";
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// NYC taxi-mode scenario: a host with roadside billboards in a dense city
+// serves a mixed book of advertisers. Demonstrates the full pipeline —
+// synthetic city generation, influence indexing, workload setup, all four
+// methods, and the regret decomposition the host would act on.
+//
+// Run: ./nyc_campaign [num_trajectories]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/strings.h"
+#include "eval/experiment.h"
+#include "eval/svg_export.h"
+#include "gen/city_generators.h"
+#include "influence/influence_index.h"
+#include "influence/reports.h"
+#include "market/workload.h"
+
+namespace {
+using namespace mroam;  // NOLINT: example brevity
+}
+
+int main(int argc, char** argv) {
+  int32_t num_trajectories = 8000;
+  if (argc > 1) {
+    auto parsed = common::ParseInt64(argv[1]);
+    if (!parsed.ok()) {
+      std::cerr << "usage: nyc_campaign [num_trajectories]\n";
+      return 1;
+    }
+    num_trajectories = static_cast<int32_t>(*parsed);
+  }
+
+  gen::NycLikeConfig city_config;
+  city_config.num_billboards = 600;
+  city_config.num_trajectories = num_trajectories;
+  common::Rng rng(2024);
+  model::Dataset city = gen::GenerateNycLike(city_config, &rng);
+  model::DatasetStats stats = model::ComputeStats(city);
+  std::cout << "Generated " << city.name << ": "
+            << common::FormatWithCommas(
+                   static_cast<int64_t>(stats.num_trajectories))
+            << " taxi trips, " << stats.num_billboards
+            << " billboards, avg trip "
+            << common::FormatDouble(stats.avg_distance_km, 1) << " km\n";
+
+  influence::InfluenceIndex index =
+      influence::InfluenceIndex::Build(city, /*lambda=*/100.0);
+  influence::AssignBillboardCosts(&city, index, &rng);
+  influence::InfluenceSummary summary = influence::SummarizeInfluence(index);
+  std::cout << "Supply I* = " << common::FormatWithCommas(index.TotalSupply())
+            << "; top 10% of billboards hold "
+            << common::FormatDouble(summary.top_decile_share * 100.0, 1)
+            << "% of it (heavy-tailed, as in the paper's Fig 1a)\n\n";
+
+  // A normal market day: global demand matches supply, medium advertisers.
+  eval::ExperimentConfig config;
+  config.workload.alpha = 1.0;
+  config.workload.avg_individual_demand_ratio = 0.05;
+  config.regret.gamma = 0.5;
+  config.local_search.restarts = 2;
+  config.local_search.max_exchange_candidates = 500;
+  config.local_search.max_sweeps = 8;
+
+  std::vector<eval::ExperimentPoint> points;
+  for (double alpha : {0.6, 1.0, 1.2}) {
+    config.workload.alpha = alpha;
+    auto point = eval::RunExperimentPoint(
+        index, config, "alpha=" + common::FormatDouble(alpha, 1));
+    if (!point.ok()) {
+      std::cerr << "experiment failed: " << point.status() << "\n";
+      return 1;
+    }
+    points.push_back(std::move(point).value());
+  }
+  eval::PrintExperimentSeries(std::cout, "NYC-like campaign day", points);
+
+  // Render the BLS deployment of the alpha=1.0 market as a map.
+  {
+    config.workload.alpha = 1.0;
+    common::Rng workload_rng(config.workload_seed);
+    auto ads = market::GenerateAdvertisers(index.TotalSupply(),
+                                           config.workload, &workload_rng);
+    if (ads.ok()) {
+      core::SolverConfig solver;
+      solver.method = core::Method::kBls;
+      solver.regret = config.regret;
+      solver.local_search = config.local_search;
+      core::SolveResult plan = core::Solve(index, *ads, solver);
+      const std::string svg_path = "/tmp/nyc_campaign_deployment.svg";
+      if (eval::WriteDeploymentSvg(svg_path, city, plan).ok()) {
+        std::cout << "Deployment map written to " << svg_path
+                  << " (billboards colored by advertiser)\n\n";
+      }
+    }
+  }
+
+  std::cout << "Reading the table: at low alpha the regret is all excess\n"
+               "influence (billboards are strong relative to demands); once\n"
+               "alpha reaches 1.2 the unsatisfied penalty dominates and the\n"
+               "local-search methods' careful allocation pays off.\n";
+  return 0;
+}

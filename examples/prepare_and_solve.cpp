@@ -1,0 +1,116 @@
+// Onboarding walkthrough for real data: take a raw TLC-style trip CSV and
+// a raw billboard list (lon/lat), clean + project them with the prep
+// pipeline, persist the prepared dataset, build the influence index, and
+// solve a market. Since this repo ships no proprietary data, the "raw"
+// files are synthesized first — swap in your own exports and adjust the
+// column mappings.
+//
+// Run: ./prepare_and_solve [output_dir]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common/strings.h"
+#include "core/solver.h"
+#include "influence/influence_index.h"
+#include "io/dataset_io.h"
+#include "market/workload.h"
+#include "prep/raw_ingest.h"
+
+namespace {
+using namespace mroam;  // NOLINT: example brevity
+
+// Writes a fake raw trip file in (pickup_lon, pickup_lat, dropoff_lon,
+// dropoff_lat, duration_s) layout, including some junk rows a real export
+// would contain.
+void WriteFakeRawFiles(const std::string& dir, common::Rng* rng) {
+  std::ofstream trips(dir + "/raw_trips.csv");
+  trips << "# fake TLC export\n";
+  for (int i = 0; i < 4000; ++i) {
+    double plon = -74.00 + rng->UniformDouble(0.0, 0.08);
+    double plat = 40.70 + rng->UniformDouble(0.0, 0.10);
+    double dlon = plon + rng->Normal(0.0, 0.015);
+    double dlat = plat + rng->Normal(0.0, 0.015);
+    double duration = rng->UniformDouble(180.0, 1500.0);
+    trips << plon << "," << plat << "," << dlon << "," << dlat << ","
+          << duration << "\n";
+    if (i % 400 == 0) trips << ",,bad row,,\n";          // parse junk
+    if (i % 500 == 0) trips << "-80,40.7,-73.9,40.7,60\n";  // off the map
+  }
+  std::ofstream boards(dir + "/raw_billboards.csv");
+  for (int i = 0; i < 300; ++i) {
+    boards << (-74.00 + rng->UniformDouble(0.0, 0.08)) << ","
+           << (40.70 + rng->UniformDouble(0.0, 0.10)) << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/mroam_prepare_demo";
+  std::filesystem::create_directories(dir);
+  common::Rng rng(99);
+  WriteFakeRawFiles(dir, &rng);
+
+  // 1. Clean + project the raw files.
+  prep::IngestConfig config;
+  config.min_lon = -74.05;
+  config.max_lon = -73.85;
+  config.min_lat = 40.65;
+  config.max_lat = 40.85;
+  config.min_trip_m = 200.0;
+  config.max_trip_m = 30000.0;
+  geo::Projector projector(-74.0, 40.75);
+
+  prep::IngestStats trip_stats;
+  auto trips = prep::IngestTrips(dir + "/raw_trips.csv",
+                                 prep::TripColumns{}, config, projector,
+                                 &trip_stats);
+  if (!trips.ok()) {
+    std::cerr << "trip ingest failed: " << trips.status() << "\n";
+    return 1;
+  }
+  std::cout << "Trips: read " << trip_stats.rows_read << ", kept "
+            << trip_stats.rows_kept << " (dropped " << trip_stats.dropped_parse
+            << " unparseable, " << trip_stats.dropped_bounds
+            << " out-of-area, " << trip_stats.dropped_length
+            << " bad length)\n";
+
+  auto dataset = prep::IngestDataset(
+      dir + "/raw_trips.csv", prep::TripColumns{},
+      dir + "/raw_billboards.csv", prep::BillboardColumns{}, config,
+      projector, "prepared-demo");
+  if (!dataset.ok()) {
+    std::cerr << "ingest failed: " << dataset.status() << "\n";
+    return 1;
+  }
+
+  // 2. Persist the prepared dataset (the paper-pipeline input format).
+  if (auto s = io::SaveDataset(dir, *dataset); !s.ok()) {
+    std::cerr << "save failed: " << s << "\n";
+    return 1;
+  }
+  std::cout << "Prepared dataset saved to " << dir << "\n";
+
+  // 3. Index, generate a market, solve.
+  auto index = influence::InfluenceIndex::Build(*dataset, /*lambda=*/100.0);
+  std::cout << "Supply I* = " << common::FormatWithCommas(index.TotalSupply())
+            << " across " << index.num_billboards() << " billboards\n";
+
+  market::WorkloadConfig workload;
+  workload.alpha = 0.8;
+  auto ads = market::GenerateAdvertisers(index.TotalSupply(), workload, &rng);
+  if (!ads.ok()) {
+    std::cerr << "workload failed: " << ads.status() << "\n";
+    return 1;
+  }
+  core::SolverConfig solver;
+  solver.method = core::Method::kBls;
+  core::SolveResult result = core::Solve(index, *ads, solver);
+  std::cout << "BLS on the prepared data: regret "
+            << common::FormatDouble(result.breakdown.total, 1) << ", "
+            << result.breakdown.satisfied_count << "/"
+            << result.breakdown.advertiser_count
+            << " advertisers satisfied\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace mroam::common {
+
+Result<CsvRow> ParseCsvLine(std::string_view line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty() || field_was_quoted) {
+        return Status::DataLoss("unexpected quote inside unquoted field");
+      }
+      in_quotes = true;
+      field_was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+      field_was_quoted = false;
+      ++i;
+      continue;
+    }
+    if (field_was_quoted) {
+      return Status::DataLoss("characters after closing quote");
+    }
+    field.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::DataLoss("unterminated quoted field");
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JoinCsvRow(const CsvRow& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += EscapeCsvField(row[i]);
+  }
+  return out;
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                        int expected_columns) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::vector<CsvRow> rows;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    Result<CsvRow> row = ParseCsvLine(trimmed);
+    if (!row.ok()) {
+      return Status::DataLoss(path + ":" + std::to_string(line_number) +
+                              ": " + row.status().message());
+    }
+    if (expected_columns > 0 &&
+        row->size() != static_cast<size_t>(expected_columns)) {
+      return Status::DataLoss(path + ":" + std::to_string(line_number) +
+                              ": expected " +
+                              std::to_string(expected_columns) +
+                              " columns, got " + std::to_string(row->size()));
+    }
+    rows.push_back(std::move(row).value());
+  }
+  if (in.bad()) {
+    return Status::IoError("I/O error while reading: " + path);
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  for (const CsvRow& row : rows) {
+    out << JoinCsvRow(row) << "\n";
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError("I/O error while writing: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mroam::common

@@ -1,0 +1,39 @@
+#ifndef MROAM_COMMON_CSV_H_
+#define MROAM_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mroam::common {
+
+/// One parsed CSV record (a row of unescaped fields).
+using CsvRow = std::vector<std::string>;
+
+/// Parses a single CSV line supporting RFC-4180 double-quote escaping.
+/// Fails on unbalanced quotes or characters after a closing quote.
+Result<CsvRow> ParseCsvLine(std::string_view line);
+
+/// Escapes one field for CSV output (quotes when it contains , " or \n).
+std::string EscapeCsvField(std::string_view field);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string JoinCsvRow(const CsvRow& row);
+
+/// Reads a whole CSV file. Skips blank lines and lines starting with '#'.
+/// When `expected_columns` > 0, every row must have exactly that many
+/// fields; a mismatch yields DataLoss with the offending line number.
+/// Reading is line-based: fields with embedded newlines are not supported
+/// (a quoted field left open at end-of-line yields DataLoss).
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                        int expected_columns = 0);
+
+/// Writes rows to `path`, creating or truncating the file.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<CsvRow>& rows);
+
+}  // namespace mroam::common
+
+#endif  // MROAM_COMMON_CSV_H_

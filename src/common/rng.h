@@ -1,0 +1,86 @@
+#ifndef MROAM_COMMON_RNG_H_
+#define MROAM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mroam::common {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). All randomized components in the library take an explicit
+/// Rng so that every experiment is reproducible from a single seed.
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()() { return Next64(); }
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (Lemire's rejection method).
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal variate (Box-Muller; uses one cached value).
+  double Normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Exponential variate with the given rate (> 0).
+  double Exponential(double rate);
+
+  /// Pareto-distributed variate >= scale with tail exponent alpha (> 0).
+  /// Used to synthesize heavy-tailed billboard influence.
+  double Pareto(double scale, double alpha);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires a non-empty vector with non-negative entries, positive sum.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Returns a new Rng seeded deterministically from this stream. Use to
+  /// give sub-components independent yet reproducible streams.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mroam::common
+
+#endif  // MROAM_COMMON_RNG_H_

@@ -1,0 +1,134 @@
+#ifndef MROAM_COMMON_STATUS_H_
+#define MROAM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mroam::common {
+
+/// Error category for a failed operation. Kept deliberately small: the
+/// library signals errors through Status/Result instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kDataLoss,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value, modeled after absl::Status. Cheap to copy in
+/// the success case (no message allocated).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error result, modeled after absl::StatusOr. A Result holding
+/// a value reports ok(); otherwise status() carries the error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`. Intentionally implicit so that
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : data_(std::move(value)) {}
+  /// Constructs a failed Result from a non-OK `status`. Intentionally
+  /// implicit so that `return Status::...;` works.
+  Result(Status status) : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; Status::Ok() when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  /// The held value. Requires ok().
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define MROAM_RETURN_IF_ERROR(expr)                      \
+  do {                                                   \
+    ::mroam::common::Status _mroam_status = (expr);      \
+    if (!_mroam_status.ok()) return _mroam_status;       \
+  } while (false)
+
+/// Evaluates a Result expression; on success binds its value to `lhs`,
+/// otherwise returns the error to the caller.
+#define MROAM_ASSIGN_OR_RETURN(lhs, expr)                \
+  MROAM_ASSIGN_OR_RETURN_IMPL_(                          \
+      MROAM_STATUS_CONCAT_(_mroam_result, __LINE__), lhs, expr)
+
+#define MROAM_STATUS_CONCAT_INNER_(a, b) a##b
+#define MROAM_STATUS_CONCAT_(a, b) MROAM_STATUS_CONCAT_INNER_(a, b)
+#define MROAM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)     \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace mroam::common
+
+#endif  // MROAM_COMMON_STATUS_H_

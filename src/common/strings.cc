@@ -1,0 +1,97 @@
+#include "common/strings.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace mroam::common {
+
+std::vector<std::string_view> Split(std::string_view text, char delim) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\r' ||
+          text[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\r' || text[end - 1] == '\n')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty string is not a double");
+  }
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("not a double: '" + std::string(text) +
+                                   "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("not an integer: '" + std::string(text) +
+                                   "'");
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatWithCommas(int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  if (value < 0) out.push_back('-');
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  out.append(digits, 0, lead);
+  for (size_t i = lead; i < digits.size(); i += 3) {
+    out.push_back(',');
+    out.append(digits, i, 3);
+  }
+  return out;
+}
+
+}  // namespace mroam::common

@@ -1,0 +1,35 @@
+#ifndef MROAM_COMMON_STRINGS_H_
+#define MROAM_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mroam::common {
+
+/// Splits `text` on `delim`, keeping empty fields ("a,,b" -> 3 fields).
+std::vector<std::string_view> Split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a whole string as a double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a whole string as a signed 64-bit integer.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats an integer count with thousands separators (1234567 -> 1,234,567).
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace mroam::common
+
+#endif  // MROAM_COMMON_STRINGS_H_

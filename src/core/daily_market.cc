@@ -1,0 +1,97 @@
+#include "core/daily_market.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/greedy.h"
+
+namespace mroam::core {
+
+const char* ReplanPolicyName(ReplanPolicy policy) {
+  switch (policy) {
+    case ReplanPolicy::kReoptimizeAll:
+      return "reoptimize-all";
+    case ReplanPolicy::kLockExisting:
+      return "lock-existing";
+  }
+  return "?";
+}
+
+DailyMarket::DailyMarket(const influence::InfluenceIndex* index,
+                         DailyMarketConfig config)
+    : index_(index), config_(std::move(config)) {
+  MROAM_CHECK(config_.contract_duration_days >= 1);
+}
+
+void DailyMarket::RefreshCaches() {
+  terms_cache_.clear();
+  sets_cache_.clear();
+  for (size_t i = 0; i < contracts_.size(); ++i) {
+    contracts_[i].terms.id = static_cast<market::AdvertiserId>(i);
+    terms_cache_.push_back(contracts_[i].terms);
+    sets_cache_.push_back(contracts_[i].billboards);
+  }
+}
+
+DayResult DailyMarket::AdvanceDay(
+    std::vector<market::Advertiser> arrivals) {
+  common::Stopwatch watch;
+  DayResult result;
+  result.day = ++day_;
+
+  // Expire: contracts whose term is over release their inventory.
+  size_t before = contracts_.size();
+  contracts_.erase(
+      std::remove_if(contracts_.begin(), contracts_.end(),
+                     [this](const Contract& c) {
+                       return c.expires_on <= day_;
+                     }),
+      contracts_.end());
+  result.expired = static_cast<int32_t>(before - contracts_.size());
+
+  // Admit today's arrivals.
+  result.arrived = static_cast<int32_t>(arrivals.size());
+  const size_t first_new = contracts_.size();
+  for (market::Advertiser& a : arrivals) {
+    Contract c;
+    c.terms = a;
+    c.expires_on = day_ + config_.contract_duration_days;
+    contracts_.push_back(std::move(c));
+  }
+  RefreshCaches();
+  result.active_contracts = static_cast<int32_t>(contracts_.size());
+
+  if (contracts_.empty()) {
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  if (config_.policy == ReplanPolicy::kReoptimizeAll) {
+    SolveResult solve = Solve(*index_, terms_cache_, config_.solver);
+    for (size_t i = 0; i < contracts_.size(); ++i) {
+      contracts_[i].billboards = solve.sets[i];
+    }
+    result.breakdown = solve.breakdown;
+  } else {
+    // Lock-existing: restore yesterday's deployment, then hand remaining
+    // inventory to the (new or still-unsatisfied) contracts greedily.
+    Assignment state(index_, terms_cache_, config_.solver.regret,
+                     config_.solver.impression_threshold);
+    for (size_t i = 0; i < first_new; ++i) {
+      for (model::BillboardId o : contracts_[i].billboards) {
+        state.Assign(o, static_cast<market::AdvertiserId>(i));
+      }
+    }
+    SynchronousGreedy(&state);
+    for (size_t i = 0; i < contracts_.size(); ++i) {
+      contracts_[i].billboards =
+          state.BillboardsOf(static_cast<market::AdvertiserId>(i));
+    }
+    result.breakdown = state.Breakdown();
+  }
+  RefreshCaches();
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace mroam::core

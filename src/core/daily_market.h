@@ -1,0 +1,90 @@
+#ifndef MROAM_CORE_DAILY_MARKET_H_
+#define MROAM_CORE_DAILY_MARKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/solver.h"
+
+namespace mroam::core {
+
+/// Operating policy of the host across days.
+enum class ReplanPolicy {
+  /// Re-solve the whole market (all active contracts) every day with the
+  /// configured method. Best regret; existing advertisers may see their
+  /// billboard sets change day to day.
+  kReoptimizeAll,
+  /// Existing contracts keep yesterday's billboards; only newly arrived
+  /// (and still-unsatisfied) contracts receive inventory, via the
+  /// synchronous greedy. Stable for customers, cheaper to run, worse
+  /// regret.
+  kLockExisting,
+};
+
+const char* ReplanPolicyName(ReplanPolicy policy);
+
+/// Configuration of the rolling market simulation.
+struct DailyMarketConfig {
+  SolverConfig solver;                  ///< used by kReoptimizeAll
+  int32_t contract_duration_days = 7;   ///< arrivals stay this many days
+  ReplanPolicy policy = ReplanPolicy::kReoptimizeAll;
+};
+
+/// One day's outcome.
+struct DayResult {
+  int32_t day = 0;
+  RegretBreakdown breakdown;  ///< over the contracts active today
+  int32_t active_contracts = 0;
+  int32_t arrived = 0;
+  int32_t expired = 0;
+  double seconds = 0.0;
+};
+
+/// The paper's motivating operational setting (§1): advertisers arrive
+/// every day, each holding a contract for a fixed number of days, and the
+/// host repeatedly decides the deployment. Wraps the one-shot solvers
+/// into a day-by-day loop with contract expiry and a choice of replanning
+/// policy.
+class DailyMarket {
+ public:
+  /// `index` must outlive the market.
+  DailyMarket(const influence::InfluenceIndex* index,
+              DailyMarketConfig config);
+
+  /// Advances one day: expires old contracts, admits `arrivals` (their
+  /// ids are reassigned internally), replans per the policy, and reports.
+  DayResult AdvanceDay(std::vector<market::Advertiser> arrivals);
+
+  int32_t today() const { return day_; }
+  int32_t active_contracts() const {
+    return static_cast<int32_t>(contracts_.size());
+  }
+
+  /// Billboard sets currently deployed, aligned with active contracts.
+  const std::vector<market::Advertiser>& ActiveTerms() const {
+    return terms_cache_;
+  }
+  const std::vector<std::vector<model::BillboardId>>& ActiveSets() const {
+    return sets_cache_;
+  }
+
+ private:
+  struct Contract {
+    market::Advertiser terms;  ///< id field is the current dense id
+    int32_t expires_on = 0;    ///< first day the contract is gone
+    std::vector<model::BillboardId> billboards;
+  };
+
+  void RefreshCaches();
+
+  const influence::InfluenceIndex* index_;
+  DailyMarketConfig config_;
+  int32_t day_ = 0;
+  std::vector<Contract> contracts_;
+  std::vector<market::Advertiser> terms_cache_;
+  std::vector<std::vector<model::BillboardId>> sets_cache_;
+};
+
+}  // namespace mroam::core
+
+#endif  // MROAM_CORE_DAILY_MARKET_H_

@@ -1,0 +1,133 @@
+#include "core/exact.h"
+
+#include <algorithm>
+
+#include "core/greedy.h"
+
+namespace mroam::core {
+
+using common::Result;
+using common::Status;
+using market::AdvertiserId;
+using model::BillboardId;
+
+namespace {
+
+/// Depth-first branch-and-bound state.
+class Searcher {
+ public:
+  Searcher(const influence::InfluenceIndex& index,
+           const std::vector<market::Advertiser>& advertisers,
+           const ExactSolverConfig& config)
+      : config_(config),
+        advertisers_(advertisers),
+        state_(&index, advertisers, config.regret,
+               config.impression_threshold),
+        best_(state_) {
+    // Branch on billboards in descending influence order: big boards
+    // decide the bound fastest.
+    for (int32_t o = 0; o < index.num_billboards(); ++o) {
+      if (index.InfluenceOf(o) > 0) order_.push_back(o);
+    }
+    std::sort(order_.begin(), order_.end(),
+              [&index](BillboardId a, BillboardId b) {
+                int64_t ia = index.InfluenceOf(a);
+                int64_t ib = index.InfluenceOf(b);
+                if (ia != ib) return ia > ib;
+                return a < b;
+              });
+    // Suffix sums of static influence: an admissible cap on how much any
+    // single advertiser could still gain from position pos onward.
+    suffix_gain_.assign(order_.size() + 1, 0);
+    for (size_t pos = order_.size(); pos-- > 0;) {
+      suffix_gain_[pos] =
+          suffix_gain_[pos + 1] + index.InfluenceOf(order_[pos]);
+    }
+
+    // Initial incumbent from the synchronous greedy.
+    Assignment greedy(state_);
+    SynchronousGreedy(&greedy);
+    best_.CopyDeploymentFrom(greedy);
+  }
+
+  Result<ExactResult> Run() {
+    if (!Dfs(0)) {
+      return Status::FailedPrecondition(
+          "exact solver exceeded its node budget (" +
+          std::to_string(config_.max_nodes) + " nodes); instance too large");
+    }
+    ExactResult result;
+    result.optimal_regret = best_.TotalRegret();
+    result.nodes_explored = nodes_;
+    result.sets.reserve(advertisers_.size());
+    for (int32_t a = 0; a < best_.num_advertisers(); ++a) {
+      result.sets.push_back(best_.BillboardsOf(a));
+    }
+    return result;
+  }
+
+ private:
+  /// Admissible lower bound on the total regret completing from `pos`.
+  double LowerBound(size_t pos) const {
+    double bound = 0.0;
+    const int64_t remaining = suffix_gain_[pos];
+    for (int32_t a = 0; a < state_.num_advertisers(); ++a) {
+      const market::Advertiser& adv = advertisers_[a];
+      int64_t achieved = state_.InfluenceOf(a);
+      if (achieved >= adv.demand) {
+        // Influence only grows along a branch; the excess is locked in.
+        bound += Regret(adv, achieved, config_.regret);
+      } else if (achieved + remaining < adv.demand) {
+        // Even taking every remaining billboard leaves the demand unmet;
+        // the best case is all of that influence (regret decreasing).
+        bound += Regret(adv, achieved + remaining, config_.regret);
+      }
+      // Otherwise the demand is still exactly reachable: bound += 0.
+    }
+    return bound;
+  }
+
+  /// Returns false when the node budget is exhausted.
+  bool Dfs(size_t pos) {
+    if (++nodes_ > config_.max_nodes) return false;
+    if (state_.TotalRegret() < best_.TotalRegret() - 1e-12) {
+      best_.CopyDeploymentFrom(state_);
+    }
+    if (pos == order_.size()) return true;
+    if (LowerBound(pos) >= best_.TotalRegret() - 1e-12) return true;
+
+    BillboardId o = order_[pos];
+    for (AdvertiserId a = 0; a < state_.num_advertisers(); ++a) {
+      state_.Assign(o, a);
+      bool ok = Dfs(pos + 1);
+      state_.Release(o);
+      if (!ok) return false;
+    }
+    // "Nobody gets it."
+    return Dfs(pos + 1);
+  }
+
+  const ExactSolverConfig config_;
+  const std::vector<market::Advertiser> advertisers_;
+  std::vector<BillboardId> order_;
+  std::vector<int64_t> suffix_gain_;
+  Assignment state_;
+  Assignment best_;
+  int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+Result<ExactResult> ExactSolve(
+    const influence::InfluenceIndex& index,
+    const std::vector<market::Advertiser>& advertisers,
+    const ExactSolverConfig& config) {
+  if (advertisers.empty()) {
+    ExactResult result;
+    return result;
+  }
+  Searcher searcher(index, advertisers, config);
+  return searcher.Run();
+}
+
+}  // namespace mroam::core

@@ -1,0 +1,45 @@
+#ifndef MROAM_CORE_EXACT_H_
+#define MROAM_CORE_EXACT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/assignment.h"
+
+namespace mroam::core {
+
+/// Configuration for the exact branch-and-bound solver.
+struct ExactSolverConfig {
+  RegretParams regret;
+  uint16_t impression_threshold = 1;
+  /// Abort with ResourceExhausted-style failure after exploring this many
+  /// search nodes. MROAM is NP-hard; this solver is for small instances
+  /// (|U| up to ~15 with a handful of advertisers) used to measure the
+  /// optimality gap of the heuristics.
+  int64_t max_nodes = 20'000'000;
+};
+
+/// Result of an exact solve.
+struct ExactResult {
+  double optimal_regret = 0.0;
+  /// Optimal billboard sets, indexed by advertiser.
+  std::vector<std::vector<model::BillboardId>> sets;
+  int64_t nodes_explored = 0;
+};
+
+/// Finds a minimum-regret deployment by branch and bound over "which
+/// advertiser (or nobody) gets each billboard", with an admissible
+/// per-advertiser lower bound (influence only grows down a branch, so an
+/// advertiser's best reachable regret is 0 if its demand is still within
+/// reach of the remaining billboards' gains, and the boundary value
+/// otherwise). Billboards are branched in descending influence order.
+///
+/// Fails with FailedPrecondition when the node budget is exhausted.
+common::Result<ExactResult> ExactSolve(
+    const influence::InfluenceIndex& index,
+    const std::vector<market::Advertiser>& advertisers,
+    const ExactSolverConfig& config);
+
+}  // namespace mroam::core
+
+#endif  // MROAM_CORE_EXACT_H_

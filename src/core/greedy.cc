@@ -1,0 +1,105 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mroam::core {
+
+using market::AdvertiserId;
+using model::BillboardId;
+
+BillboardId BestBillboardFor(const Assignment& assignment, AdvertiserId a) {
+  const influence::InfluenceIndex& index = assignment.index();
+  BillboardId best = model::kInvalidBillboard;
+  double best_ratio = 0.0;
+  double best_gain_ratio = 0.0;
+  for (BillboardId o : assignment.FreeBillboards()) {
+    const double supplied = static_cast<double>(index.InfluenceOf(o));
+    if (supplied <= 0.0) continue;
+    const double ratio = -assignment.DeltaAssign(o, a) / supplied;
+    const double gain_ratio =
+        static_cast<double>(assignment.MarginalGain(a, o)) / supplied;
+    bool better = false;
+    if (best == model::kInvalidBillboard) {
+      better = true;
+    } else if (ratio > best_ratio + 1e-12) {
+      better = true;
+    } else if (ratio > best_ratio - 1e-12) {
+      // Tie on the regret ratio: prefer the billboard whose coverage is
+      // least wasted, then the smaller id for determinism.
+      if (gain_ratio > best_gain_ratio + 1e-12) {
+        better = true;
+      } else if (gain_ratio > best_gain_ratio - 1e-12 && o < best) {
+        better = true;
+      }
+    }
+    if (better) {
+      best = o;
+      best_ratio = ratio;
+      best_gain_ratio = gain_ratio;
+    }
+  }
+  return best;
+}
+
+void BudgetEffectiveGreedy(Assignment* assignment) {
+  std::vector<AdvertiserId> order(assignment->num_advertisers());
+  for (int32_t a = 0; a < assignment->num_advertisers(); ++a) order[a] = a;
+  std::sort(order.begin(), order.end(),
+            [assignment](AdvertiserId a, AdvertiserId b) {
+              double ea = assignment->advertiser(a).BudgetEffectiveness();
+              double eb = assignment->advertiser(b).BudgetEffectiveness();
+              if (ea != eb) return ea > eb;
+              return a < b;
+            });
+  for (AdvertiserId a : order) {
+    while (!assignment->IsSatisfied(a)) {
+      BillboardId o = BestBillboardFor(*assignment, a);
+      if (o == model::kInvalidBillboard) break;  // out of usable billboards
+      assignment->Assign(o, a);
+    }
+  }
+}
+
+void SynchronousGreedy(Assignment* assignment) {
+  const int32_t n = assignment->num_advertisers();
+  std::vector<bool> active(n, true);
+
+  auto unsatisfied_active = [&]() {
+    std::vector<AdvertiserId> out;
+    for (AdvertiserId a = 0; a < n; ++a) {
+      if (active[a] && !assignment->IsSatisfied(a)) out.push_back(a);
+    }
+    return out;
+  };
+
+  while (true) {
+    bool assigned_any = false;
+    for (AdvertiserId a = 0; a < n; ++a) {
+      if (!active[a] || assignment->IsSatisfied(a)) continue;
+      BillboardId o = BestBillboardFor(*assignment, a);
+      if (o == model::kInvalidBillboard) continue;
+      assignment->Assign(o, a);
+      assigned_any = true;
+    }
+    std::vector<AdvertiserId> unsat = unsatisfied_active();
+    if (unsat.empty()) return;
+    if (assigned_any) continue;
+
+    // No billboard could be handed out this round. Release the least
+    // budget-effective unsatisfied advertiser so the rest can be served,
+    // unless at most one advertiser remains unsatisfied.
+    if (unsat.size() < 2) return;
+    AdvertiserId victim = unsat[0];
+    for (AdvertiserId a : unsat) {
+      if (assignment->advertiser(a).BudgetEffectiveness() <
+          assignment->advertiser(victim).BudgetEffectiveness()) {
+        victim = a;
+      }
+    }
+    assignment->ReleaseAll(victim);
+    active[victim] = false;
+  }
+}
+
+}  // namespace mroam::core

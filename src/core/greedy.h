@@ -1,0 +1,40 @@
+#ifndef MROAM_CORE_GREEDY_H_
+#define MROAM_CORE_GREEDY_H_
+
+#include "core/assignment.h"
+
+namespace mroam::core {
+
+/// Picks the free billboard maximizing the paper's greedy selection rule
+/// (R(S_a) - R(S_a ∪ {o})) / I({o}) for advertiser `a` (Algorithms 1 & 2,
+/// lines 1.5 / 2.6). Billboards with I({o}) = 0 can never change any
+/// advertiser's influence and are skipped. Ties are broken by higher
+/// marginal-influence-per-supplied-influence, then by lower id, so the
+/// selection is deterministic (and meaningful when gamma = 0 makes the
+/// regret ratio flat). Returns model::kInvalidBillboard when no eligible
+/// billboard exists.
+model::BillboardId BestBillboardFor(const Assignment& assignment,
+                                    market::AdvertiserId a);
+
+/// Algorithm 1 — Budget-Effective Greedy ("G-Order"): serves advertisers
+/// in descending order of budget-effectiveness L_i/I_i, assigning each the
+/// best billboards until it is satisfied or billboards run out. Expects
+/// (but does not require) an empty assignment.
+void BudgetEffectiveGreedy(Assignment* assignment);
+
+/// Algorithm 2 — Synchronous Greedy ("G-Global"): one billboard per
+/// unsatisfied advertiser per round. When no billboard can be handed out
+/// and at least two advertisers remain unsatisfied, the unsatisfied
+/// advertiser with minimum budget-effectiveness releases its billboards
+/// and is dropped from further rounds (paper lines 2.9-2.11; we read the
+/// guard as ">= 2 unsatisfied", consistent with the text's "the while
+/// loop breaks as fewer than two advertisers are unsatisfied").
+///
+/// Works from any starting assignment (the local-search framework and BLS
+/// move 4 call it with non-empty state, per Algorithm 3 line 3.8 and
+/// Algorithm 5 line 5.11).
+void SynchronousGreedy(Assignment* assignment);
+
+}  // namespace mroam::core
+
+#endif  // MROAM_CORE_GREEDY_H_

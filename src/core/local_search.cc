@@ -1,0 +1,275 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/greedy.h"
+
+namespace mroam::core {
+
+using market::AdvertiserId;
+using model::BillboardId;
+
+namespace {
+
+constexpr double kAbsEps = 1e-9;
+
+/// Move acceptance per Definition 6.1: improve by at least the ratio `r`
+/// of the current objective (plus an absolute epsilon against FP cycling).
+bool Accepts(double delta, double current_total, double r) {
+  return delta <= -(kAbsEps + r * std::abs(current_total));
+}
+
+}  // namespace
+
+LocalSearchStats AdvertiserDrivenLocalSearch(Assignment* assignment,
+                                             const LocalSearchConfig& config) {
+  LocalSearchStats stats;
+  const int32_t n = assignment->num_advertisers();
+  bool improved = true;
+  while (improved && stats.sweeps < config.max_sweeps) {
+    improved = false;
+    ++stats.sweeps;
+    for (AdvertiserId i = 0; i < n; ++i) {
+      for (AdvertiserId j = i + 1; j < n; ++j) {
+        ++stats.deltas_evaluated;
+        double delta = assignment->DeltaSwapSets(i, j);
+        if (Accepts(delta, assignment->TotalRegret(),
+                    config.improvement_ratio)) {
+          assignment->SwapSets(i, j);
+          ++stats.moves_applied;
+          improved = true;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+/// BLS move 1 for one advertiser pair: scan (o_m in S_i, o_n in S_j) and
+/// apply the first improving cross exchange. Returns true if applied.
+bool TryExchangeAcrossPair(Assignment* assignment, AdvertiserId i,
+                           AdvertiserId j, const LocalSearchConfig& config,
+                           common::Rng* rng, LocalSearchStats* stats) {
+  const std::vector<BillboardId>& si = assignment->BillboardsOf(i);
+  const std::vector<BillboardId>& sj = assignment->BillboardsOf(j);
+  if (si.empty() || sj.empty()) return false;
+
+  const int64_t pairs =
+      static_cast<int64_t>(si.size()) * static_cast<int64_t>(sj.size());
+  const int64_t cap = config.max_exchange_candidates;
+
+  // Tracks the best improving candidate when best_improvement is set.
+  BillboardId best_om = model::kInvalidBillboard;
+  BillboardId best_on = model::kInvalidBillboard;
+  double best_delta = 0.0;
+  auto consider = [&](BillboardId om, BillboardId on) -> bool {
+    ++stats->deltas_evaluated;
+    double delta = assignment->DeltaExchangeAcross(om, on);
+    if (!Accepts(delta, assignment->TotalRegret(),
+                 config.improvement_ratio)) {
+      return false;
+    }
+    if (!config.best_improvement) {
+      assignment->ExchangeAcross(om, on);
+      ++stats->moves_applied;
+      return true;  // applied: stop scanning
+    }
+    if (delta < best_delta) {
+      best_delta = delta;
+      best_om = om;
+      best_on = on;
+    }
+    return false;  // keep scanning for a better one
+  };
+
+  if (cap > 0 && pairs > cap) {
+    // Sampled scan: examine `cap` uniformly random pairs.
+    for (int64_t k = 0; k < cap; ++k) {
+      BillboardId om = si[rng->UniformU64(si.size())];
+      BillboardId on = sj[rng->UniformU64(sj.size())];
+      if (consider(om, on)) return true;
+    }
+  } else {
+    // Exhaustive scan (the paper's ∃ o_m, o_n neighborhood). Snapshot the
+    // lists: we mutate only after deciding.
+    for (BillboardId om : si) {
+      for (BillboardId on : sj) {
+        if (consider(om, on)) return true;
+      }
+    }
+  }
+  if (best_om != model::kInvalidBillboard) {
+    assignment->ExchangeAcross(best_om, best_on);
+    ++stats->moves_applied;
+    return true;
+  }
+  return false;
+}
+
+/// BLS move 2: replace an assigned billboard of `i` by a free billboard.
+bool TryReplaceWithFree(Assignment* assignment, AdvertiserId i,
+                        const LocalSearchConfig& config, common::Rng* rng,
+                        LocalSearchStats* stats) {
+  const std::vector<BillboardId>& si = assignment->BillboardsOf(i);
+  const std::vector<BillboardId>& free = assignment->FreeBillboards();
+  if (si.empty() || free.empty()) return false;
+
+  const int64_t pairs =
+      static_cast<int64_t>(si.size()) * static_cast<int64_t>(free.size());
+  const int64_t cap = config.max_exchange_candidates;
+
+  BillboardId best_om = model::kInvalidBillboard;
+  BillboardId best_on = model::kInvalidBillboard;
+  double best_delta = 0.0;
+  auto consider = [&](BillboardId om, BillboardId on) -> bool {
+    ++stats->deltas_evaluated;
+    double delta = assignment->DeltaReplace(om, on);
+    if (!Accepts(delta, assignment->TotalRegret(),
+                 config.improvement_ratio)) {
+      return false;
+    }
+    if (!config.best_improvement) {
+      assignment->Replace(om, on);
+      ++stats->moves_applied;
+      return true;
+    }
+    if (delta < best_delta) {
+      best_delta = delta;
+      best_om = om;
+      best_on = on;
+    }
+    return false;
+  };
+
+  if (cap > 0 && pairs > cap) {
+    for (int64_t k = 0; k < cap; ++k) {
+      BillboardId om = si[rng->UniformU64(si.size())];
+      BillboardId on = free[rng->UniformU64(free.size())];
+      if (consider(om, on)) return true;
+    }
+  } else {
+    for (BillboardId om : si) {
+      for (BillboardId on : free) {
+        if (consider(om, on)) return true;
+      }
+    }
+  }
+  if (best_om != model::kInvalidBillboard) {
+    assignment->Replace(best_om, best_on);
+    ++stats->moves_applied;
+    return true;
+  }
+  return false;
+}
+
+/// BLS move 3: release billboards of `i` whose removal reduces regret.
+bool TryReleases(Assignment* assignment, AdvertiserId i,
+                 const LocalSearchConfig& config, LocalSearchStats* stats) {
+  // Copy: Release mutates the set we'd be iterating.
+  std::vector<BillboardId> snapshot = assignment->BillboardsOf(i);
+  bool any = false;
+  for (BillboardId om : snapshot) {
+    ++stats->deltas_evaluated;
+    double delta = assignment->DeltaRelease(om);
+    if (Accepts(delta, assignment->TotalRegret(),
+                config.improvement_ratio)) {
+      assignment->Release(om);
+      ++stats->moves_applied;
+      any = true;
+    }
+  }
+  return any;
+}
+
+}  // namespace
+
+LocalSearchStats BillboardDrivenLocalSearch(Assignment* assignment,
+                                            const LocalSearchConfig& config,
+                                            common::Rng* rng) {
+  LocalSearchStats stats;
+  const int32_t n = assignment->num_advertisers();
+  bool improved = true;
+  while (improved && stats.sweeps < config.max_sweeps) {
+    improved = false;
+    ++stats.sweeps;
+    for (AdvertiserId i = 0; i < n; ++i) {
+      // The cross exchange is symmetric, so unordered pairs suffice.
+      for (AdvertiserId j = i + 1; j < n; ++j) {
+        if (TryExchangeAcrossPair(assignment, i, j, config, rng, &stats)) {
+          improved = true;
+        }
+      }
+      if (TryReplaceWithFree(assignment, i, config, rng, &stats)) {
+        improved = true;
+      }
+      if (TryReleases(assignment, i, config, &stats)) {
+        improved = true;
+      }
+    }
+    // Move 4 (lines 5.11-5.13): hand the free pool to SynchronousGreedy;
+    // keep the completed plan only if it is strictly better.
+    if (!assignment->FreeBillboards().empty()) {
+      Assignment candidate = *assignment;
+      SynchronousGreedy(&candidate);
+      if (Accepts(candidate.TotalRegret() - assignment->TotalRegret(),
+                  assignment->TotalRegret(), config.improvement_ratio)) {
+        assignment->CopyDeploymentFrom(candidate);
+        ++stats.moves_applied;
+        improved = true;
+      }
+    }
+  }
+  return stats;
+}
+
+Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
+                                 const std::vector<market::Advertiser>& ads,
+                                 const RegretParams& params,
+                                 SearchStrategy strategy,
+                                 const LocalSearchConfig& config,
+                                 common::Rng* rng, LocalSearchStats* stats,
+                                 uint16_t impression_threshold) {
+  LocalSearchStats total_stats;
+  auto run_search = [&](Assignment* a) {
+    LocalSearchStats s;
+    if (strategy == SearchStrategy::kAdvertiserDriven) {
+      s = AdvertiserDrivenLocalSearch(a, config);
+    } else {
+      s = BillboardDrivenLocalSearch(a, config, rng);
+    }
+    total_stats.moves_applied += s.moves_applied;
+    total_stats.deltas_evaluated += s.deltas_evaluated;
+    total_stats.sweeps += s.sweeps;
+  };
+
+  // Line 3.1: incumbent from the deterministic synchronous greedy.
+  Assignment best(&index, ads, params, impression_threshold);
+  SynchronousGreedy(&best);
+
+  for (int32_t iter = 0; iter < config.restarts; ++iter) {
+    // Lines 3.3-3.7: seed every advertiser with one random billboard.
+    Assignment candidate(&index, ads, params, impression_threshold);
+    for (AdvertiserId a = 0;
+         a < candidate.num_advertisers() &&
+         !candidate.FreeBillboards().empty();
+         ++a) {
+      const std::vector<BillboardId>& free = candidate.FreeBillboards();
+      BillboardId o = free[rng->UniformU64(free.size())];
+      candidate.Assign(o, a);
+    }
+    // Line 3.8: complete the plan greedily; line 3.9: local search.
+    SynchronousGreedy(&candidate);
+    run_search(&candidate);
+    if (candidate.TotalRegret() < best.TotalRegret()) {
+      best = std::move(candidate);
+    }
+  }
+  if (stats != nullptr) *stats = total_stats;
+  return best;
+}
+
+}  // namespace mroam::core

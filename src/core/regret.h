@@ -1,0 +1,84 @@
+#ifndef MROAM_CORE_REGRET_H_
+#define MROAM_CORE_REGRET_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "market/advertiser.h"
+
+namespace mroam::core {
+
+/// Parameters of the regret model (Equation 1).
+struct RegretParams {
+  /// Unsatisfied penalty ratio gamma in [0, 1]. gamma = 0: no payment at
+  /// all unless the demand is fully met; gamma = 1: payment proportional
+  /// to the satisfied fraction. Paper default: 0.5.
+  double gamma = 0.5;
+};
+
+/// True when the assignment meets the advertiser's demand.
+inline bool Satisfied(const market::Advertiser& advertiser,
+                      int64_t achieved_influence) {
+  return achieved_influence >= advertiser.demand;
+}
+
+/// The host's regret for serving `advertiser` with achieved influence
+/// I(S_i) = `achieved_influence` (Equation 1):
+///
+///   I(S_i) <  I_i :  L_i * (1 - gamma * I(S_i)/I_i)   (revenue regret)
+///   I(S_i) >= I_i :  L_i * (I(S_i) - I_i)/I_i         (excessive influence)
+inline double Regret(const market::Advertiser& advertiser,
+                     int64_t achieved_influence, const RegretParams& params) {
+  MROAM_DCHECK(advertiser.demand > 0);
+  MROAM_DCHECK(achieved_influence >= 0);
+  const double demand = static_cast<double>(advertiser.demand);
+  const double achieved = static_cast<double>(achieved_influence);
+  if (achieved_influence < advertiser.demand) {
+    return advertiser.payment * (1.0 - params.gamma * achieved / demand);
+  }
+  return advertiser.payment * (achieved - demand) / demand;
+}
+
+/// The rewired dual objective R' (Equation 2), the revenue-maximization
+/// view used in the BLS approximation analysis (§6.3):
+///
+///   I(S_i) <  I_i :  L_i * I(S_i)/I_i
+///   I(S_i) >= I_i :  L_i - L_i * (I(S_i) - I_i)/I_i
+///
+/// Note R(S_i) + R'(S_i) = L_i holds exactly in the satisfied branch for
+/// any gamma, and in the unsatisfied branch iff gamma = 1 (the paper
+/// states the identity without the gamma caveat; Equation 2 itself has no
+/// gamma).
+inline double DualRevenue(const market::Advertiser& advertiser,
+                          int64_t achieved_influence) {
+  MROAM_DCHECK(advertiser.demand > 0);
+  const double demand = static_cast<double>(advertiser.demand);
+  const double achieved = static_cast<double>(achieved_influence);
+  if (achieved_influence < advertiser.demand) {
+    return advertiser.payment * achieved / demand;
+  }
+  return advertiser.payment -
+         advertiser.payment * (achieved - demand) / demand;
+}
+
+/// Decomposition of a deployment's total regret into the two components
+/// the paper's stacked bars report (§7.2).
+struct RegretBreakdown {
+  double total = 0.0;
+  double excessive = 0.0;            ///< sum over satisfied advertisers
+  double unsatisfied_penalty = 0.0;  ///< sum over unsatisfied advertisers
+  int32_t satisfied_count = 0;
+  int32_t advertiser_count = 0;
+
+  /// Percentage annotations printed above the paper's bars.
+  double ExcessivePercent() const {
+    return total > 0.0 ? 100.0 * excessive / total : 0.0;
+  }
+  double UnsatisfiedPercent() const {
+    return total > 0.0 ? 100.0 * unsatisfied_penalty / total : 0.0;
+  }
+};
+
+}  // namespace mroam::core
+
+#endif  // MROAM_CORE_REGRET_H_

@@ -1,0 +1,69 @@
+#include "core/solver.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/greedy.h"
+
+namespace mroam::core {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kGOrder:
+      return "G-Order";
+    case Method::kGGlobal:
+      return "G-Global";
+    case Method::kAls:
+      return "ALS";
+    case Method::kBls:
+      return "BLS";
+  }
+  return "?";
+}
+
+std::vector<Method> AllMethods() {
+  return {Method::kGOrder, Method::kGGlobal, Method::kAls, Method::kBls};
+}
+
+SolveResult Solve(const influence::InfluenceIndex& index,
+                  const std::vector<market::Advertiser>& advertisers,
+                  const SolverConfig& config) {
+  common::Stopwatch watch;
+  common::Rng rng(config.seed);
+  SolveResult result;
+
+  Assignment assignment(&index, advertisers, config.regret,
+                        config.impression_threshold);
+  switch (config.method) {
+    case Method::kGOrder:
+      BudgetEffectiveGreedy(&assignment);
+      break;
+    case Method::kGGlobal:
+      SynchronousGreedy(&assignment);
+      break;
+    case Method::kAls:
+      assignment = RandomizedLocalSearch(
+          index, advertisers, config.regret,
+          SearchStrategy::kAdvertiserDriven, config.local_search, &rng,
+          &result.search_stats, config.impression_threshold);
+      break;
+    case Method::kBls:
+      assignment = RandomizedLocalSearch(
+          index, advertisers, config.regret, SearchStrategy::kBillboardDriven,
+          config.local_search, &rng, &result.search_stats,
+          config.impression_threshold);
+      break;
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  result.breakdown = assignment.Breakdown();
+  result.sets.reserve(advertisers.size());
+  result.influences.reserve(advertisers.size());
+  for (int32_t a = 0; a < assignment.num_advertisers(); ++a) {
+    result.sets.push_back(assignment.BillboardsOf(a));
+    result.influences.push_back(assignment.InfluenceOf(a));
+  }
+  return result;
+}
+
+}  // namespace mroam::core

@@ -1,0 +1,127 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/strings.h"
+#include "eval/table_printer.h"
+
+namespace mroam::eval {
+
+using common::FormatDouble;
+using common::Result;
+using common::Status;
+
+Result<ExperimentPoint> RunExperimentPoint(
+    const influence::InfluenceIndex& index, const ExperimentConfig& config,
+    const std::string& label) {
+  common::Rng workload_rng(config.workload_seed);
+  MROAM_ASSIGN_OR_RETURN(
+      std::vector<market::Advertiser> advertisers,
+      market::GenerateAdvertisers(index.TotalSupply(), config.workload,
+                                  &workload_rng));
+
+  ExperimentPoint point;
+  point.label = label;
+  point.supply = index.TotalSupply();
+  point.global_demand = market::GlobalDemand(advertisers);
+  point.num_advertisers = static_cast<int32_t>(advertisers.size());
+  point.total_payment = market::TotalPayment(advertisers);
+
+  for (core::Method method : config.methods) {
+    core::SolverConfig solver_config;
+    solver_config.method = method;
+    solver_config.regret = config.regret;
+    solver_config.local_search = config.local_search;
+    solver_config.seed = config.solver_seed;
+    solver_config.impression_threshold = config.impression_threshold;
+    core::SolveResult solve = core::Solve(index, advertisers, solver_config);
+
+    MethodResult r;
+    r.method = method;
+    r.breakdown = solve.breakdown;
+    r.seconds = solve.seconds;
+    r.search_stats = solve.search_stats;
+    point.results.push_back(r);
+  }
+  return point;
+}
+
+void PrintExperimentSeries(std::ostream& os, const std::string& title,
+                           const std::vector<ExperimentPoint>& points) {
+  os << "== " << title << " ==\n";
+  if (!points.empty()) {
+    const ExperimentPoint& p = points.front();
+    os << "supply I* = " << common::FormatWithCommas(p.supply) << "\n";
+  }
+  TablePrinter table({"point", "method", "regret", "excess%", "unsat%",
+                      "satisfied", "time_s"});
+  for (const ExperimentPoint& p : points) {
+    for (const MethodResult& r : p.results) {
+      table.AddRow({p.label, core::MethodName(r.method),
+                    FormatDouble(r.breakdown.total, 1),
+                    FormatDouble(r.breakdown.ExcessivePercent(), 1),
+                    FormatDouble(r.breakdown.UnsatisfiedPercent(), 1),
+                    std::to_string(r.breakdown.satisfied_count) + "/" +
+                        std::to_string(r.breakdown.advertiser_count),
+                    FormatDouble(r.seconds, 3)});
+    }
+  }
+  table.Print(os);
+  os << "\n";
+}
+
+Status WriteExperimentSeriesCsv(const std::string& path,
+                                const std::vector<ExperimentPoint>& points) {
+  std::vector<common::CsvRow> rows;
+  rows.push_back({"label", "method", "total_regret", "excessive",
+                  "unsatisfied_penalty", "satisfied", "advertisers",
+                  "seconds"});
+  for (const ExperimentPoint& p : points) {
+    for (const MethodResult& r : p.results) {
+      rows.push_back({p.label, core::MethodName(r.method),
+                      FormatDouble(r.breakdown.total, 3),
+                      FormatDouble(r.breakdown.excessive, 3),
+                      FormatDouble(r.breakdown.unsatisfied_penalty, 3),
+                      std::to_string(r.breakdown.satisfied_count),
+                      std::to_string(r.breakdown.advertiser_count),
+                      FormatDouble(r.seconds, 4)});
+    }
+  }
+  return common::WriteCsvFile(path, rows);
+}
+
+Status WriteDeploymentCsv(const std::string& path,
+                          const std::vector<market::Advertiser>& advertisers,
+                          const core::SolveResult& result,
+                          const core::RegretParams& params) {
+  if (result.sets.size() != advertisers.size() ||
+      result.influences.size() != advertisers.size()) {
+    return Status::InvalidArgument(
+        "result does not match the advertiser list");
+  }
+  std::vector<common::CsvRow> rows;
+  rows.push_back(
+      {"advertiser", "demand", "payment", "influence", "regret",
+       "billboards"});
+  for (size_t a = 0; a < advertisers.size(); ++a) {
+    std::string packed;
+    std::vector<model::BillboardId> sorted = result.sets[a];
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0) packed.push_back(';');
+      packed += std::to_string(sorted[i]);
+    }
+    rows.push_back(
+        {std::to_string(advertisers[a].id),
+         std::to_string(advertisers[a].demand),
+         FormatDouble(advertisers[a].payment, 2),
+         std::to_string(result.influences[a]),
+         FormatDouble(
+             core::Regret(advertisers[a], result.influences[a], params), 3),
+         packed});
+  }
+  return common::WriteCsvFile(path, rows);
+}
+
+}  // namespace mroam::eval

@@ -1,0 +1,77 @@
+#ifndef MROAM_EVAL_EXPERIMENT_H_
+#define MROAM_EVAL_EXPERIMENT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "influence/influence_index.h"
+#include "market/workload.h"
+
+namespace mroam::eval {
+
+/// One experiment point: a workload instantiation plus solver knobs.
+/// Mirrors the paper's parameter grid (Table 6).
+struct ExperimentConfig {
+  market::WorkloadConfig workload;
+  core::RegretParams regret;
+  core::LocalSearchConfig local_search;
+  /// Methods to run; defaults to all four.
+  std::vector<core::Method> methods = core::AllMethods();
+  uint64_t workload_seed = 7;
+  uint64_t solver_seed = 42;
+  /// Influence measure (see core::SolverConfig::impression_threshold).
+  uint16_t impression_threshold = 1;
+};
+
+/// Result of one method at one experiment point.
+struct MethodResult {
+  core::Method method = core::Method::kGOrder;
+  core::RegretBreakdown breakdown;
+  double seconds = 0.0;
+  core::LocalSearchStats search_stats;
+};
+
+/// Results of all methods at one experiment point.
+struct ExperimentPoint {
+  std::string label;
+  int64_t supply = 0;
+  int64_t global_demand = 0;
+  int32_t num_advertisers = 0;
+  double total_payment = 0.0;
+  std::vector<MethodResult> results;
+};
+
+/// Generates the workload for `config`, runs every requested method, and
+/// collects the regret decomposition + runtime. Fails only when workload
+/// generation does (invalid config or non-positive supply).
+common::Result<ExperimentPoint> RunExperimentPoint(
+    const influence::InfluenceIndex& index, const ExperimentConfig& config,
+    const std::string& label);
+
+/// Prints a series of experiment points as one aligned table with columns:
+/// point label, method, total regret, % excessive, % unsatisfied,
+/// #satisfied/#advertisers, seconds. This is the textual equivalent of one
+/// paper figure (stacked bars + annotations).
+void PrintExperimentSeries(std::ostream& os, const std::string& title,
+                           const std::vector<ExperimentPoint>& points);
+
+/// Writes the same series as CSV rows (one per point x method), for
+/// downstream plotting. Columns: label, method, total_regret, excessive,
+/// unsatisfied_penalty, satisfied, advertisers, seconds.
+common::Status WriteExperimentSeriesCsv(
+    const std::string& path, const std::vector<ExperimentPoint>& points);
+
+/// Exports one deployment plan as CSV, one row per advertiser:
+/// advertiser,demand,payment,influence,regret,billboards — with the
+/// billboard ids packed as "id;id;...". This is what a host would hand to
+/// operations after solving.
+common::Status WriteDeploymentCsv(
+    const std::string& path,
+    const std::vector<market::Advertiser>& advertisers,
+    const core::SolveResult& result, const core::RegretParams& params);
+
+}  // namespace mroam::eval
+
+#endif  // MROAM_EVAL_EXPERIMENT_H_

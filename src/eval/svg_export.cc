@@ -1,0 +1,121 @@
+#include "eval/svg_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace mroam::eval {
+
+using common::Status;
+
+namespace {
+
+// A categorical palette that stays readable on white.
+constexpr const char* kPalette[] = {
+    "#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4", "#46f0f0",
+    "#f032e6", "#bcf60c", "#008080", "#9a6324", "#800000", "#808000",
+    "#000075", "#fabebe", "#ffd8b1", "#aaffc3",
+};
+constexpr int kPaletteSize = static_cast<int>(std::size(kPalette));
+
+}  // namespace
+
+std::string AdvertiserColor(int32_t a) {
+  return kPalette[a % kPaletteSize];
+}
+
+Status WriteDeploymentSvg(const std::string& path,
+                          const model::Dataset& dataset,
+                          const core::SolveResult& result,
+                          const SvgOptions& options) {
+  if (options.width_px <= 0) {
+    return Status::InvalidArgument("width_px must be positive");
+  }
+  geo::BoundingBox box;
+  for (const model::Billboard& b : dataset.billboards) box.Extend(b.location);
+  for (const model::Trajectory& t : dataset.trajectories) {
+    for (const geo::Point& p : t.points) box.Extend(p);
+  }
+  if (box.Empty()) {
+    return Status::InvalidArgument("dataset has no geometry to draw");
+  }
+
+  const double pad = 0.02 * std::max(box.Width(), box.Height());
+  box.Extend({box.min.x - pad, box.min.y - pad});
+  box.Extend({box.max.x + pad, box.max.y + pad});
+  const double scale = options.width_px / std::max(1.0, box.Width());
+  const int32_t height_px =
+      std::max(1, static_cast<int32_t>(std::lround(box.Height() * scale)));
+
+  auto to_px = [&](const geo::Point& p) {
+    // SVG y grows downward; flip so north is up.
+    return geo::Point{(p.x - box.min.x) * scale,
+                      (box.max.y - p.y) * scale};
+  };
+
+  // Billboard owners from the result's sets.
+  std::vector<int32_t> owner(dataset.billboards.size(), -1);
+  for (size_t a = 0; a < result.sets.size(); ++a) {
+    for (model::BillboardId o : result.sets[a]) {
+      if (o >= 0 && static_cast<size_t>(o) < owner.size()) {
+        owner[o] = static_cast<int32_t>(a);
+      }
+    }
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width_px << "\" height=\"" << height_px
+      << "\" viewBox=\"0 0 " << options.width_px << " " << height_px
+      << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Trajectory layer (sampled).
+  if (options.trajectory_fraction > 0.0 && !dataset.trajectories.empty()) {
+    size_t stride = static_cast<size_t>(std::max(
+        1.0, 1.0 / std::min(1.0, options.trajectory_fraction)));
+    out << "<g stroke=\"#c8d4e8\" stroke-width=\"0.6\" fill=\"none\" "
+           "opacity=\"0.5\">\n";
+    for (size_t i = 0; i < dataset.trajectories.size(); i += stride) {
+      const auto& points = dataset.trajectories[i].points;
+      if (points.size() < 2) continue;
+      out << "<polyline points=\"";
+      for (const geo::Point& p : points) {
+        geo::Point q = to_px(p);
+        out << common::FormatDouble(q.x, 1) << ","
+            << common::FormatDouble(q.y, 1) << " ";
+      }
+      out << "\"/>\n";
+    }
+    out << "</g>\n";
+  }
+
+  // Billboards, unassigned first so colored ones draw on top.
+  out << "<g stroke=\"none\">\n";
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t o = 0; o < dataset.billboards.size(); ++o) {
+      bool assigned = owner[o] >= 0;
+      if ((pass == 0) == assigned) continue;
+      geo::Point q = to_px(dataset.billboards[o].location);
+      out << "<circle cx=\"" << common::FormatDouble(q.x, 1) << "\" cy=\""
+          << common::FormatDouble(q.y, 1) << "\" r=\""
+          << common::FormatDouble(options.billboard_radius_px, 1)
+          << "\" fill=\""
+          << (assigned ? AdvertiserColor(owner[o]) : std::string("#bbbbbb"))
+          << "\" opacity=\"" << (assigned ? "0.9" : "0.45") << "\"/>\n";
+    }
+  }
+  out << "</g>\n</svg>\n";
+  out.flush();
+  if (!out) {
+    return Status::IoError("I/O error while writing: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mroam::eval

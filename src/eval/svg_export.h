@@ -1,0 +1,38 @@
+#ifndef MROAM_EVAL_SVG_EXPORT_H_
+#define MROAM_EVAL_SVG_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/solver.h"
+#include "model/dataset.h"
+
+namespace mroam::eval {
+
+/// Options for the deployment map renderer.
+struct SvgOptions {
+  int32_t width_px = 900;
+  /// Fraction of trajectories drawn (they are sampled evenly); 0 disables
+  /// the trajectory layer. Drawing every trip of a large dataset makes an
+  /// unusable file.
+  double trajectory_fraction = 0.02;
+  double billboard_radius_px = 3.0;
+};
+
+/// Renders the city and a deployment as an SVG map: trajectories as faint
+/// polylines, billboards as dots colored by owning advertiser (grey =
+/// unassigned). Useful to eyeball what a solver did — e.g. BLS carving
+/// hotspot inventory between advertisers.
+common::Status WriteDeploymentSvg(const std::string& path,
+                                  const model::Dataset& dataset,
+                                  const core::SolveResult& result,
+                                  const SvgOptions& options = {});
+
+/// Color assigned to advertiser `a` in the map (cycled palette), as a
+/// "#rrggbb" string. Exposed for tests and legends.
+std::string AdvertiserColor(int32_t a);
+
+}  // namespace mroam::eval
+
+#endif  // MROAM_EVAL_SVG_EXPORT_H_

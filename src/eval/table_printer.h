@@ -1,0 +1,33 @@
+#ifndef MROAM_EVAL_TABLE_PRINTER_H_
+#define MROAM_EVAL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mroam::eval {
+
+/// Collects rows of string cells and prints them column-aligned — the
+/// output format of every bench binary (one printed table per paper
+/// table/figure, see DESIGN.md §3).
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row (may have fewer cells than the header).
+  void AddRow(std::vector<std::string> row);
+
+  /// Prints header, separator, and rows, space-aligned, to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mroam::eval
+
+#endif  // MROAM_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,348 @@
+#include "gen/city_generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "geo/grid_index.h"
+#include "geo/polyline.h"
+
+namespace mroam::gen {
+
+namespace {
+
+using common::Rng;
+using geo::Point;
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+/// Snaps a coordinate to the nearest multiple of `spacing` within [0, max].
+double Snap(double v, double spacing, double max) {
+  double snapped = std::round(v / spacing) * spacing;
+  return Clamp(snapped, 0.0, std::floor(max / spacing) * spacing);
+}
+
+/// The population structure of the synthetic city: hotspot centers plus
+/// the broad core center, fixed per generated dataset.
+struct NycGeography {
+  Point core;
+  std::vector<Point> hotspots;
+};
+
+NycGeography MakeGeography(const NycLikeConfig& cfg, Rng* rng) {
+  NycGeography geo;
+  geo.core = {cfg.width_m * 0.5, cfg.height_m * 0.42};
+  for (int32_t h = 0; h < cfg.num_hotspots; ++h) {
+    geo.hotspots.push_back(
+        {Clamp(rng->Normal(geo.core.x, cfg.core_sigma_m), 0.0, cfg.width_m),
+         Clamp(rng->Normal(geo.core.y, cfg.core_sigma_m), 0.0,
+               cfg.height_m)});
+  }
+  return geo;
+}
+
+/// Projects a free point onto the street network: one coordinate snaps to
+/// the nearest road line, the other stays continuous (people stand along
+/// blocks, not only at intersections). Keeping a continuous coordinate is
+/// what makes coverage respond smoothly to the influence radius lambda
+/// (paper Fig 12, NYC curve).
+Point SnapToStreetNetwork(const NycLikeConfig& cfg, Point p, Rng* rng) {
+  if (rng->Bernoulli(0.5)) {
+    p.y = Snap(p.y, cfg.street_spacing_m, cfg.height_m);  // on an E-W street
+  } else {
+    p.x = Snap(p.x, cfg.avenue_spacing_m, cfg.width_m);  // on a N-S avenue
+  }
+  return p;
+}
+
+/// Samples a trip endpoint from the hotspot/core/uniform mixture, placed
+/// on the street network.
+Point SampleNycEndpoint(const NycLikeConfig& cfg, const NycGeography& city,
+                        Rng* rng) {
+  Point p;
+  double which = rng->UniformDouble();
+  if (which < cfg.hotspot_mass && !city.hotspots.empty()) {
+    const Point& h = city.hotspots[rng->UniformU64(city.hotspots.size())];
+    p.x = Clamp(rng->Normal(h.x, cfg.hotspot_sigma_m), 0.0, cfg.width_m);
+    p.y = Clamp(rng->Normal(h.y, cfg.hotspot_sigma_m), 0.0, cfg.height_m);
+  } else if (which < cfg.hotspot_mass + cfg.core_mass) {
+    p.x = Clamp(rng->Normal(city.core.x, cfg.core_sigma_m), 0.0, cfg.width_m);
+    p.y =
+        Clamp(rng->Normal(city.core.y, cfg.core_sigma_m), 0.0, cfg.height_m);
+  } else {
+    p.x = rng->UniformDouble(0.0, cfg.width_m);
+    p.y = rng->UniformDouble(0.0, cfg.height_m);
+  }
+  return SnapToStreetNetwork(cfg, p, rng);
+}
+
+/// Popularity density at a point (unnormalized but consistent with the
+/// endpoint mixture), so billboards follow traffic. Each mixture
+/// component contributes mass/sigma^2-scaled Gaussian peaks, making
+/// hotspot nodes ~(sigma_core/sigma_hotspot)^2 times denser than core
+/// nodes per unit mass — the source of the influence heavy tail.
+double NycPopularity(const NycLikeConfig& cfg, const NycGeography& city,
+                     const Point& p) {
+  const double area = cfg.width_m * cfg.height_m;
+  double density = (1.0 - cfg.hotspot_mass - cfg.core_mass) / area;
+  const double core_s2 = cfg.core_sigma_m * cfg.core_sigma_m;
+  density += cfg.core_mass *
+             std::exp(-0.5 * geo::SquaredDistance(p, city.core) / core_s2) /
+             core_s2;
+  const double hot_s2 = cfg.hotspot_sigma_m * cfg.hotspot_sigma_m;
+  for (const Point& h : city.hotspots) {
+    density += cfg.hotspot_mass /
+               static_cast<double>(city.hotspots.size()) *
+               std::exp(-0.5 * geo::SquaredDistance(p, h) / hot_s2) / hot_s2;
+  }
+  return density;
+}
+
+/// Departure-time model shared by both cities: morning and evening rush
+/// peaks over a uniform floor, in seconds since midnight. Drawn from a
+/// forked stream after all geometry, so the spatial output for a given
+/// seed is independent of the time model.
+void AssignStartTimes(model::Dataset* dataset, Rng* rng) {
+  Rng time_rng = rng->Fork();
+  for (model::Trajectory& t : dataset->trajectories) {
+    double u = time_rng.UniformDouble();
+    double start = 0.0;
+    if (u < 0.30) {
+      start = time_rng.Normal(8.5 * 3600.0, 5400.0);  // morning rush
+    } else if (u < 0.60) {
+      start = time_rng.Normal(18.0 * 3600.0, 5400.0);  // evening rush
+    } else {
+      start = time_rng.UniformDouble(0.0, 86400.0);
+    }
+    t.start_time_seconds = Clamp(start, 0.0, 86399.0);
+  }
+}
+
+}  // namespace
+
+model::Dataset GenerateNycLike(const NycLikeConfig& cfg, common::Rng* rng) {
+  MROAM_CHECK(cfg.num_billboards > 0);
+  MROAM_CHECK(cfg.num_trajectories >= 0);
+  MROAM_CHECK(cfg.avenue_spacing_m > 0 && cfg.street_spacing_m > 0);
+
+  model::Dataset dataset;
+  dataset.name = "NYC-like";
+  const NycGeography city = MakeGeography(cfg, rng);
+
+  // --- Billboards: lattice nodes sampled by popularity^exponent. ---
+  const int32_t nx =
+      static_cast<int32_t>(std::floor(cfg.width_m / cfg.avenue_spacing_m)) + 1;
+  const int32_t ny =
+      static_cast<int32_t>(std::floor(cfg.height_m / cfg.street_spacing_m)) +
+      1;
+  std::vector<double> node_weights;
+  node_weights.reserve(static_cast<size_t>(nx) * ny);
+  for (int32_t ix = 0; ix < nx; ++ix) {
+    for (int32_t iy = 0; iy < ny; ++iy) {
+      Point node{ix * cfg.avenue_spacing_m, iy * cfg.street_spacing_m};
+      node_weights.push_back(std::pow(NycPopularity(cfg, city, node),
+                                      cfg.billboard_popularity_exponent));
+    }
+  }
+  dataset.billboards.reserve(cfg.num_billboards);
+  const size_t num_nodes = node_weights.size();
+  for (int32_t i = 0; i < cfg.num_billboards; ++i) {
+    size_t node = rng->WeightedIndex(node_weights);
+    // Sample corners without replacement (when possible): each corner
+    // hosts at most one billboard, so inventory spreads along the blocks
+    // around a hotspot instead of stacking — top billboards still overlap
+    // through shared hotspot audiences, but the union coverage of the
+    // whole inventory stays high (feasibility of the paper's p grid).
+    if (static_cast<size_t>(cfg.num_billboards) < num_nodes) {
+      node_weights[node] = 0.0;
+    }
+    int32_t ix = static_cast<int32_t>(node) / ny;
+    int32_t iy = static_cast<int32_t>(node) % ny;
+    model::Billboard b;
+    b.id = i;
+    // Place the board part-way along a block from the sampled corner (on
+    // the building face), with a small setback jitter.
+    b.location = {ix * cfg.avenue_spacing_m, iy * cfg.street_spacing_m};
+    if (rng->Bernoulli(0.5)) {
+      b.location.x += rng->UniformDouble(-0.5, 0.5) * cfg.avenue_spacing_m;
+    } else {
+      b.location.y += rng->UniformDouble(-0.5, 0.5) * cfg.street_spacing_m;
+    }
+    b.location.x += rng->UniformDouble(-cfg.billboard_jitter_m,
+                                       cfg.billboard_jitter_m);
+    b.location.y += rng->UniformDouble(-cfg.billboard_jitter_m,
+                                       cfg.billboard_jitter_m);
+    b.location.x = Clamp(b.location.x, 0.0, cfg.width_m);
+    b.location.y = Clamp(b.location.y, 0.0, cfg.height_m);
+    dataset.billboards.push_back(b);
+  }
+
+  // --- Trajectories: OD pairs, like TLC trip records (pickup/dropoff
+  // locations only). The destination is origin + a Gaussian offset so trip
+  // lengths match the paper's 2.9 km mean instead of city-scale trips.
+  dataset.trajectories.reserve(cfg.num_trajectories);
+  for (int32_t i = 0; i < cfg.num_trajectories; ++i) {
+    Point origin = SampleNycEndpoint(cfg, city, rng);
+    Point dest;
+    do {
+      dest.x = Clamp(origin.x + rng->Normal(0.0, cfg.trip_sigma_x_m), 0.0,
+                     cfg.width_m);
+      dest.y = Clamp(origin.y + rng->Normal(0.0, cfg.trip_sigma_y_m), 0.0,
+                     cfg.height_m);
+      dest.x = Snap(dest.x, cfg.avenue_spacing_m, cfg.width_m);
+      dest.y = Snap(dest.y, cfg.street_spacing_m, cfg.height_m);
+    } while (dest == origin);
+
+    model::Trajectory t;
+    t.id = i;
+    t.points = {origin, dest};
+    // Travel time from the street (L1) distance a taxi actually drives.
+    double street_dist =
+        std::abs(dest.x - origin.x) + std::abs(dest.y - origin.y);
+    t.travel_time_seconds = street_dist / cfg.taxi_speed_mps;
+    dataset.trajectories.push_back(std::move(t));
+  }
+  AssignStartTimes(&dataset, rng);
+  return dataset;
+}
+
+namespace {
+
+/// One bus route: a gently turning polyline with stops along it.
+struct BusRoute {
+  std::vector<Point> path;
+  /// Indices into the dataset's billboard array, in travel order.
+  std::vector<model::BillboardId> stop_ids;
+  std::vector<Point> stop_points;
+  double ridership_weight = 1.0;
+};
+
+/// Generates a route polyline crossing the city with small heading noise.
+std::vector<Point> GenerateRoutePath(const SgLikeConfig& cfg, Rng* rng) {
+  const double length =
+      rng->UniformDouble(cfg.route_min_length_m, cfg.route_max_length_m);
+  Point pos{rng->UniformDouble(0.1 * cfg.width_m, 0.9 * cfg.width_m),
+            rng->UniformDouble(0.1 * cfg.height_m, 0.9 * cfg.height_m)};
+  double heading = rng->UniformDouble(0.0, 2.0 * 3.14159265358979323846);
+  std::vector<Point> path{pos};
+  double traveled = 0.0;
+  const double seg = 500.0;
+  while (traveled < length) {
+    heading += rng->Normal(0.0, 0.25);
+    Point next{pos.x + seg * std::cos(heading),
+               pos.y + seg * std::sin(heading)};
+    // Reflect off the city boundary so routes stay inside.
+    if (next.x < 0.0 || next.x > cfg.width_m) {
+      heading = 3.14159265358979323846 - heading;
+      next.x = Clamp(next.x, 0.0, cfg.width_m);
+    }
+    if (next.y < 0.0 || next.y > cfg.height_m) {
+      heading = -heading;
+      next.y = Clamp(next.y, 0.0, cfg.height_m);
+    }
+    path.push_back(next);
+    traveled += seg;
+    pos = next;
+  }
+  return path;
+}
+
+}  // namespace
+
+model::Dataset GenerateSgLike(const SgLikeConfig& cfg, common::Rng* rng) {
+  MROAM_CHECK(cfg.num_billboards > 0);
+  MROAM_CHECK(cfg.num_trajectories >= 0);
+  MROAM_CHECK(cfg.stop_spacing_m > 0.0);
+  MROAM_CHECK(cfg.mean_ride_stops >= 1.0);
+
+  model::Dataset dataset;
+  dataset.name = "SG-like";
+
+  // --- Routes + stops: a shared stop pool. A route passing within
+  // stop_merge_radius_m of an existing stop reuses it (interchange);
+  // otherwise it creates a new stop with a billboard. Keep adding routes
+  // until the pool reaches num_billboards.
+  std::vector<BusRoute> routes;
+  geo::GridIndex stop_grid(cfg.stop_merge_radius_m);
+  int32_t next_stop_id = 0;
+  while (next_stop_id < cfg.num_billboards) {
+    BusRoute route;
+    route.path = GenerateRoutePath(cfg, rng);
+    route.ridership_weight = rng->UniformDouble(1.0, cfg.ridership_skew);
+    const double route_length = geo::PolylineLength(route.path);
+    double at = rng->UniformDouble(0.0, cfg.stop_spacing_m);
+    while (at < route_length) {
+      Point wanted = geo::PointAlong(route.path, at);
+      // Reuse the nearest pooled stop within the merge radius, if any.
+      std::vector<int32_t> near =
+          stop_grid.QueryRadius(wanted, cfg.stop_merge_radius_m);
+      model::BillboardId stop_id = model::kInvalidBillboard;
+      double best_d = 1e300;
+      for (int32_t candidate : near) {
+        double d =
+            geo::Distance(wanted, dataset.billboards[candidate].location);
+        if (d < best_d) {
+          best_d = d;
+          stop_id = candidate;
+        }
+      }
+      if (stop_id == model::kInvalidBillboard) {
+        if (next_stop_id >= cfg.num_billboards) break;  // pool is full
+        stop_id = next_stop_id++;
+        model::Billboard b;
+        b.id = stop_id;
+        b.location = wanted;
+        dataset.billboards.push_back(b);
+        stop_grid.Insert(wanted, stop_id);
+      }
+      // Avoid a self-revisit producing two consecutive identical stops.
+      if (route.stop_ids.empty() || route.stop_ids.back() != stop_id) {
+        route.stop_ids.push_back(stop_id);
+        route.stop_points.push_back(dataset.billboards[stop_id].location);
+      }
+      at += cfg.stop_spacing_m + rng->UniformDouble(-cfg.stop_spacing_jitter_m,
+                                                    cfg.stop_spacing_jitter_m);
+    }
+    if (route.stop_ids.size() >= 2) {
+      routes.push_back(std::move(route));
+    }
+  }
+  MROAM_CHECK(!routes.empty());
+
+  std::vector<double> route_weights;
+  route_weights.reserve(routes.size());
+  for (const BusRoute& r : routes) {
+    route_weights.push_back(r.ridership_weight *
+                            static_cast<double>(r.stop_ids.size()));
+  }
+
+  // --- Rides: board at a stop, ride a geometric number of stops. ---
+  dataset.trajectories.reserve(cfg.num_trajectories);
+  for (int32_t i = 0; i < cfg.num_trajectories; ++i) {
+    const BusRoute& route = routes[rng->WeightedIndex(route_weights)];
+    const size_t num_stops = route.stop_points.size();
+    size_t board = static_cast<size_t>(rng->UniformU64(num_stops - 1));
+    // Geometric ride length with the configured mean, at least one stop.
+    double u = rng->UniformDouble();
+    size_t ride =
+        1 + static_cast<size_t>(-std::log(1.0 - u) * (cfg.mean_ride_stops - 1.0));
+    size_t alight = std::min(num_stops - 1, board + ride);
+
+    model::Trajectory t;
+    t.id = i;
+    t.points.assign(route.stop_points.begin() + board,
+                    route.stop_points.begin() + alight + 1);
+    double dist = geo::PolylineLength(t.points);
+    t.travel_time_seconds =
+        dist / cfg.bus_speed_mps +
+        cfg.dwell_seconds_per_stop * static_cast<double>(alight - board);
+    dataset.trajectories.push_back(std::move(t));
+  }
+  AssignStartTimes(&dataset, rng);
+  return dataset;
+}
+
+}  // namespace mroam::gen

@@ -1,0 +1,93 @@
+#ifndef MROAM_GEN_CITY_GENERATORS_H_
+#define MROAM_GEN_CITY_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "model/dataset.h"
+
+namespace mroam::gen {
+
+/// Generator for an NYC-like taxi-mode dataset (DESIGN.md §4).
+///
+/// The paper's NYC data (LAMAR billboards + TLC taxi trips) is proprietary
+/// or requires heavy preprocessing. TLC trip records carry only the pickup
+/// and dropoff locations, so a trajectory here is an OD pair: two points
+/// drawn from a popularity mixture (compact hotspots — Times-Square
+/// analogues — a broad hot core, and a uniform floor), snapped to a street
+/// lattice. Billboards follow the same traffic density. This yields the
+/// properties §7 of the paper relies on:
+///  * heavy-tailed billboard influence (hotspot boards see a large share
+///    of all pickups/dropoffs — Fig 1a);
+///  * high coverage overlap among top billboards (they crowd the same few
+///    hotspot blocks — slow-rising Fig 1b curve);
+///  * supply I* a small multiple of |T|, so the paper's p grid (1%-20%)
+///    stays satisfiable at low alpha.
+struct NycLikeConfig {
+  int32_t num_billboards = 1462;   ///< paper's Table 5 value
+  int32_t num_trajectories = 60000;
+  double width_m = 8000.0;         ///< Manhattan-ish extent (E-W)
+  double height_m = 16000.0;       ///< (N-S)
+  double avenue_spacing_m = 260.0; ///< N-S road spacing (x direction)
+  double street_spacing_m = 130.0; ///< E-W road spacing (y direction)
+  /// Trip-endpoint mixture masses (remainder is the uniform floor).
+  double hotspot_mass = 0.3;       ///< P(endpoint near a hotspot)
+  int32_t num_hotspots = 6;
+  double hotspot_sigma_m = 400.0;  ///< hotspot radius
+  double core_mass = 0.4;          ///< P(endpoint in the broad core)
+  double core_sigma_m = 1800.0;    ///< hot-core Gaussian radius
+  double trip_sigma_x_m = 1800.0;  ///< E-W spread of trip offsets
+  double trip_sigma_y_m = 2400.0;  ///< N-S spread of trip offsets
+  double taxi_speed_mps = 5.1;     ///< used for travel time (Table 5)
+  /// Billboard placement weight exponent over local popularity: 1.0 makes
+  /// billboards follow traffic density exactly; larger values concentrate
+  /// them further.
+  double billboard_popularity_exponent = 1.0;
+  double billboard_jitter_m = 20.0;  ///< scatter around lattice nodes
+};
+
+/// Generates an NYC-like dataset. Deterministic given `rng`'s state.
+model::Dataset GenerateNycLike(const NycLikeConfig& config,
+                               common::Rng* rng);
+
+/// Generator for an SG-like bus-mode dataset (DESIGN.md §4).
+///
+/// The paper's SG data (EZ-link smart cards + JCDecaux bus-stop panels) is
+/// likewise gated. We synthesize a bus network:
+///  * routes crossing the city with stops every ~400 m; every stop hosts
+///    one billboard (paper: each bus stop is a billboard location);
+///  * trajectories = rides on one route, recorded stop-to-stop — so a ride
+///    only "meets" stops it passes, giving near-uniform influence (Fig 1a
+///    purple) and low overlap (fast-rising Fig 1b curve);
+///  * with points only at stops, influence is insensitive to lambda until
+///    lambda reaches the scale of route intersections (Fig 12's SG shape).
+struct SgLikeConfig {
+  int32_t num_billboards = 4092;   ///< paper's Table 5 value (= #stops)
+  int32_t num_trajectories = 80000;
+  double width_m = 25000.0;
+  double height_m = 15000.0;
+  double stop_spacing_m = 400.0;
+  double stop_spacing_jitter_m = 60.0;
+  /// Routes reuse an existing stop (interchange) when they pass within
+  /// this radius of it, like real bus networks sharing stops. Keeps
+  /// distinct stops at least this far apart, which is why SG influence is
+  /// insensitive to lambda until lambda approaches this scale (Fig 12).
+  double stop_merge_radius_m = 150.0;
+  double route_min_length_m = 8000.0;
+  double route_max_length_m = 20000.0;
+  /// Mean number of stops ridden past per trip (geometric-ish); with
+  /// 400 m spacing, 10.5 stops ~= the paper's 4.2 km mean trip.
+  double mean_ride_stops = 10.5;
+  double bus_speed_mps = 5.5;      ///< plus dwell time per stop below
+  double dwell_seconds_per_stop = 25.0;
+  /// Skew of route ridership (weights ~ U[1, ridership_skew]); mild by
+  /// default so influence stays more uniform than NYC (Fig 1a purple).
+  double ridership_skew = 1.8;
+};
+
+/// Generates an SG-like dataset. Deterministic given `rng`'s state.
+model::Dataset GenerateSgLike(const SgLikeConfig& config, common::Rng* rng);
+
+}  // namespace mroam::gen
+
+#endif  // MROAM_GEN_CITY_GENERATORS_H_

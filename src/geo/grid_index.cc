@@ -1,0 +1,52 @@
+#include "geo/grid_index.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mroam::geo {
+
+GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {
+  MROAM_CHECK(cell_size > 0.0);
+}
+
+int64_t GridIndex::CellKey(double x, double y) const {
+  // Offset to keep cell coordinates positive for typical city extents, then
+  // pack two 32-bit cell indices into one key.
+  int64_t cx = static_cast<int64_t>(std::floor(x / cell_size_)) + (1 << 20);
+  int64_t cy = static_cast<int64_t>(std::floor(y / cell_size_)) + (1 << 20);
+  return (cx << 32) | (cy & 0xffffffffLL);
+}
+
+void GridIndex::Insert(const Point& p, int32_t id) {
+  cells_[CellKey(p.x, p.y)].push_back(Entry{p, id});
+  ++size_;
+}
+
+void GridIndex::QueryRadius(const Point& center, double radius,
+                            std::vector<int32_t>* out) const {
+  MROAM_DCHECK(radius >= 0.0);
+  const double r2 = radius * radius;
+  const int span = static_cast<int>(std::ceil(radius / cell_size_));
+  for (int dx = -span; dx <= span; ++dx) {
+    for (int dy = -span; dy <= span; ++dy) {
+      auto it = cells_.find(CellKey(center.x + dx * cell_size_,
+                                    center.y + dy * cell_size_));
+      if (it == cells_.end()) continue;
+      for (const Entry& e : it->second) {
+        if (SquaredDistance(e.point, center) <= r2) {
+          out->push_back(e.id);
+        }
+      }
+    }
+  }
+}
+
+std::vector<int32_t> GridIndex::QueryRadius(const Point& center,
+                                            double radius) const {
+  std::vector<int32_t> out;
+  QueryRadius(center, radius, &out);
+  return out;
+}
+
+}  // namespace mroam::geo

@@ -1,0 +1,51 @@
+#ifndef MROAM_GEO_GRID_INDEX_H_
+#define MROAM_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace mroam::geo {
+
+/// A uniform-grid spatial index over labeled points, used to answer
+/// "which billboards lie within lambda of this trajectory point" queries
+/// during influence-index construction. Build once, query many times.
+class GridIndex {
+ public:
+  /// Creates an index with the given cell size in meters (> 0). Choosing
+  /// cell_size == query radius keeps each query to a 3x3 neighborhood.
+  explicit GridIndex(double cell_size);
+
+  /// Inserts a point labeled `id`.
+  void Insert(const Point& p, int32_t id);
+
+  /// Appends ids of all points within `radius` of `center` to `out`
+  /// (does not clear `out`). Requires radius <= cell size * 1 for the 3x3
+  /// fast path; larger radii scan proportionally more cells.
+  void QueryRadius(const Point& center, double radius,
+                   std::vector<int32_t>* out) const;
+
+  /// Convenience wrapper returning a fresh vector.
+  std::vector<int32_t> QueryRadius(const Point& center, double radius) const;
+
+  size_t size() const { return size_; }
+  double cell_size() const { return cell_size_; }
+
+ private:
+  struct Entry {
+    Point point;
+    int32_t id;
+  };
+
+  int64_t CellKey(double x, double y) const;
+
+  double cell_size_;
+  size_t size_ = 0;
+  std::unordered_map<int64_t, std::vector<Entry>> cells_;
+};
+
+}  // namespace mroam::geo
+
+#endif  // MROAM_GEO_GRID_INDEX_H_

@@ -1,0 +1,78 @@
+#ifndef MROAM_GEO_POINT_H_
+#define MROAM_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace mroam::geo {
+
+/// A point in a planar city coordinate frame, in meters. The library works
+/// in projected meters throughout (the paper's distance threshold lambda is
+/// specified in meters); generators emit meters directly.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline Point operator+(const Point& a, const Point& b) {
+  return {a.x + b.x, a.y + b.y};
+}
+inline Point operator-(const Point& a, const Point& b) {
+  return {a.x - b.x, a.y - b.y};
+}
+inline Point operator*(const Point& p, double s) { return {p.x * s, p.y * s}; }
+inline Point operator*(double s, const Point& p) { return p * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// Squared Euclidean distance (cheaper than Distance for comparisons).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance in meters.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Linear interpolation between `a` and `b`; t=0 -> a, t=1 -> b.
+inline Point Lerp(const Point& a, const Point& b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// An axis-aligned bounding box.
+struct BoundingBox {
+  Point min{1e300, 1e300};
+  Point max{-1e300, -1e300};
+
+  /// True if no point has been added.
+  bool Empty() const { return min.x > max.x || min.y > max.y; }
+
+  /// Grows the box to include `p`.
+  void Extend(const Point& p) {
+    if (p.x < min.x) min.x = p.x;
+    if (p.y < min.y) min.y = p.y;
+    if (p.x > max.x) max.x = p.x;
+    if (p.y > max.y) max.y = p.y;
+  }
+
+  /// True if `p` lies inside or on the boundary.
+  bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  double Width() const { return Empty() ? 0.0 : max.x - min.x; }
+  double Height() const { return Empty() ? 0.0 : max.y - min.y; }
+};
+
+}  // namespace mroam::geo
+
+#endif  // MROAM_GEO_POINT_H_

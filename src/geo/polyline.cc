@@ -1,0 +1,72 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mroam::geo {
+
+double PolylineLength(const std::vector<Point>& points) {
+  double total = 0.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    total += Distance(points[i - 1], points[i]);
+  }
+  return total;
+}
+
+Point PointAlong(const std::vector<Point>& points, double distance) {
+  MROAM_CHECK(!points.empty());
+  if (distance <= 0.0) return points.front();
+  double remaining = distance;
+  for (size_t i = 1; i < points.size(); ++i) {
+    double seg = Distance(points[i - 1], points[i]);
+    if (remaining <= seg && seg > 0.0) {
+      return Lerp(points[i - 1], points[i], remaining / seg);
+    }
+    remaining -= seg;
+  }
+  return points.back();
+}
+
+std::vector<Point> Densify(const std::vector<Point>& points,
+                           double max_spacing) {
+  MROAM_CHECK(max_spacing > 0.0);
+  if (points.size() < 2) return points;
+  std::vector<Point> out;
+  out.push_back(points.front());
+  for (size_t i = 1; i < points.size(); ++i) {
+    double seg = Distance(points[i - 1], points[i]);
+    int pieces = std::max(1, static_cast<int>(std::ceil(seg / max_spacing)));
+    for (int k = 1; k < pieces; ++k) {
+      out.push_back(Lerp(points[i - 1], points[i],
+                         static_cast<double>(k) / pieces));
+    }
+    out.push_back(points[i]);  // original vertices are preserved exactly
+  }
+  return out;
+}
+
+namespace {
+
+double DistanceToSegment(const Point& p, const Point& a, const Point& b) {
+  double len2 = SquaredDistance(a, b);
+  if (len2 == 0.0) return Distance(p, a);
+  double t = ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, Lerp(a, b, t));
+}
+
+}  // namespace
+
+double DistanceToPolyline(const Point& p, const std::vector<Point>& points) {
+  MROAM_CHECK(!points.empty());
+  if (points.size() == 1) return Distance(p, points[0]);
+  double best = 1e300;
+  for (size_t i = 1; i < points.size(); ++i) {
+    best = std::min(best, DistanceToSegment(p, points[i - 1], points[i]));
+  }
+  return best;
+}
+
+}  // namespace mroam::geo

@@ -1,0 +1,30 @@
+#ifndef MROAM_GEO_POLYLINE_H_
+#define MROAM_GEO_POLYLINE_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace mroam::geo {
+
+/// Total length of a polyline (sum of segment lengths), in meters.
+double PolylineLength(const std::vector<Point>& points);
+
+/// Point at arc-length `distance` along the polyline (clamped to the ends).
+/// Requires at least one point.
+Point PointAlong(const std::vector<Point>& points, double distance);
+
+/// Resamples a polyline so that consecutive points are at most
+/// `max_spacing` meters apart (original vertices are preserved).
+/// Requires max_spacing > 0. A polyline with fewer than two points is
+/// returned unchanged.
+std::vector<Point> Densify(const std::vector<Point>& points,
+                           double max_spacing);
+
+/// Minimum distance from point `p` to the polyline (segments, not just
+/// vertices). Requires at least one point.
+double DistanceToPolyline(const Point& p, const std::vector<Point>& points);
+
+}  // namespace mroam::geo
+
+#endif  // MROAM_GEO_POLYLINE_H_

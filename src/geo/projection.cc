@@ -1,0 +1,31 @@
+#include "geo/projection.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace mroam::geo {
+
+namespace {
+// WGS84 mean earth radius, meters.
+constexpr double kEarthRadiusM = 6371008.8;
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}  // namespace
+
+Projector::Projector(double origin_lon, double origin_lat)
+    : origin_lon_(origin_lon),
+      origin_lat_(origin_lat),
+      meters_per_degree_lon_(kEarthRadiusM * kDegToRad *
+                             std::cos(origin_lat * kDegToRad)),
+      meters_per_degree_lat_(kEarthRadiusM * kDegToRad) {}
+
+Point Projector::Project(double lon, double lat) const {
+  return {(lon - origin_lon_) * meters_per_degree_lon_,
+          (lat - origin_lat_) * meters_per_degree_lat_};
+}
+
+void Projector::Unproject(const Point& p, double* lon, double* lat) const {
+  *lon = origin_lon_ + p.x / meters_per_degree_lon_;
+  *lat = origin_lat_ + p.y / meters_per_degree_lat_;
+}
+
+}  // namespace mroam::geo

@@ -1,0 +1,35 @@
+#ifndef MROAM_GEO_PROJECTION_H_
+#define MROAM_GEO_PROJECTION_H_
+
+#include "geo/point.h"
+
+namespace mroam::geo {
+
+/// Equirectangular projection of WGS84 lon/lat into planar meters around
+/// a reference point. Accurate to well under 1% over a metro-scale area,
+/// which is all the meet model's 50-200 m thresholds need.
+class Projector {
+ public:
+  /// Creates a projector centered on (origin_lon, origin_lat) degrees;
+  /// that point maps to (0, 0).
+  Projector(double origin_lon, double origin_lat);
+
+  /// Projects (lon, lat) degrees to meters relative to the origin.
+  Point Project(double lon, double lat) const;
+
+  /// Inverse projection: meters back to (lon, lat) degrees.
+  void Unproject(const Point& p, double* lon, double* lat) const;
+
+  double origin_lon() const { return origin_lon_; }
+  double origin_lat() const { return origin_lat_; }
+
+ private:
+  double origin_lon_;
+  double origin_lat_;
+  double meters_per_degree_lon_;
+  double meters_per_degree_lat_;
+};
+
+}  // namespace mroam::geo
+
+#endif  // MROAM_GEO_PROJECTION_H_

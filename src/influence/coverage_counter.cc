@@ -1,0 +1,32 @@
+#include "influence/coverage_counter.h"
+
+#include <algorithm>
+
+namespace mroam::influence {
+
+int64_t CoverageCounter::MarginalGainAfterRemove(model::BillboardId add,
+                                                 model::BillboardId rem) const {
+  // A trajectory t newly reaches the threshold through `add` iff, after
+  // removing `rem`, its count is threshold-1 — i.e. counts_[t] equals
+  // threshold-1 (and rem does not cover t), or threshold (and rem covers
+  // t). Membership in rem's sorted list is tested with a merge pointer.
+  const auto& add_list = index_->CoveredBy(add);
+  const auto& rem_list = index_->CoveredBy(rem);
+  const uint16_t at_gain = threshold_ - 1;
+  int64_t gain = 0;
+  size_t ri = 0;
+  for (model::TrajectoryId t : add_list) {
+    const uint16_t count = counts_[t];
+    if (count != at_gain && count != threshold_) continue;
+    while (ri < rem_list.size() && rem_list[ri] < t) ++ri;
+    const bool rem_covers =
+        ri < rem_list.size() && rem_list[ri] == t;
+    if (static_cast<int>(count) - (rem_covers ? 1 : 0) ==
+        static_cast<int>(at_gain)) {
+      ++gain;
+    }
+  }
+  return gain;
+}
+
+}  // namespace mroam::influence

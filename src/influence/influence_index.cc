@@ -1,0 +1,108 @@
+#include "influence/influence_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "geo/grid_index.h"
+
+namespace mroam::influence {
+
+InfluenceIndex InfluenceIndex::Build(const model::Dataset& dataset,
+                                     double lambda) {
+  MROAM_CHECK(lambda > 0.0);
+  InfluenceIndex index;
+  index.lambda_ = lambda;
+  index.num_trajectories_ =
+      static_cast<int32_t>(dataset.trajectories.size());
+  index.covered_.assign(dataset.billboards.size(), {});
+
+  geo::GridIndex grid(lambda);
+  for (const model::Billboard& b : dataset.billboards) {
+    grid.Insert(b.location, b.id);
+  }
+
+  // For each trajectory point, find billboards within lambda; dedupe per
+  // trajectory before appending so each (o, t) pair is recorded once.
+  std::vector<int32_t> hits;
+  std::vector<model::BillboardId> met;
+  for (const model::Trajectory& t : dataset.trajectories) {
+    met.clear();
+    for (const geo::Point& p : t.points) {
+      hits.clear();
+      grid.QueryRadius(p, lambda, &hits);
+      met.insert(met.end(), hits.begin(), hits.end());
+    }
+    std::sort(met.begin(), met.end());
+    met.erase(std::unique(met.begin(), met.end()), met.end());
+    for (model::BillboardId o : met) {
+      index.covered_[o].push_back(t.id);
+    }
+  }
+
+  // Trajectories are processed in id order, so lists are already sorted.
+  for (const auto& list : index.covered_) {
+    MROAM_DCHECK(std::is_sorted(list.begin(), list.end()));
+    index.total_supply_ += static_cast<int64_t>(list.size());
+  }
+  return index;
+}
+
+InfluenceIndex InfluenceIndex::FromIncidence(
+    std::vector<std::vector<model::TrajectoryId>> covered,
+    int32_t num_trajectories, double lambda) {
+  InfluenceIndex index;
+  index.lambda_ = lambda;
+  index.num_trajectories_ = num_trajectories;
+  index.covered_ = std::move(covered);
+  for (const auto& list : index.covered_) {
+    MROAM_CHECK(std::is_sorted(list.begin(), list.end()));
+    MROAM_CHECK(std::adjacent_find(list.begin(), list.end()) == list.end());
+    if (!list.empty()) {
+      MROAM_CHECK(list.front() >= 0 && list.back() < num_trajectories);
+    }
+    index.total_supply_ += static_cast<int64_t>(list.size());
+  }
+  return index;
+}
+
+int64_t InfluenceIndex::InfluenceOfSet(
+    const std::vector<model::BillboardId>& set) const {
+  std::vector<model::TrajectoryId> all;
+  for (model::BillboardId o : set) {
+    MROAM_CHECK(o >= 0 && o < num_billboards());
+    all.insert(all.end(), covered_[o].begin(), covered_[o].end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return static_cast<int64_t>(all.size());
+}
+
+std::vector<std::vector<model::TrajectoryId>> BruteForceIncidence(
+    const model::Dataset& dataset, double lambda) {
+  std::vector<std::vector<model::TrajectoryId>> covered(
+      dataset.billboards.size());
+  const double r2 = lambda * lambda;
+  for (const model::Billboard& b : dataset.billboards) {
+    for (const model::Trajectory& t : dataset.trajectories) {
+      for (const geo::Point& p : t.points) {
+        if (geo::SquaredDistance(p, b.location) <= r2) {
+          covered[b.id].push_back(t.id);
+          break;
+        }
+      }
+    }
+  }
+  return covered;
+}
+
+void AssignBillboardCosts(model::Dataset* dataset,
+                          const InfluenceIndex& index, common::Rng* rng) {
+  for (model::Billboard& b : dataset->billboards) {
+    double tau = rng->UniformDouble(0.9, 1.1);
+    b.cost = std::floor(tau * static_cast<double>(index.InfluenceOf(b.id)) /
+                        10.0);
+  }
+}
+
+}  // namespace mroam::influence

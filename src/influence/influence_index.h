@@ -1,0 +1,83 @@
+#ifndef MROAM_INFLUENCE_INFLUENCE_INDEX_H_
+#define MROAM_INFLUENCE_INFLUENCE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/dataset.h"
+
+namespace mroam::influence {
+
+/// Precomputed billboard -> trajectory incidence under the paper's meet
+/// model: billboard o influences trajectory t iff some point of t lies
+/// within `lambda` meters of o's location (§7.1.2). Built once per
+/// (dataset, lambda); all algorithms work off these lists.
+///
+/// With incidence lists, the influence of a set S,
+///   I(S) = sum_t [1 - prod_{o in S}(1 - I(o,t))],
+/// reduces to the number of distinct trajectories present in the union of
+/// the lists of S's billboards — which CoverageCounter maintains
+/// incrementally.
+class InfluenceIndex {
+ public:
+  /// An empty index (no billboards, no trajectories). Useful as a member
+  /// default before assignment from Build/FromIncidence.
+  InfluenceIndex() = default;
+
+  /// Builds the incidence lists by radius queries against a uniform grid
+  /// over billboard locations. O(total trajectory points x candidates).
+  static InfluenceIndex Build(const model::Dataset& dataset, double lambda);
+
+  /// Builds an index directly from precomputed incidence lists (used by
+  /// the temporal time-slot extension and by tests). Each list must be
+  /// sorted, duplicate-free, and reference trajectory ids in
+  /// [0, num_trajectories). `lambda` is carried for reporting only.
+  static InfluenceIndex FromIncidence(
+      std::vector<std::vector<model::TrajectoryId>> covered,
+      int32_t num_trajectories, double lambda);
+
+  /// Trajectories influenced by billboard `o`, sorted ascending.
+  const std::vector<model::TrajectoryId>& CoveredBy(
+      model::BillboardId o) const {
+    return covered_[o];
+  }
+
+  /// I({o}) — the number of trajectories billboard `o` influences.
+  int64_t InfluenceOf(model::BillboardId o) const {
+    return static_cast<int64_t>(covered_[o].size());
+  }
+
+  /// The host's supply I* = sum_o I({o}) (§7.1.3).
+  int64_t TotalSupply() const { return total_supply_; }
+
+  int32_t num_billboards() const {
+    return static_cast<int32_t>(covered_.size());
+  }
+  int32_t num_trajectories() const { return num_trajectories_; }
+  double lambda() const { return lambda_; }
+
+  /// Exact I(S) for an arbitrary billboard set, by one-off union counting.
+  /// O(sum |lists|); used by tests and reports, not by solver hot paths.
+  int64_t InfluenceOfSet(const std::vector<model::BillboardId>& set) const;
+
+ private:
+  double lambda_ = 0.0;
+  int32_t num_trajectories_ = 0;
+  int64_t total_supply_ = 0;
+  std::vector<std::vector<model::TrajectoryId>> covered_;
+};
+
+/// Reference implementation of the meet model by exhaustive distance
+/// checks (no spatial index). For tests of InfluenceIndex::Build.
+std::vector<std::vector<model::TrajectoryId>> BruteForceIncidence(
+    const model::Dataset& dataset, double lambda);
+
+/// Sets every billboard's rental cost to floor(tau * I(o) / 10) with
+/// tau ~ U[0.9, 1.1], the model used in the paper (§7.1.2).
+void AssignBillboardCosts(model::Dataset* dataset,
+                          const InfluenceIndex& index, common::Rng* rng);
+
+}  // namespace mroam::influence
+
+#endif  // MROAM_INFLUENCE_INFLUENCE_INDEX_H_

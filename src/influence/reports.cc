@@ -1,0 +1,95 @@
+#include "influence/reports.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "influence/coverage_counter.h"
+
+namespace mroam::influence {
+
+namespace {
+
+/// Billboard ids sorted by influence, descending (ties by id for
+/// determinism).
+std::vector<model::BillboardId> ByInfluenceDescending(
+    const InfluenceIndex& index) {
+  std::vector<model::BillboardId> ids(index.num_billboards());
+  for (int32_t i = 0; i < index.num_billboards(); ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(),
+            [&index](model::BillboardId a, model::BillboardId b) {
+              int64_t ia = index.InfluenceOf(a);
+              int64_t ib = index.InfluenceOf(b);
+              if (ia != ib) return ia > ib;
+              return a < b;
+            });
+  return ids;
+}
+
+}  // namespace
+
+std::vector<double> InfluenceDistribution(const InfluenceIndex& index) {
+  std::vector<model::BillboardId> ids = ByInfluenceDescending(index);
+  if (ids.empty()) return {};
+  double max_influence =
+      static_cast<double>(std::max<int64_t>(1, index.InfluenceOf(ids[0])));
+  std::vector<double> out;
+  out.reserve(ids.size());
+  for (model::BillboardId o : ids) {
+    out.push_back(static_cast<double>(index.InfluenceOf(o)) / max_influence);
+  }
+  return out;
+}
+
+std::vector<double> ImpressionCurve(const InfluenceIndex& index,
+                                    const std::vector<double>& percents) {
+  std::vector<model::BillboardId> ids = ByInfluenceDescending(index);
+  CoverageCounter counter(&index);
+  std::vector<double> out;
+  out.reserve(percents.size());
+  size_t added = 0;
+  const double total =
+      std::max(1.0, static_cast<double>(index.num_trajectories()));
+  for (double pct : percents) {
+    MROAM_CHECK(pct >= 0.0 && pct <= 100.0);
+    size_t want = static_cast<size_t>(
+        std::llround(pct / 100.0 * static_cast<double>(ids.size())));
+    while (added < want && added < ids.size()) {
+      counter.Add(ids[added]);
+      ++added;
+    }
+    out.push_back(static_cast<double>(counter.influence()) / total);
+  }
+  return out;
+}
+
+InfluenceSummary SummarizeInfluence(const InfluenceIndex& index) {
+  InfluenceSummary s;
+  const int32_t n = index.num_billboards();
+  if (n == 0) return s;
+  std::vector<model::BillboardId> ids = ByInfluenceDescending(index);
+  int64_t supply = index.TotalSupply();
+  s.max = index.InfluenceOf(ids[0]);
+  s.mean = static_cast<double>(supply) / static_cast<double>(n);
+
+  int64_t top_decile_supply = 0;
+  int32_t decile = std::max(1, n / 10);
+  for (int32_t i = 0; i < decile; ++i) {
+    top_decile_supply += index.InfluenceOf(ids[i]);
+  }
+  s.top_decile_share = supply > 0 ? static_cast<double>(top_decile_supply) /
+                                        static_cast<double>(supply)
+                                  : 0.0;
+
+  CoverageCounter counter(&index);
+  int32_t half = std::max(1, n / 2);
+  for (int32_t i = 0; i < half; ++i) counter.Add(ids[i]);
+  s.coverage_ratio_top_half =
+      index.num_trajectories() > 0
+          ? static_cast<double>(counter.influence()) /
+                static_cast<double>(index.num_trajectories())
+          : 0.0;
+  return s;
+}
+
+}  // namespace mroam::influence

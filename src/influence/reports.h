@@ -1,0 +1,34 @@
+#ifndef MROAM_INFLUENCE_REPORTS_H_
+#define MROAM_INFLUENCE_REPORTS_H_
+
+#include <vector>
+
+#include "influence/influence_index.h"
+
+namespace mroam::influence {
+
+/// Figure 1a series: billboard influences sorted descending, normalized by
+/// the maximum influence. Empty if the dataset has no billboards.
+std::vector<double> InfluenceDistribution(const InfluenceIndex& index);
+
+/// Figure 1b series: for each requested percentage (0..100] of top
+/// billboards (by influence, descending), the impression count — i.e. the
+/// fraction of all trajectories covered by at least one selected billboard.
+std::vector<double> ImpressionCurve(const InfluenceIndex& index,
+                                    const std::vector<double>& percents);
+
+/// Summary statistics of the per-billboard influence distribution, used by
+/// generator calibration tests: mean, max, and the share of total supply
+/// held by the top decile of billboards.
+struct InfluenceSummary {
+  double mean = 0.0;
+  int64_t max = 0;
+  double top_decile_share = 0.0;  ///< supply share of the top 10% boards
+  double coverage_ratio_top_half = 0.0;  ///< distinct coverage of top 50% / |T|
+};
+
+InfluenceSummary SummarizeInfluence(const InfluenceIndex& index);
+
+}  // namespace mroam::influence
+
+#endif  // MROAM_INFLUENCE_REPORTS_H_

@@ -1,0 +1,153 @@
+#include "io/dataset_io.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace mroam::io {
+
+using common::CsvRow;
+using common::ParseDouble;
+using common::ParseInt64;
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Checks that parsed ids form a dense 0..n-1 permutation and sorts
+/// `items` by id so that position == id.
+template <typename T>
+Status DensifyByIds(std::vector<T>* items, const char* what) {
+  std::sort(items->begin(), items->end(),
+            [](const T& a, const T& b) { return a.id < b.id; });
+  for (size_t i = 0; i < items->size(); ++i) {
+    if ((*items)[i].id != static_cast<int32_t>(i)) {
+      return Status::DataLoss(std::string(what) + " ids are not dense: " +
+                              "expected " + std::to_string(i) + ", found " +
+                              std::to_string((*items)[i].id));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<geo::Point>> ParsePointList(std::string_view packed) {
+  std::vector<geo::Point> points;
+  for (std::string_view pair : common::Split(packed, ';')) {
+    pair = common::StripWhitespace(pair);
+    if (pair.empty()) continue;
+    size_t space = pair.find(' ');
+    if (space == std::string_view::npos) {
+      return Status::DataLoss("point entry missing space separator: '" +
+                              std::string(pair) + "'");
+    }
+    MROAM_ASSIGN_OR_RETURN(double x, ParseDouble(pair.substr(0, space)));
+    MROAM_ASSIGN_OR_RETURN(double y, ParseDouble(pair.substr(space + 1)));
+    points.push_back(geo::Point{x, y});
+  }
+  if (points.empty()) {
+    return Status::DataLoss("trajectory has no points");
+  }
+  return points;
+}
+
+std::string PackPointList(const std::vector<geo::Point>& points) {
+  std::string out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) out.push_back(';');
+    out += common::FormatDouble(points[i].x, 2);
+    out.push_back(' ');
+    out += common::FormatDouble(points[i].y, 2);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<model::Billboard>> LoadBillboardsCsv(
+    const std::string& path) {
+  MROAM_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                         common::ReadCsvFile(path, /*expected_columns=*/3));
+  std::vector<model::Billboard> billboards;
+  billboards.reserve(rows.size());
+  for (const CsvRow& row : rows) {
+    model::Billboard b;
+    MROAM_ASSIGN_OR_RETURN(int64_t id, ParseInt64(row[0]));
+    MROAM_ASSIGN_OR_RETURN(b.location.x, ParseDouble(row[1]));
+    MROAM_ASSIGN_OR_RETURN(b.location.y, ParseDouble(row[2]));
+    b.id = static_cast<model::BillboardId>(id);
+    billboards.push_back(b);
+  }
+  MROAM_RETURN_IF_ERROR(DensifyByIds(&billboards, "billboard"));
+  return billboards;
+}
+
+Status SaveBillboardsCsv(const std::string& path,
+                         const std::vector<model::Billboard>& bbs) {
+  std::vector<CsvRow> rows;
+  rows.reserve(bbs.size() + 1);
+  rows.push_back({"# id", "x", "y"});
+  for (const model::Billboard& b : bbs) {
+    rows.push_back({std::to_string(b.id), common::FormatDouble(b.location.x, 2),
+                    common::FormatDouble(b.location.y, 2)});
+  }
+  return common::WriteCsvFile(path, rows);
+}
+
+Result<std::vector<model::Trajectory>> LoadTrajectoriesCsv(
+    const std::string& path) {
+  MROAM_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                         common::ReadCsvFile(path, /*expected_columns=*/4));
+  std::vector<model::Trajectory> trajectories;
+  trajectories.reserve(rows.size());
+  for (const CsvRow& row : rows) {
+    model::Trajectory t;
+    MROAM_ASSIGN_OR_RETURN(int64_t id, ParseInt64(row[0]));
+    MROAM_ASSIGN_OR_RETURN(t.start_time_seconds, ParseDouble(row[1]));
+    MROAM_ASSIGN_OR_RETURN(t.travel_time_seconds, ParseDouble(row[2]));
+    MROAM_ASSIGN_OR_RETURN(t.points, ParsePointList(row[3]));
+    t.id = static_cast<model::TrajectoryId>(id);
+    trajectories.push_back(std::move(t));
+  }
+  MROAM_RETURN_IF_ERROR(DensifyByIds(&trajectories, "trajectory"));
+  return trajectories;
+}
+
+Status SaveTrajectoriesCsv(const std::string& path,
+                           const std::vector<model::Trajectory>& ts) {
+  std::vector<CsvRow> rows;
+  rows.reserve(ts.size() + 1);
+  rows.push_back({"# id", "start_time_seconds", "travel_time_seconds",
+                  "points (x y;x y;...)"});
+  for (const model::Trajectory& t : ts) {
+    rows.push_back({std::to_string(t.id),
+                    common::FormatDouble(t.start_time_seconds, 1),
+                    common::FormatDouble(t.travel_time_seconds, 1),
+                    PackPointList(t.points)});
+  }
+  return common::WriteCsvFile(path, rows);
+}
+
+Result<model::Dataset> LoadDataset(const std::string& dir,
+                                   const std::string& name) {
+  model::Dataset dataset;
+  dataset.name = name;
+  MROAM_ASSIGN_OR_RETURN(dataset.billboards,
+                         LoadBillboardsCsv(dir + "/billboards.csv"));
+  MROAM_ASSIGN_OR_RETURN(dataset.trajectories,
+                         LoadTrajectoriesCsv(dir + "/trajectories.csv"));
+  std::string problem = model::ValidateDataset(dataset);
+  if (!problem.empty()) {
+    return Status::DataLoss("dataset in " + dir + " invalid: " + problem);
+  }
+  return dataset;
+}
+
+Status SaveDataset(const std::string& dir, const model::Dataset& dataset) {
+  MROAM_RETURN_IF_ERROR(
+      SaveBillboardsCsv(dir + "/billboards.csv", dataset.billboards));
+  return SaveTrajectoriesCsv(dir + "/trajectories.csv",
+                             dataset.trajectories);
+}
+
+}  // namespace mroam::io

@@ -1,0 +1,41 @@
+#ifndef MROAM_IO_DATASET_IO_H_
+#define MROAM_IO_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace mroam::io {
+
+/// Billboard CSV format (3 columns): id,x,y. Lines starting with '#' are
+/// comments. Ids must be dense 0..n-1 but may appear in any order.
+common::Result<std::vector<model::Billboard>> LoadBillboardsCsv(
+    const std::string& path);
+
+/// Saves billboards in the format accepted by LoadBillboardsCsv.
+common::Status SaveBillboardsCsv(const std::string& path,
+                                 const std::vector<model::Billboard>& bbs);
+
+/// Trajectory CSV format (4 columns):
+/// id,start_time_seconds,travel_time_seconds,points where points is
+/// "x1 y1;x2 y2;...". Ids must be dense 0..n-1.
+common::Result<std::vector<model::Trajectory>> LoadTrajectoriesCsv(
+    const std::string& path);
+
+/// Saves trajectories in the format accepted by LoadTrajectoriesCsv.
+common::Status SaveTrajectoriesCsv(const std::string& path,
+                                   const std::vector<model::Trajectory>& ts);
+
+/// Loads a full dataset from `<dir>/billboards.csv` + `<dir>/trajectories.csv`.
+common::Result<model::Dataset> LoadDataset(const std::string& dir,
+                                           const std::string& name);
+
+/// Saves a full dataset into `<dir>` (which must already exist).
+common::Status SaveDataset(const std::string& dir,
+                           const model::Dataset& dataset);
+
+}  // namespace mroam::io
+
+#endif  // MROAM_IO_DATASET_IO_H_

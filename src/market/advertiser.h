@@ -1,0 +1,30 @@
+#ifndef MROAM_MARKET_ADVERTISER_H_
+#define MROAM_MARKET_ADVERTISER_H_
+
+#include <cstdint>
+
+namespace mroam::market {
+
+/// Dense identifier of an advertiser within a workload.
+using AdvertiserId = int32_t;
+
+/// Sentinel for "no advertiser" (e.g. an unassigned billboard's owner).
+inline constexpr AdvertiserId kNoAdvertiser = -1;
+
+/// One advertiser's campaign proposal (§3.1): a minimum demanded influence
+/// I_i and the payment L_i committed if the demand is met.
+struct Advertiser {
+  AdvertiserId id = kNoAdvertiser;
+  int64_t demand = 0;    ///< demanded influence I_i (> 0)
+  double payment = 0.0;  ///< committed payment L_i (> 0)
+
+  /// Budget-effectiveness L_i / I_i — the ordering key of Algorithm 1 and
+  /// the release rule of Algorithm 2.
+  double BudgetEffectiveness() const {
+    return demand > 0 ? payment / static_cast<double>(demand) : 0.0;
+  }
+};
+
+}  // namespace mroam::market
+
+#endif  // MROAM_MARKET_ADVERTISER_H_

@@ -1,0 +1,61 @@
+#include "market/contract_io.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace mroam::market {
+
+using common::CsvRow;
+using common::Result;
+using common::Status;
+
+Result<std::vector<Advertiser>> LoadAdvertisersCsv(const std::string& path) {
+  MROAM_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                         common::ReadCsvFile(path, /*expected_columns=*/3));
+  std::vector<Advertiser> advertisers;
+  advertisers.reserve(rows.size());
+  for (const CsvRow& row : rows) {
+    Advertiser a;
+    MROAM_ASSIGN_OR_RETURN(int64_t id, common::ParseInt64(row[0]));
+    MROAM_ASSIGN_OR_RETURN(a.demand, common::ParseInt64(row[1]));
+    MROAM_ASSIGN_OR_RETURN(a.payment, common::ParseDouble(row[2]));
+    a.id = static_cast<AdvertiserId>(id);
+    if (a.demand <= 0) {
+      return Status::DataLoss("advertiser " + std::to_string(id) +
+                              " has non-positive demand");
+    }
+    if (a.payment <= 0.0) {
+      return Status::DataLoss("advertiser " + std::to_string(id) +
+                              " has non-positive payment");
+    }
+    advertisers.push_back(a);
+  }
+  std::sort(advertisers.begin(), advertisers.end(),
+            [](const Advertiser& a, const Advertiser& b) {
+              return a.id < b.id;
+            });
+  for (size_t i = 0; i < advertisers.size(); ++i) {
+    if (advertisers[i].id != static_cast<AdvertiserId>(i)) {
+      return Status::DataLoss("advertiser ids are not dense: expected " +
+                              std::to_string(i) + ", found " +
+                              std::to_string(advertisers[i].id));
+    }
+  }
+  return advertisers;
+}
+
+Status SaveAdvertisersCsv(const std::string& path,
+                          const std::vector<Advertiser>& advertisers) {
+  std::vector<CsvRow> rows;
+  rows.reserve(advertisers.size() + 1);
+  rows.push_back({"# id", "demand", "payment"});
+  for (const Advertiser& a : advertisers) {
+    rows.push_back({std::to_string(a.id), std::to_string(a.demand),
+                    common::FormatDouble(a.payment, 2)});
+  }
+  return common::WriteCsvFile(path, rows);
+}
+
+}  // namespace mroam::market

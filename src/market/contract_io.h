@@ -1,0 +1,24 @@
+#ifndef MROAM_MARKET_CONTRACT_IO_H_
+#define MROAM_MARKET_CONTRACT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "market/advertiser.h"
+
+namespace mroam::market {
+
+/// Advertiser-contract CSV format (3 columns): id,demand,payment. Ids
+/// must be dense 0..n-1 but may appear in any order. Lines starting with
+/// '#' are comments. Demands and payments must be positive.
+common::Result<std::vector<Advertiser>> LoadAdvertisersCsv(
+    const std::string& path);
+
+/// Saves contracts in the format accepted by LoadAdvertisersCsv.
+common::Status SaveAdvertisersCsv(const std::string& path,
+                                  const std::vector<Advertiser>& advertisers);
+
+}  // namespace mroam::market
+
+#endif  // MROAM_MARKET_CONTRACT_IO_H_

@@ -1,0 +1,71 @@
+#include "market/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mroam::market {
+
+using common::Result;
+using common::Status;
+
+int32_t NumAdvertisers(const WorkloadConfig& config) {
+  if (config.avg_individual_demand_ratio <= 0.0) return 1;
+  return std::max(
+      1, static_cast<int32_t>(
+             std::llround(config.alpha / config.avg_individual_demand_ratio)));
+}
+
+Result<std::vector<Advertiser>> GenerateAdvertisers(
+    int64_t supply, const WorkloadConfig& config, common::Rng* rng) {
+  if (supply <= 0) {
+    return Status::InvalidArgument("supply must be positive, got " +
+                                   std::to_string(supply));
+  }
+  if (config.alpha <= 0.0) {
+    return Status::InvalidArgument("alpha must be positive");
+  }
+  if (config.avg_individual_demand_ratio <= 0.0 ||
+      config.avg_individual_demand_ratio > 1.0) {
+    return Status::InvalidArgument(
+        "avg_individual_demand_ratio must be in (0, 1]");
+  }
+  if (config.omega_min > config.omega_max || config.omega_min <= 0.0) {
+    return Status::InvalidArgument("invalid omega range");
+  }
+  if (config.epsilon_min > config.epsilon_max || config.epsilon_min <= 0.0) {
+    return Status::InvalidArgument("invalid epsilon range");
+  }
+
+  const int32_t count = NumAdvertisers(config);
+  const double base_demand = static_cast<double>(supply) *
+                             config.avg_individual_demand_ratio;
+  std::vector<Advertiser> advertisers;
+  advertisers.reserve(count);
+  for (int32_t i = 0; i < count; ++i) {
+    Advertiser a;
+    a.id = i;
+    double omega = rng->UniformDouble(config.omega_min, config.omega_max);
+    a.demand = std::max<int64_t>(
+        1, static_cast<int64_t>(std::floor(omega * base_demand)));
+    double epsilon =
+        rng->UniformDouble(config.epsilon_min, config.epsilon_max);
+    a.payment = std::max(
+        1.0, std::floor(epsilon * static_cast<double>(a.demand)));
+    advertisers.push_back(a);
+  }
+  return advertisers;
+}
+
+int64_t GlobalDemand(const std::vector<Advertiser>& advertisers) {
+  int64_t total = 0;
+  for (const Advertiser& a : advertisers) total += a.demand;
+  return total;
+}
+
+double TotalPayment(const std::vector<Advertiser>& advertisers) {
+  double total = 0.0;
+  for (const Advertiser& a : advertisers) total += a.payment;
+  return total;
+}
+
+}  // namespace mroam::market

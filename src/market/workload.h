@@ -1,0 +1,48 @@
+#ifndef MROAM_MARKET_WORKLOAD_H_
+#define MROAM_MARKET_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "market/advertiser.h"
+
+namespace mroam::market {
+
+/// Parameters of the paper's workload setup (§7.1.3, Table 6).
+///
+/// The number of advertisers is derived: |A| = round(alpha / p); each
+/// advertiser's demand is I_i = floor(omega * I* * p) with
+/// omega ~ U[omega_min, omega_max], and payment L_i = floor(epsilon * I_i)
+/// with epsilon ~ U[epsilon_min, epsilon_max].
+struct WorkloadConfig {
+  /// Demand-supply ratio alpha = I^A / I*. Paper grid: 0.4..1.2,
+  /// default 1.0.
+  double alpha = 1.0;
+  /// Average-individual demand ratio p = (I^A/|A|) / I*. Paper grid:
+  /// 0.01..0.20, default 0.05.
+  double avg_individual_demand_ratio = 0.05;
+  double omega_min = 0.8;    ///< demand fluctuation (paper: U[0.8, 1.2])
+  double omega_max = 1.2;
+  double epsilon_min = 0.9;  ///< payment fluctuation (paper: U[0.9, 1.1])
+  double epsilon_max = 1.1;
+};
+
+/// Derived advertiser count |A| = round(alpha / p); at least 1.
+int32_t NumAdvertisers(const WorkloadConfig& config);
+
+/// Generates the advertiser set for a host whose supply is I* = `supply`.
+/// Fails on non-positive supply or out-of-range config values. Every
+/// generated demand is at least 1.
+common::Result<std::vector<Advertiser>> GenerateAdvertisers(
+    int64_t supply, const WorkloadConfig& config, common::Rng* rng);
+
+/// Sum of demands, i.e. the realized global demand I^A.
+int64_t GlobalDemand(const std::vector<Advertiser>& advertisers);
+
+/// Sum of payments (the revenue ceiling; also sum_i [R(S_i) + R'(S_i)]).
+double TotalPayment(const std::vector<Advertiser>& advertisers);
+
+}  // namespace mroam::market
+
+#endif  // MROAM_MARKET_WORKLOAD_H_

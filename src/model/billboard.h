@@ -1,0 +1,30 @@
+#ifndef MROAM_MODEL_BILLBOARD_H_
+#define MROAM_MODEL_BILLBOARD_H_
+
+#include <cstdint>
+
+#include "geo/point.h"
+
+namespace mroam::model {
+
+/// Dense identifier of a billboard within a BillboardDatabase.
+using BillboardId = int32_t;
+
+/// Sentinel for "no billboard".
+inline constexpr BillboardId kInvalidBillboard = -1;
+
+/// A billboard owned by the host. Digital billboards with multiple time
+/// slots are modeled as multiple Billboard records sharing a location
+/// (paper §3.2 Discussion).
+struct Billboard {
+  BillboardId id = kInvalidBillboard;
+  geo::Point location;
+  /// Rental cost o.w = floor(tau * I(o) / 10). The cost does not enter the
+  /// regret objective (paper §3.2); it is kept because operators budget
+  /// with it. Filled by the influence stage once I(o) is known.
+  double cost = 0.0;
+};
+
+}  // namespace mroam::model
+
+#endif  // MROAM_MODEL_BILLBOARD_H_

@@ -1,0 +1,73 @@
+#include "model/dataset.h"
+
+#include "common/logging.h"
+#include "geo/polyline.h"
+
+namespace mroam::model {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.num_billboards = dataset.billboards.size();
+  stats.num_trajectories = dataset.trajectories.size();
+  if (dataset.trajectories.empty()) return stats;
+
+  double total_length_m = 0.0;
+  double total_time_s = 0.0;
+  double total_points = 0.0;
+  for (const Trajectory& t : dataset.trajectories) {
+    total_length_m += geo::PolylineLength(t.points);
+    total_time_s += t.travel_time_seconds;
+    total_points += static_cast<double>(t.points.size());
+  }
+  double n = static_cast<double>(dataset.trajectories.size());
+  stats.avg_distance_km = total_length_m / n / 1000.0;
+  stats.avg_travel_time_sec = total_time_s / n;
+  stats.avg_points_per_trajectory = total_points / n;
+  return stats;
+}
+
+void ReindexDataset(Dataset* dataset) {
+  for (size_t i = 0; i < dataset->billboards.size(); ++i) {
+    dataset->billboards[i].id = static_cast<BillboardId>(i);
+  }
+  for (size_t i = 0; i < dataset->trajectories.size(); ++i) {
+    dataset->trajectories[i].id = static_cast<TrajectoryId>(i);
+  }
+}
+
+void ExpandDigitalBillboards(Dataset* dataset, int32_t slots_per_billboard) {
+  MROAM_CHECK(slots_per_billboard >= 1);
+  if (slots_per_billboard == 1) return;
+  std::vector<Billboard> expanded;
+  expanded.reserve(dataset->billboards.size() * slots_per_billboard);
+  for (const Billboard& original : dataset->billboards) {
+    for (int32_t slot = 0; slot < slots_per_billboard; ++slot) {
+      Billboard b = original;
+      b.id = static_cast<BillboardId>(expanded.size());
+      expanded.push_back(b);
+    }
+  }
+  dataset->billboards = std::move(expanded);
+}
+
+std::string ValidateDataset(const Dataset& dataset) {
+  for (size_t i = 0; i < dataset.billboards.size(); ++i) {
+    if (dataset.billboards[i].id != static_cast<BillboardId>(i)) {
+      return "billboard at position " + std::to_string(i) +
+             " has non-dense id " + std::to_string(dataset.billboards[i].id);
+    }
+  }
+  for (size_t i = 0; i < dataset.trajectories.size(); ++i) {
+    const Trajectory& t = dataset.trajectories[i];
+    if (t.id != static_cast<TrajectoryId>(i)) {
+      return "trajectory at position " + std::to_string(i) +
+             " has non-dense id " + std::to_string(t.id);
+    }
+    if (t.points.empty()) {
+      return "trajectory " + std::to_string(i) + " has no points";
+    }
+  }
+  return "";
+}
+
+}  // namespace mroam::model

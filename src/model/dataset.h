@@ -1,0 +1,49 @@
+#ifndef MROAM_MODEL_DATASET_H_
+#define MROAM_MODEL_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "model/billboard.h"
+#include "model/trajectory.h"
+
+namespace mroam::model {
+
+/// An in-memory billboard + trajectory dataset (the paper's U and T).
+struct Dataset {
+  std::string name;  ///< e.g. "NYC-like", "SG-like"
+  std::vector<Billboard> billboards;
+  std::vector<Trajectory> trajectories;
+};
+
+/// Aggregate statistics in the shape of the paper's Table 5.
+struct DatasetStats {
+  size_t num_trajectories = 0;
+  size_t num_billboards = 0;
+  double avg_distance_km = 0.0;      ///< mean trajectory length
+  double avg_travel_time_sec = 0.0;  ///< mean trajectory travel time
+  double avg_points_per_trajectory = 0.0;
+};
+
+/// Computes Table 5-style statistics over `dataset`.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Reassigns dense, position-matching ids (billboards[i].id = i etc.).
+/// Call after constructing a Dataset by hand or after filtering.
+void ReindexDataset(Dataset* dataset);
+
+/// Validates internal consistency: ids are dense and position-matching,
+/// every trajectory has at least one point. Returns a message for the
+/// first violation found, or an empty string if valid.
+std::string ValidateDataset(const Dataset& dataset);
+
+/// Models digital billboards (paper §3.2): each physical billboard is
+/// replaced by `slots_per_billboard` co-located billboards, one per time
+/// slot, each independently assignable to an advertiser. Requires
+/// slots_per_billboard >= 1 (1 is a no-op). Ids are re-densified; slot k
+/// of original billboard i becomes billboard i * slots_per_billboard + k.
+void ExpandDigitalBillboards(Dataset* dataset, int32_t slots_per_billboard);
+
+}  // namespace mroam::model
+
+#endif  // MROAM_MODEL_DATASET_H_

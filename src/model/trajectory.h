@@ -1,0 +1,32 @@
+#ifndef MROAM_MODEL_TRAJECTORY_H_
+#define MROAM_MODEL_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace mroam::model {
+
+/// Dense identifier of a trajectory within a TrajectoryDatabase.
+using TrajectoryId = int32_t;
+
+/// Sentinel for "no trajectory".
+inline constexpr TrajectoryId kInvalidTrajectory = -1;
+
+/// One audience movement: an ordered sequence of observed points plus
+/// timing. Travel time feeds dataset statistics (Table 5); the start time
+/// (seconds since midnight) is used by the temporal time-slot extension
+/// (digital billboards, paper §3.2) and is 0 when unknown.
+struct Trajectory {
+  TrajectoryId id = kInvalidTrajectory;
+  std::vector<geo::Point> points;
+  /// Departure time in seconds since midnight (0 when unknown).
+  double start_time_seconds = 0.0;
+  /// End-to-end travel time in seconds (0 when unknown).
+  double travel_time_seconds = 0.0;
+};
+
+}  // namespace mroam::model
+
+#endif  // MROAM_MODEL_TRAJECTORY_H_

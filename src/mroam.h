@@ -1,0 +1,26 @@
+#ifndef MROAM_MROAM_H_
+#define MROAM_MROAM_H_
+
+/// Umbrella header for the mroam library: everything a typical user needs
+/// to generate (or load) a city, build the influence index, define a
+/// market, and solve MROAM. Individual headers remain available for
+/// finer-grained includes.
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/daily_market.h"
+#include "core/exact.h"
+#include "core/solver.h"
+#include "eval/experiment.h"
+#include "eval/svg_export.h"
+#include "gen/city_generators.h"
+#include "influence/influence_index.h"
+#include "influence/reports.h"
+#include "io/dataset_io.h"
+#include "market/contract_io.h"
+#include "market/workload.h"
+#include "model/dataset.h"
+#include "prep/raw_ingest.h"
+#include "temporal/time_slots.h"
+
+#endif  // MROAM_MROAM_H_

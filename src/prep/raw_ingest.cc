@@ -1,0 +1,144 @@
+#include "prep/raw_ingest.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace mroam::prep {
+
+using common::CsvRow;
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Fetches and parses column `col` of `row` as a double.
+Result<double> Field(const CsvRow& row, int32_t col) {
+  if (col < 0 || static_cast<size_t>(col) >= row.size()) {
+    return Status::DataLoss("column " + std::to_string(col) +
+                            " out of range (row has " +
+                            std::to_string(row.size()) + " fields)");
+  }
+  return common::ParseDouble(row[col]);
+}
+
+bool InBounds(const IngestConfig& config, double lon, double lat) {
+  return lon >= config.min_lon && lon <= config.max_lon &&
+         lat >= config.min_lat && lat <= config.max_lat;
+}
+
+}  // namespace
+
+Result<std::vector<model::Trajectory>> IngestTrips(
+    const std::string& path, const TripColumns& columns,
+    const IngestConfig& config, const geo::Projector& projector,
+    IngestStats* stats) {
+  MROAM_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                         common::ReadCsvFile(path));
+  IngestStats local;
+  std::vector<model::Trajectory> trips;
+  trips.reserve(rows.size());
+  for (const CsvRow& row : rows) {
+    ++local.rows_read;
+    auto plon = Field(row, columns.pickup_lon);
+    auto plat = Field(row, columns.pickup_lat);
+    auto dlon = Field(row, columns.dropoff_lon);
+    auto dlat = Field(row, columns.dropoff_lat);
+    if (!plon.ok() || !plat.ok() || !dlon.ok() || !dlat.ok()) {
+      if (!config.skip_bad_rows) {
+        return Status::DataLoss(path + ": unparseable trip row " +
+                                std::to_string(local.rows_read));
+      }
+      ++local.dropped_parse;
+      continue;
+    }
+    if (!InBounds(config, *plon, *plat) || !InBounds(config, *dlon, *dlat)) {
+      ++local.dropped_bounds;
+      continue;
+    }
+    geo::Point pickup = projector.Project(*plon, *plat);
+    geo::Point dropoff = projector.Project(*dlon, *dlat);
+    double length = geo::Distance(pickup, dropoff);
+    if (length < config.min_trip_m || length > config.max_trip_m) {
+      ++local.dropped_length;
+      continue;
+    }
+
+    model::Trajectory t;
+    t.id = static_cast<model::TrajectoryId>(trips.size());
+    t.points = {pickup, dropoff};
+    double duration = 0.0;
+    if (columns.duration_seconds >= 0) {
+      auto parsed = Field(row, columns.duration_seconds);
+      if (parsed.ok()) duration = *parsed;
+    }
+    if (duration <= 0.0) {
+      duration = length / config.assumed_speed_mps;
+    }
+    t.travel_time_seconds = duration;
+    trips.push_back(std::move(t));
+    ++local.rows_kept;
+  }
+  if (stats != nullptr) *stats = local;
+  return trips;
+}
+
+Result<std::vector<model::Billboard>> IngestBillboards(
+    const std::string& path, const BillboardColumns& columns,
+    const IngestConfig& config, const geo::Projector& projector,
+    IngestStats* stats) {
+  MROAM_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                         common::ReadCsvFile(path));
+  IngestStats local;
+  std::vector<model::Billboard> billboards;
+  billboards.reserve(rows.size());
+  for (const CsvRow& row : rows) {
+    ++local.rows_read;
+    auto lon = Field(row, columns.lon);
+    auto lat = Field(row, columns.lat);
+    if (!lon.ok() || !lat.ok()) {
+      if (!config.skip_bad_rows) {
+        return Status::DataLoss(path + ": unparseable billboard row " +
+                                std::to_string(local.rows_read));
+      }
+      ++local.dropped_parse;
+      continue;
+    }
+    if (!InBounds(config, *lon, *lat)) {
+      ++local.dropped_bounds;
+      continue;
+    }
+    model::Billboard b;
+    b.id = static_cast<model::BillboardId>(billboards.size());
+    b.location = projector.Project(*lon, *lat);
+    billboards.push_back(b);
+    ++local.rows_kept;
+  }
+  if (stats != nullptr) *stats = local;
+  return billboards;
+}
+
+Result<model::Dataset> IngestDataset(
+    const std::string& trips_path, const TripColumns& trip_columns,
+    const std::string& billboards_path,
+    const BillboardColumns& billboard_columns, const IngestConfig& config,
+    const geo::Projector& projector, const std::string& name) {
+  model::Dataset dataset;
+  dataset.name = name;
+  MROAM_ASSIGN_OR_RETURN(
+      dataset.trajectories,
+      IngestTrips(trips_path, trip_columns, config, projector));
+  MROAM_ASSIGN_OR_RETURN(
+      dataset.billboards,
+      IngestBillboards(billboards_path, billboard_columns, config,
+                       projector));
+  model::ReindexDataset(&dataset);
+  std::string problem = model::ValidateDataset(dataset);
+  if (!problem.empty()) {
+    return Status::Internal("ingested dataset invalid: " + problem);
+  }
+  return dataset;
+}
+
+}  // namespace mroam::prep

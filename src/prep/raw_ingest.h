@@ -1,0 +1,82 @@
+#ifndef MROAM_PREP_RAW_INGEST_H_
+#define MROAM_PREP_RAW_INGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/projection.h"
+#include "model/dataset.h"
+
+namespace mroam::prep {
+
+/// Column mapping for a raw trip CSV (0-based indices). Defaults match
+/// the classic TLC yellow-cab schema slice (pickup/dropoff lon/lat plus a
+/// trip-duration column); point it at whatever layout your export has.
+struct TripColumns {
+  int32_t pickup_lon = 0;
+  int32_t pickup_lat = 1;
+  int32_t dropoff_lon = 2;
+  int32_t dropoff_lat = 3;
+  /// Trip duration in seconds; -1 if the file has none (durations are
+  /// then estimated from straight-line distance at `assumed_speed_mps`).
+  int32_t duration_seconds = 4;
+};
+
+/// Column mapping for a raw billboard CSV (0-based indices).
+struct BillboardColumns {
+  int32_t lon = 0;
+  int32_t lat = 1;
+};
+
+/// Cleaning rules applied while ingesting raw trips.
+struct IngestConfig {
+  /// Geographic crop in degrees; rows with any endpoint outside are
+  /// dropped. Defaults accept everything.
+  double min_lon = -180.0, max_lon = 180.0;
+  double min_lat = -90.0, max_lat = 90.0;
+  /// Trip-length sanity band (straight-line meters).
+  double min_trip_m = 100.0;
+  double max_trip_m = 100000.0;
+  /// Used when duration_seconds is absent or non-positive.
+  double assumed_speed_mps = 5.0;
+  /// Rows that fail to parse are dropped (true, the default) or abort the
+  /// ingest with DataLoss (false) — use false for curated inputs.
+  bool skip_bad_rows = true;
+};
+
+/// Ingest accounting: how many raw rows ended up where.
+struct IngestStats {
+  int64_t rows_read = 0;
+  int64_t rows_kept = 0;
+  int64_t dropped_parse = 0;
+  int64_t dropped_bounds = 0;
+  int64_t dropped_length = 0;
+};
+
+/// Reads a raw trip CSV, cleans it per `config`, and projects endpoints
+/// into planar meters with `projector`. Each kept row becomes an OD-pair
+/// trajectory. `stats` (optional) receives the accounting.
+common::Result<std::vector<model::Trajectory>> IngestTrips(
+    const std::string& path, const TripColumns& columns,
+    const IngestConfig& config, const geo::Projector& projector,
+    IngestStats* stats = nullptr);
+
+/// Reads a raw billboard CSV and projects locations into planar meters.
+/// Rows outside the config's lon/lat crop are dropped.
+common::Result<std::vector<model::Billboard>> IngestBillboards(
+    const std::string& path, const BillboardColumns& columns,
+    const IngestConfig& config, const geo::Projector& projector,
+    IngestStats* stats = nullptr);
+
+/// Convenience: ingest trips + billboards into a ready-to-index Dataset
+/// (ids densified, dataset validated).
+common::Result<model::Dataset> IngestDataset(
+    const std::string& trips_path, const TripColumns& trip_columns,
+    const std::string& billboards_path,
+    const BillboardColumns& billboard_columns, const IngestConfig& config,
+    const geo::Projector& projector, const std::string& name);
+
+}  // namespace mroam::prep
+
+#endif  // MROAM_PREP_RAW_INGEST_H_

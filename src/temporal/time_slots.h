@@ -1,0 +1,65 @@
+#ifndef MROAM_TEMPORAL_TIME_SLOTS_H_
+#define MROAM_TEMPORAL_TIME_SLOTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "influence/influence_index.h"
+#include "model/dataset.h"
+
+namespace mroam::temporal {
+
+/// A daily time window [begin_seconds, end_seconds) since midnight.
+struct TimeWindow {
+  double begin_seconds = 0.0;
+  double end_seconds = 86400.0;
+
+  /// True when an audience active over [start, start+duration] can see a
+  /// billboard lit during this window (interval overlap, half-open).
+  bool Overlaps(double start_seconds, double duration_seconds) const {
+    return start_seconds < end_seconds &&
+           start_seconds + duration_seconds >= begin_seconds;
+  }
+};
+
+/// One sellable slot of a digital billboard: the physical billboard plus
+/// the daily window during which it displays the ad.
+struct Slot {
+  model::BillboardId base_billboard = model::kInvalidBillboard;
+  int32_t slot_index = 0;  ///< 0-based within the day
+  TimeWindow window;
+};
+
+/// Configuration of the temporal expansion.
+struct TemporalConfig {
+  /// Number of equal-length daily windows every billboard is split into.
+  /// 1 reproduces the static model exactly.
+  int32_t slots_per_day = 4;
+  double day_length_seconds = 86400.0;
+  /// Influence radius for the underlying geometric meet model.
+  double lambda = 100.0;
+};
+
+/// The temporal market: an InfluenceIndex whose "billboards" are slots
+/// (paper §3.2: "we treat each digital billboard as multiple billboards,
+/// one for a certain time slot"), built by intersecting geometric
+/// incidence with the audience's active time interval. The regular
+/// solvers run on it unchanged; `slots` maps slot ids back to physical
+/// billboards and windows.
+struct TemporalMarket {
+  influence::InfluenceIndex index;
+  std::vector<Slot> slots;
+
+  /// Human-readable label for slot `s`, e.g. "billboard 17 @ 06:00-12:00".
+  std::string SlotLabel(model::BillboardId s) const;
+};
+
+/// Builds the slot-expanded market from a dataset with trajectory start
+/// times. Requires config.slots_per_day >= 1 and positive day length.
+TemporalMarket BuildTemporalMarket(const model::Dataset& dataset,
+                                   const TemporalConfig& config);
+
+}  // namespace mroam::temporal
+
+#endif  // MROAM_TEMPORAL_TIME_SLOTS_H_

@@ -1,0 +1,173 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mroam::common {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformU64InBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformU64(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformU64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformU64IsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformU64(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);  // ~5 sigma
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(12);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRangeMeanIsCentered) {
+  Rng rng(14);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.UniformDouble(2.0, 4.0);
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(16);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / kDraws;
+  double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(18);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, ParetoRespectsScaleAndIsHeavyTailed) {
+  Rng rng(19);
+  constexpr int kDraws = 100000;
+  int above_10x = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.Pareto(2.0, 1.5);
+    EXPECT_GE(v, 2.0);
+    if (v > 20.0) ++above_10x;
+  }
+  // P(X > 10 * scale) = 10^-1.5 ~= 3.16%.
+  EXPECT_NEAR(static_cast<double>(above_10x) / kDraws, 0.0316, 0.005);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(20);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kDraws, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(21);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkGivesIndependentButDeterministicStream) {
+  Rng a(99);
+  Rng fork1 = a.Fork();
+  Rng b(99);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fork1.Next64(), fork2.Next64());
+  }
+}
+
+}  // namespace
+}  // namespace mroam::common

@@ -1,0 +1,123 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace mroam::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::DataLoss("row 7 malformed");
+  EXPECT_EQ(s.ToString(), "DataLoss: row 7 malformed");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::NotFound("gone");
+  EXPECT_EQ(os.str(), "NotFound: gone");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::DataLoss("a"));
+}
+
+TEST(StatusCodeNameTest, AllCodesNamed) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace helpers {
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Chain(int x) {
+  MROAM_RETURN_IF_ERROR(FailWhenNegative(x));
+  return Status::Ok();
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  MROAM_ASSIGN_OR_RETURN(int half, Half(x));
+  MROAM_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::Chain(1).ok());
+  EXPECT_EQ(helpers::Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  Result<int> ok = helpers::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  Result<int> first_fails = helpers::Quarter(9);
+  EXPECT_FALSE(first_fails.ok());
+
+  Result<int> second_fails = helpers::Quarter(6);  // 6/2=3 is odd
+  EXPECT_FALSE(second_fails.ok());
+}
+
+}  // namespace
+}  // namespace mroam::common

@@ -1,0 +1,91 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace mroam::common {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTest, EmptyStringYieldsOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  abc \t\r\n"), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" a b "), "a b");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2").value(), -2.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("  7.25  ").value(), 7.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("3 4").ok());
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64(" 1000000000000 ").value(), 1000000000000LL);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("12a").ok());
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_FALSE(StartsWith("xfoo", "foo"));
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-1.005, 1), "-1.0");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace mroam::common

@@ -1,0 +1,93 @@
+#include "market/contract_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace mroam::market {
+namespace {
+
+class ContractIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mroam_contract_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) {
+    return (dir_ / name).string();
+  }
+  void WriteFile(const std::string& name, const std::string& contents) {
+    std::ofstream out(PathFor(name));
+    out << contents;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ContractIoTest, RoundTrip) {
+  std::vector<Advertiser> ads(2);
+  ads[0] = {.id = 0, .demand = 1000, .payment = 1250.5};
+  ads[1] = {.id = 1, .demand = 500, .payment = 480.0};
+  ASSERT_TRUE(SaveAdvertisersCsv(PathFor("ads.csv"), ads).ok());
+  auto back = LoadAdvertisersCsv(PathFor("ads.csv"));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].demand, 1000);
+  EXPECT_NEAR((*back)[0].payment, 1250.5, 0.01);
+  EXPECT_EQ((*back)[1].id, 1);
+}
+
+TEST_F(ContractIoTest, AcceptsShuffledDenseIds) {
+  WriteFile("ads.csv", "1,50,55\n0,100,90\n");
+  auto back = LoadAdvertisersCsv(PathFor("ads.csv"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].demand, 100);
+  EXPECT_EQ((*back)[1].demand, 50);
+}
+
+TEST_F(ContractIoTest, RejectsNonDenseIds) {
+  WriteFile("ads.csv", "0,100,90\n2,50,55\n");
+  auto back = LoadAdvertisersCsv(PathFor("ads.csv"));
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), common::StatusCode::kDataLoss);
+}
+
+TEST_F(ContractIoTest, RejectsNonPositiveDemand) {
+  WriteFile("ads.csv", "0,0,90\n");
+  EXPECT_FALSE(LoadAdvertisersCsv(PathFor("ads.csv")).ok());
+  WriteFile("ads2.csv", "0,-5,90\n");
+  EXPECT_FALSE(LoadAdvertisersCsv(PathFor("ads2.csv")).ok());
+}
+
+TEST_F(ContractIoTest, RejectsNonPositivePayment) {
+  WriteFile("ads.csv", "0,10,0\n");
+  EXPECT_FALSE(LoadAdvertisersCsv(PathFor("ads.csv")).ok());
+}
+
+TEST_F(ContractIoTest, RejectsMalformedNumbers) {
+  WriteFile("ads.csv", "0,ten,90\n");
+  EXPECT_FALSE(LoadAdvertisersCsv(PathFor("ads.csv")).ok());
+  WriteFile("ads2.csv", "0,10\n");
+  EXPECT_FALSE(LoadAdvertisersCsv(PathFor("ads2.csv")).ok());
+}
+
+TEST_F(ContractIoTest, MissingFileIsIoError) {
+  auto back = LoadAdvertisersCsv(PathFor("missing.csv"));
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), common::StatusCode::kIoError);
+}
+
+TEST_F(ContractIoTest, SkipsComments) {
+  WriteFile("ads.csv", "# id,demand,payment\n0,10,9\n");
+  auto back = LoadAdvertisersCsv(PathFor("ads.csv"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 1u);
+}
+
+}  // namespace
+}  // namespace mroam::market

@@ -1,0 +1,130 @@
+#include "core/daily_market.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mroam::core {
+namespace {
+
+using mroam::testing::Adv;
+using mroam::testing::IndexFromIncidence;
+
+class DailyMarketTest : public ::testing::Test {
+ protected:
+  // Six disjoint unit-influence billboards.
+  DailyMarketTest()
+      : index_(IndexFromIncidence({{0}, {1}, {2}, {3}, {4}, {5}}, 6,
+                                  &dataset_)) {}
+
+  DailyMarketConfig Config(ReplanPolicy policy, int32_t duration = 7) {
+    DailyMarketConfig config;
+    config.policy = policy;
+    config.contract_duration_days = duration;
+    config.solver.method = Method::kBls;
+    config.solver.local_search.restarts = 2;
+    return config;
+  }
+
+  model::Dataset dataset_;
+  influence::InfluenceIndex index_;
+};
+
+TEST_F(DailyMarketTest, PolicyNames) {
+  EXPECT_STREQ(ReplanPolicyName(ReplanPolicy::kReoptimizeAll),
+               "reoptimize-all");
+  EXPECT_STREQ(ReplanPolicyName(ReplanPolicy::kLockExisting),
+               "lock-existing");
+}
+
+TEST_F(DailyMarketTest, EmptyDayIsHarmless) {
+  DailyMarket market(&index_, Config(ReplanPolicy::kReoptimizeAll));
+  DayResult day = market.AdvanceDay({});
+  EXPECT_EQ(day.day, 1);
+  EXPECT_EQ(day.active_contracts, 0);
+  EXPECT_DOUBLE_EQ(day.breakdown.total, 0.0);
+}
+
+TEST_F(DailyMarketTest, ArrivalsAreServed) {
+  DailyMarket market(&index_, Config(ReplanPolicy::kReoptimizeAll));
+  DayResult day = market.AdvanceDay({Adv(0, 2, 4.0), Adv(0, 3, 6.0)});
+  EXPECT_EQ(day.arrived, 2);
+  EXPECT_EQ(day.active_contracts, 2);
+  EXPECT_EQ(day.breakdown.satisfied_count, 2);
+  EXPECT_DOUBLE_EQ(day.breakdown.total, 0.0);
+  // 2 + 3 billboards deployed.
+  EXPECT_EQ(market.ActiveSets()[0].size() + market.ActiveSets()[1].size(),
+            5u);
+}
+
+TEST_F(DailyMarketTest, ContractsExpireAndFreeInventory) {
+  DailyMarket market(&index_,
+                     Config(ReplanPolicy::kReoptimizeAll, /*duration=*/2));
+  market.AdvanceDay({Adv(0, 4, 8.0)});  // day 1, expires on day 3
+  market.AdvanceDay({});                // day 2: still active
+  EXPECT_EQ(market.active_contracts(), 1);
+  DayResult day3 = market.AdvanceDay({Adv(0, 6, 12.0)});  // day 3
+  EXPECT_EQ(day3.expired, 1);
+  EXPECT_EQ(day3.active_contracts, 1);
+  // The newcomer needs all six billboards: only possible if the expired
+  // contract's four were freed.
+  EXPECT_EQ(day3.breakdown.satisfied_count, 1);
+  EXPECT_DOUBLE_EQ(day3.breakdown.total, 0.0);
+}
+
+TEST_F(DailyMarketTest, LockExistingKeepsSatisfiedSetsStable) {
+  DailyMarket market(&index_, Config(ReplanPolicy::kLockExisting));
+  market.AdvanceDay({Adv(0, 2, 4.0)});
+  std::vector<model::BillboardId> first = market.ActiveSets()[0];
+  std::sort(first.begin(), first.end());
+  market.AdvanceDay({Adv(0, 3, 6.0)});
+  std::vector<model::BillboardId> still = market.ActiveSets()[0];
+  std::sort(still.begin(), still.end());
+  EXPECT_EQ(first, still);  // day-1 advertiser untouched
+  EXPECT_EQ(market.ActiveSets()[1].size(), 3u);  // newcomer served greedily
+}
+
+TEST_F(DailyMarketTest, ReoptimizeBeatsLockWhenInventoryIsTight) {
+  // Day 1: advertiser demanding 2 gets the best fit. Day 2: a big
+  // advertiser arrives; only re-optimization can regroup the inventory.
+  model::Dataset d;
+  // o0={0,1}, o1={2}, o2={3}, o3={4}: the day-1 demand-2 contract grabs
+  // o0 (the exact fit); the day-2 demand-4 contract then cannot reach 4
+  // from the three singles. Re-optimization can regroup (give the
+  // newcomer o0 plus singles and the incumbent what remains).
+  auto index = IndexFromIncidence({{0, 1}, {2}, {3}, {4}}, 5, &d);
+
+  auto run = [&](ReplanPolicy policy) {
+    DailyMarketConfig config;
+    config.policy = policy;
+    config.solver.method = Method::kBls;
+    config.solver.local_search.restarts = 4;
+    DailyMarket market(&index, config);
+    market.AdvanceDay({Adv(0, 2, 4.0)});
+    return market.AdvanceDay({Adv(0, 4, 12.0)}).breakdown.total;
+  };
+
+  double reopt = run(ReplanPolicy::kReoptimizeAll);
+  double lock = run(ReplanPolicy::kLockExisting);
+  EXPECT_LT(reopt, lock);
+}
+
+TEST_F(DailyMarketTest, DeterministicAcrossRuns) {
+  auto run = [&]() {
+    DailyMarket market(&index_, Config(ReplanPolicy::kReoptimizeAll));
+    market.AdvanceDay({Adv(0, 2, 4.0), Adv(0, 1, 2.0)});
+    return market.AdvanceDay({Adv(0, 3, 5.0)}).breakdown.total;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST_F(DailyMarketTest, DayCounterAdvances) {
+  DailyMarket market(&index_, Config(ReplanPolicy::kLockExisting));
+  EXPECT_EQ(market.today(), 0);
+  market.AdvanceDay({});
+  market.AdvanceDay({});
+  EXPECT_EQ(market.today(), 2);
+}
+
+}  // namespace
+}  // namespace mroam::core

@@ -1,0 +1,69 @@
+// Death tests: misuse of the solver-state API must crash loudly (the
+// library treats broken solver invariants as unrecoverable bugs).
+#include <gtest/gtest.h>
+
+#include "core/assignment.h"
+#include "test_util.h"
+
+namespace mroam::core {
+namespace {
+
+using mroam::testing::Adv;
+using mroam::testing::IndexFromIncidence;
+
+class AssignmentDeathTest : public ::testing::Test {
+ protected:
+  AssignmentDeathTest()
+      : index_(IndexFromIncidence({{0, 1}, {2}, {}}, 3, &dataset_)) {}
+
+  Assignment Make() {
+    return Assignment(&index_, {Adv(0, 2, 4.0), Adv(1, 1, 2.0)},
+                      RegretParams{0.5});
+  }
+
+  model::Dataset dataset_;
+  influence::InfluenceIndex index_;
+};
+
+TEST_F(AssignmentDeathTest, DoubleAssignCrashes) {
+  Assignment s = Make();
+  s.Assign(0, 0);
+  EXPECT_DEATH(s.Assign(0, 1), "Check failed");
+}
+
+TEST_F(AssignmentDeathTest, ReleaseOfFreeBillboardCrashes) {
+  Assignment s = Make();
+  EXPECT_DEATH(s.Release(0), "Check failed");
+}
+
+TEST_F(AssignmentDeathTest, AssignToUnknownAdvertiserCrashes) {
+  Assignment s = Make();
+  EXPECT_DEATH(s.Assign(0, 7), "Check failed");
+}
+
+TEST_F(AssignmentDeathTest, ExchangeWithinOneAdvertiserCrashes) {
+  Assignment s = Make();
+  s.Assign(0, 0);
+  s.Assign(1, 0);
+  EXPECT_DEATH(s.ExchangeAcross(0, 1), "Check failed");
+}
+
+TEST_F(AssignmentDeathTest, ReplaceWithAssignedBillboardCrashes) {
+  Assignment s = Make();
+  s.Assign(0, 0);
+  s.Assign(1, 1);
+  EXPECT_DEATH(s.Replace(0, 1), "Check failed");
+}
+
+TEST_F(AssignmentDeathTest, InvalidGammaCrashes) {
+  EXPECT_DEATH(Assignment(&index_, {Adv(0, 2, 4.0)}, RegretParams{1.5}),
+               "Check failed");
+}
+
+TEST_F(AssignmentDeathTest, NonPositiveDemandCrashes) {
+  EXPECT_DEATH(Assignment(&index_, {Adv(0, 0, 4.0)}, RegretParams{0.5}),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace mroam::core

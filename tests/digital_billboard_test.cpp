@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "influence/influence_index.h"
+#include "model/dataset.h"
+#include "test_util.h"
+
+namespace mroam::model {
+namespace {
+
+using mroam::testing::Adv;
+using mroam::testing::DatasetFromIncidence;
+using mroam::testing::kFixtureLambda;
+
+TEST(ExpandDigitalBillboardsTest, SingleSlotIsNoOp) {
+  Dataset d = DatasetFromIncidence({{0, 1}, {2}}, 3);
+  ExpandDigitalBillboards(&d, 1);
+  EXPECT_EQ(d.billboards.size(), 2u);
+}
+
+TEST(ExpandDigitalBillboardsTest, CreatesCoLocatedSlots) {
+  Dataset d = DatasetFromIncidence({{0, 1}, {2}}, 3);
+  ExpandDigitalBillboards(&d, 3);
+  ASSERT_EQ(d.billboards.size(), 6u);
+  EXPECT_EQ(ValidateDataset(d), "");
+  // Slot k of original billboard i is billboard i*3+k, at i's location.
+  for (int i = 0; i < 2; ++i) {
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(d.billboards[i * 3 + k].location,
+                d.billboards[i * 3].location);
+    }
+  }
+}
+
+TEST(ExpandDigitalBillboardsTest, SlotsShareIncidence) {
+  Dataset d = DatasetFromIncidence({{0, 1, 2}, {3}}, 4);
+  ExpandDigitalBillboards(&d, 2);
+  auto index = influence::InfluenceIndex::Build(d, kFixtureLambda);
+  EXPECT_EQ(index.InfluenceOf(0), 3);
+  EXPECT_EQ(index.InfluenceOf(1), 3);  // second slot of the first board
+  EXPECT_EQ(index.InfluenceOf(2), 1);
+  EXPECT_EQ(index.InfluenceOf(3), 1);
+  EXPECT_EQ(index.TotalSupply(), 8);
+}
+
+TEST(ExpandDigitalBillboardsTest, SlotsServeDifferentAdvertisers) {
+  // One physical billboard covering 4 trajectories; two advertisers each
+  // demanding 4. With two time slots, both can be satisfied.
+  Dataset d = DatasetFromIncidence({{0, 1, 2, 3}}, 4);
+  ExpandDigitalBillboards(&d, 2);
+  auto index = influence::InfluenceIndex::Build(d, kFixtureLambda);
+  std::vector<market::Advertiser> ads = {Adv(0, 4, 8.0), Adv(1, 4, 8.0)};
+  core::SolverConfig config;
+  config.method = core::Method::kGGlobal;
+  core::SolveResult result = core::Solve(index, ads, config);
+  EXPECT_EQ(result.breakdown.satisfied_count, 2);
+  EXPECT_DOUBLE_EQ(result.breakdown.total, 0.0);
+}
+
+}  // namespace
+}  // namespace mroam::model

@@ -1,0 +1,171 @@
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "test_util.h"
+
+namespace mroam::core {
+namespace {
+
+using mroam::testing::Adv;
+using mroam::testing::IndexFromIncidence;
+using mroam::testing::PaperExampleAdvertisers;
+using mroam::testing::PaperExampleIncidence;
+
+TEST(ExactSolveTest, PaperExampleOptimumIsZero) {
+  model::Dataset d;
+  auto index = IndexFromIncidence(PaperExampleIncidence(), 20, &d);
+  ExactSolverConfig config;
+  auto result = ExactSolve(index, PaperExampleAdvertisers(), config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->optimal_regret, 0.0);
+  // The returned sets actually realize the optimum.
+  for (size_t a = 0; a < result->sets.size(); ++a) {
+    EXPECT_EQ(index.InfluenceOfSet(result->sets[a]),
+              PaperExampleAdvertisers()[a].demand);
+  }
+}
+
+TEST(ExactSolveTest, EmptyMarket) {
+  model::Dataset d;
+  auto index = IndexFromIncidence({{0}}, 1, &d);
+  auto result = ExactSolve(index, {}, ExactSolverConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->optimal_regret, 0.0);
+  EXPECT_TRUE(result->sets.empty());
+}
+
+TEST(ExactSolveTest, SingleAdvertiserPicksBestSubset) {
+  // Demand 5: subsets {3,2} fit exactly; optimum 0.
+  model::Dataset d;
+  auto index = IndexFromIncidence(
+      {{0, 1, 2}, {3, 4}, {5, 6, 7, 8}}, 9, &d);
+  auto result =
+      ExactSolve(index, {Adv(0, 5, 10.0)}, ExactSolverConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->optimal_regret, 0.0);
+}
+
+TEST(ExactSolveTest, InfeasibleDemandGivesBoundaryOptimum) {
+  // One advertiser demanding 10, supply 3 disjoint: best is all boards,
+  // R = L (1 - gamma * 3/10).
+  model::Dataset d;
+  auto index = IndexFromIncidence({{0}, {1}, {2}}, 3, &d);
+  ExactSolverConfig config;
+  config.regret.gamma = 0.5;
+  auto result = ExactSolve(index, {Adv(0, 10, 20.0)}, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->optimal_regret, 20.0 * (1.0 - 0.5 * 0.3));
+}
+
+TEST(ExactSolveTest, UnmatchableN3dmInstanceHasPositiveOptimum) {
+  // The no-matching instance from property_test: b=16 with z=12 needing
+  // x+y=4 < min 5. The exact solver certifies OPT > 0, confirming the
+  // instance really is unmatchable (not just hard for the heuristics).
+  std::vector<std::vector<model::TrajectoryId>> covered;
+  int32_t next = 0;
+  auto add = [&](int influence) {
+    std::vector<model::TrajectoryId> list;
+    for (int k = 0; k < influence; ++k) list.push_back(next++);
+    covered.push_back(std::move(list));
+  };
+  const int c = 20;
+  for (int x : {1, 2, 3}) add(c + x);
+  for (int y : {4, 5, 6}) add(3 * c + y);
+  for (int z : {7, 8, 12}) add(9 * c + z);
+  model::Dataset d;
+  auto index = IndexFromIncidence(covered, next, &d);
+  const int64_t demand = 16 + 13 * c;
+  std::vector<market::Advertiser> ads = {
+      Adv(0, demand, static_cast<double>(demand)),
+      Adv(1, demand, static_cast<double>(demand)),
+      Adv(2, demand, static_cast<double>(demand))};
+  ExactSolverConfig config;
+  config.regret.gamma = 0.0;
+  auto result = ExactSolve(index, ads, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->optimal_regret, 0.0);
+}
+
+TEST(ExactSolveTest, WorksUnderImpressionThreshold) {
+  model::Dataset d;
+  auto index = IndexFromIncidence(
+      {{0, 1, 2}, {0, 1, 2}, {2, 3, 4}, {2, 3, 4}}, 5, &d);
+  ExactSolverConfig config;
+  config.impression_threshold = 2;
+  auto result = ExactSolve(
+      index, {Adv(0, 3, 9.0), Adv(1, 3, 9.0)}, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->optimal_regret, 0.0);
+}
+
+TEST(ExactSolveTest, NodeBudgetIsEnforced) {
+  std::vector<std::vector<model::TrajectoryId>> covered;
+  for (int32_t o = 0; o < 14; ++o) covered.push_back({o});
+  model::Dataset d;
+  auto index = IndexFromIncidence(covered, 14, &d);
+  std::vector<market::Advertiser> ads = {Adv(0, 7, 7.0), Adv(1, 6, 6.0),
+                                         Adv(2, 5, 5.0)};
+  ExactSolverConfig config;
+  config.max_nodes = 50;
+  auto result = ExactSolve(index, ads, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+// The key property: no heuristic ever beats the exact optimum, and the
+// optimum never beats the trivially-valid empty plan — under both the
+// set-union measure (m=1) and the impression-threshold measure (m=2).
+class OptimalityTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(OptimalityTest, HeuristicsNeverBeatTheOptimum) {
+  common::Rng rng(std::get<0>(GetParam()));
+  const uint16_t threshold = static_cast<uint16_t>(std::get<1>(GetParam()));
+  const int32_t num_billboards = 9;
+  const int32_t num_trajectories = 24;
+  std::vector<std::vector<model::TrajectoryId>> covered(num_billboards);
+  for (auto& list : covered) {
+    for (int32_t t = 0; t < num_trajectories; ++t) {
+      if (rng.Bernoulli(0.25)) list.push_back(t);
+    }
+  }
+  model::Dataset d;
+  auto index = IndexFromIncidence(covered, num_trajectories, &d);
+  std::vector<market::Advertiser> ads;
+  const int32_t num_ads = 2 + static_cast<int32_t>(rng.UniformU64(2));
+  for (int32_t a = 0; a < num_ads; ++a) {
+    int64_t demand = 2 + static_cast<int64_t>(rng.UniformU64(10));
+    ads.push_back(Adv(a, demand, static_cast<double>(2 * demand)));
+  }
+
+  ExactSolverConfig exact_config;
+  exact_config.regret.gamma = 0.5;
+  exact_config.impression_threshold = threshold;
+  auto exact = ExactSolve(index, ads, exact_config);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+
+  double payment_sum = 0.0;
+  for (const auto& a : ads) payment_sum += a.payment;
+  EXPECT_LE(exact->optimal_regret, payment_sum + 1e-9);  // empty plan bound
+
+  for (Method method : AllMethods()) {
+    SolverConfig config;
+    config.method = method;
+    config.regret.gamma = 0.5;
+    config.impression_threshold = threshold;
+    config.local_search.restarts = 2;
+    SolveResult result = Solve(index, ads, config);
+    EXPECT_GE(result.breakdown.total, exact->optimal_regret - 1e-9)
+        << MethodName(method) << " m=" << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThresholds, OptimalityTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 11),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace mroam::core

@@ -1,0 +1,205 @@
+#include "gen/city_generators.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/grid_index.h"
+#include "influence/influence_index.h"
+#include "influence/reports.h"
+#include "model/dataset.h"
+
+namespace mroam::gen {
+namespace {
+
+NycLikeConfig SmallNyc() {
+  NycLikeConfig cfg;
+  cfg.num_billboards = 300;
+  cfg.num_trajectories = 3000;
+  return cfg;
+}
+
+SgLikeConfig SmallSg() {
+  SgLikeConfig cfg;
+  cfg.num_billboards = 800;
+  cfg.num_trajectories = 4000;
+  return cfg;
+}
+
+TEST(NycGeneratorTest, ProducesRequestedSizesAndValidDataset) {
+  common::Rng rng(1);
+  model::Dataset d = GenerateNycLike(SmallNyc(), &rng);
+  EXPECT_EQ(d.billboards.size(), 300u);
+  EXPECT_EQ(d.trajectories.size(), 3000u);
+  EXPECT_EQ(model::ValidateDataset(d), "");
+  EXPECT_EQ(d.name, "NYC-like");
+}
+
+TEST(NycGeneratorTest, DeterministicGivenSeed) {
+  common::Rng rng1(5), rng2(5);
+  model::Dataset a = GenerateNycLike(SmallNyc(), &rng1);
+  model::Dataset b = GenerateNycLike(SmallNyc(), &rng2);
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  for (size_t i = 0; i < a.trajectories.size(); i += 97) {
+    EXPECT_EQ(a.trajectories[i].points.size(),
+              b.trajectories[i].points.size());
+    EXPECT_EQ(a.trajectories[i].points[0], b.trajectories[i].points[0]);
+  }
+  for (size_t i = 0; i < a.billboards.size(); i += 13) {
+    EXPECT_EQ(a.billboards[i].location, b.billboards[i].location);
+  }
+}
+
+TEST(NycGeneratorTest, TripLengthsNearPaperMean) {
+  common::Rng rng(2);
+  model::Dataset d = GenerateNycLike(SmallNyc(), &rng);
+  model::DatasetStats stats = model::ComputeStats(d);
+  // Table 5: NYC avg trip 2.9 km. Accept a generous band.
+  EXPECT_GT(stats.avg_distance_km, 1.5);
+  EXPECT_LT(stats.avg_distance_km, 4.5);
+  EXPECT_GT(stats.avg_travel_time_sec, 250);
+  EXPECT_LT(stats.avg_travel_time_sec, 1000);
+}
+
+TEST(NycGeneratorTest, StartTimesSpanTheDayWithRushPeaks) {
+  common::Rng rng(6);
+  model::Dataset d = GenerateNycLike(SmallNyc(), &rng);
+  int in_day = 0, morning = 0, night = 0;
+  for (const model::Trajectory& t : d.trajectories) {
+    if (t.start_time_seconds >= 0.0 && t.start_time_seconds < 86400.0) {
+      ++in_day;
+    }
+    if (t.start_time_seconds >= 7 * 3600.0 &&
+        t.start_time_seconds < 10 * 3600.0) {
+      ++morning;
+    }
+    if (t.start_time_seconds >= 1 * 3600.0 &&
+        t.start_time_seconds < 4 * 3600.0) {
+      ++night;
+    }
+  }
+  EXPECT_EQ(in_day, static_cast<int>(d.trajectories.size()));
+  // The 07-10h rush window is far busier than a same-length night window.
+  EXPECT_GT(morning, 2 * night);
+}
+
+TEST(NycGeneratorTest, PointsStayInsideCity) {
+  common::Rng rng(3);
+  NycLikeConfig cfg = SmallNyc();
+  model::Dataset d = GenerateNycLike(cfg, &rng);
+  for (size_t i = 0; i < d.trajectories.size(); i += 41) {
+    for (const geo::Point& p : d.trajectories[i].points) {
+      EXPECT_GE(p.x, -1.0);
+      EXPECT_LE(p.x, cfg.width_m + 1.0);
+      EXPECT_GE(p.y, -1.0);
+      EXPECT_LE(p.y, cfg.height_m + 1.0);
+    }
+  }
+}
+
+TEST(SgGeneratorTest, ProducesRequestedSizesAndValidDataset) {
+  common::Rng rng(1);
+  model::Dataset d = GenerateSgLike(SmallSg(), &rng);
+  EXPECT_EQ(d.billboards.size(), 800u);
+  EXPECT_EQ(d.trajectories.size(), 4000u);
+  EXPECT_EQ(model::ValidateDataset(d), "");
+  EXPECT_EQ(d.name, "SG-like");
+}
+
+TEST(SgGeneratorTest, DeterministicGivenSeed) {
+  common::Rng rng1(5), rng2(5);
+  model::Dataset a = GenerateSgLike(SmallSg(), &rng1);
+  model::Dataset b = GenerateSgLike(SmallSg(), &rng2);
+  ASSERT_EQ(a.billboards.size(), b.billboards.size());
+  for (size_t i = 0; i < a.billboards.size(); i += 29) {
+    EXPECT_EQ(a.billboards[i].location, b.billboards[i].location);
+  }
+}
+
+TEST(SgGeneratorTest, RideLengthsNearPaperMean) {
+  common::Rng rng(2);
+  model::Dataset d = GenerateSgLike(SmallSg(), &rng);
+  model::DatasetStats stats = model::ComputeStats(d);
+  // Table 5: SG avg trip 4.2 km, avg travel time 1342 s. Generous bands.
+  EXPECT_GT(stats.avg_distance_km, 2.0);
+  EXPECT_LT(stats.avg_distance_km, 7.0);
+  EXPECT_GT(stats.avg_travel_time_sec, 600);
+  EXPECT_LT(stats.avg_travel_time_sec, 2500);
+}
+
+TEST(SgGeneratorTest, DistinctStopsRespectTheMergeRadius) {
+  // The shared stop pool merges any would-be stop within
+  // stop_merge_radius_m of an existing one, so distinct billboards must
+  // be at least that far apart — the invariant behind the paper's
+  // lambda-insensitivity of SG below that scale (Fig 12).
+  common::Rng rng(9);
+  SgLikeConfig cfg = SmallSg();
+  model::Dataset d = GenerateSgLike(cfg, &rng);
+  geo::GridIndex grid(cfg.stop_merge_radius_m);
+  for (const model::Billboard& b : d.billboards) {
+    std::vector<int32_t> near =
+        grid.QueryRadius(b.location, cfg.stop_merge_radius_m - 1e-6);
+    EXPECT_TRUE(near.empty())
+        << "billboard " << b.id << " within the merge radius of "
+        << (near.empty() ? -1 : near[0]);
+    grid.Insert(b.location, b.id);
+  }
+}
+
+TEST(SgGeneratorTest, TrajectoriesFollowStops) {
+  common::Rng rng(4);
+  model::Dataset d = GenerateSgLike(SmallSg(), &rng);
+  // Every trajectory point is a billboard (stop) location.
+  for (size_t i = 0; i < d.trajectories.size(); i += 113) {
+    for (const geo::Point& p : d.trajectories[i].points) {
+      bool at_stop = false;
+      for (const model::Billboard& b : d.billboards) {
+        if (geo::Distance(p, b.location) < 1e-6) {
+          at_stop = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(at_stop);
+    }
+  }
+}
+
+// The calibration contract of DESIGN.md §4: NYC-like influence is
+// heavy-tailed with overlapping top billboards, SG-like is more uniform
+// with low overlap. These are the properties §7.2 of the paper builds its
+// narrative on, so the generators must actually exhibit them.
+TEST(CalibrationTest, NycIsMoreSkewedThanSg) {
+  common::Rng rng1(11), rng2(11);
+  model::Dataset nyc = GenerateNycLike(SmallNyc(), &rng1);
+  model::Dataset sg = GenerateSgLike(SmallSg(), &rng2);
+  auto nyc_index = influence::InfluenceIndex::Build(nyc, 100.0);
+  auto sg_index = influence::InfluenceIndex::Build(sg, 100.0);
+  auto nyc_summary = influence::SummarizeInfluence(nyc_index);
+  auto sg_summary = influence::SummarizeInfluence(sg_index);
+
+  // Top-decile supply share: NYC markedly more concentrated.
+  EXPECT_GT(nyc_summary.top_decile_share, sg_summary.top_decile_share);
+  // Both datasets actually cover something.
+  EXPECT_GT(nyc_summary.mean, 1.0);
+  EXPECT_GT(sg_summary.mean, 1.0);
+}
+
+TEST(CalibrationTest, SgImpressionCurveRisesFasterThanNyc) {
+  common::Rng rng1(12), rng2(12);
+  model::Dataset nyc = GenerateNycLike(SmallNyc(), &rng1);
+  model::Dataset sg = GenerateSgLike(SmallSg(), &rng2);
+  auto nyc_index = influence::InfluenceIndex::Build(nyc, 100.0);
+  auto sg_index = influence::InfluenceIndex::Build(sg, 100.0);
+
+  // Figure 1b: with the top 30% of billboards, SG (low overlap) covers a
+  // larger fraction of the coverable trajectories than NYC (high overlap).
+  std::vector<double> pct{30.0, 100.0};
+  auto nyc_curve = influence::ImpressionCurve(nyc_index, pct);
+  auto sg_curve = influence::ImpressionCurve(sg_index, pct);
+  ASSERT_EQ(nyc_curve.size(), 2u);
+  double nyc_ratio = nyc_curve[1] > 0 ? nyc_curve[0] / nyc_curve[1] : 0.0;
+  double sg_ratio = sg_curve[1] > 0 ? sg_curve[0] / sg_curve[1] : 0.0;
+  // "the yellow curve [NYC] increases slower than the purple one [SG]".
+  EXPECT_LT(nyc_ratio, sg_ratio);
+}
+
+}  // namespace
+}  // namespace mroam::gen

@@ -1,0 +1,184 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/grid_index.h"
+#include "geo/point.h"
+#include "geo/polyline.h"
+
+namespace mroam::geo {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  Point a{1.0, 2.0}, b{3.0, 5.0};
+  EXPECT_EQ((a + b), (Point{4.0, 7.0}));
+  EXPECT_EQ((b - a), (Point{2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Point{2.0, 4.0}));
+}
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(PointTest, Lerp) {
+  Point a{0, 0}, b{10, 20};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), (Point{5, 10}));
+}
+
+TEST(BoundingBoxTest, ExtendAndContains) {
+  BoundingBox box;
+  EXPECT_TRUE(box.Empty());
+  box.Extend({1, 2});
+  box.Extend({-3, 5});
+  EXPECT_FALSE(box.Empty());
+  EXPECT_TRUE(box.Contains({0, 3}));
+  EXPECT_TRUE(box.Contains({1, 2}));
+  EXPECT_FALSE(box.Contains({2, 3}));
+  EXPECT_DOUBLE_EQ(box.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+}
+
+TEST(PolylineTest, LengthOfSegments) {
+  std::vector<Point> line{{0, 0}, {3, 4}, {3, 14}};
+  EXPECT_DOUBLE_EQ(PolylineLength(line), 15.0);
+  EXPECT_DOUBLE_EQ(PolylineLength({{1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(PolylineLength({}), 0.0);
+}
+
+TEST(PolylineTest, PointAlongInterpolates) {
+  std::vector<Point> line{{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_EQ(PointAlong(line, -5.0), (Point{0, 0}));
+  EXPECT_EQ(PointAlong(line, 0.0), (Point{0, 0}));
+  EXPECT_EQ(PointAlong(line, 5.0), (Point{5, 0}));
+  EXPECT_EQ(PointAlong(line, 15.0), (Point{10, 5}));
+  EXPECT_EQ(PointAlong(line, 100.0), (Point{10, 10}));
+}
+
+TEST(PolylineTest, DensifyBoundsSpacing) {
+  std::vector<Point> line{{0, 0}, {100, 0}};
+  std::vector<Point> dense = Densify(line, 30.0);
+  ASSERT_GE(dense.size(), 4u);
+  EXPECT_EQ(dense.front(), (Point{0, 0}));
+  EXPECT_EQ(dense.back(), (Point{100, 0}));
+  for (size_t i = 1; i < dense.size(); ++i) {
+    EXPECT_LE(Distance(dense[i - 1], dense[i]), 30.0 + 1e-9);
+  }
+  // Length is preserved (densify adds collinear points only).
+  EXPECT_NEAR(PolylineLength(dense), 100.0, 1e-9);
+}
+
+TEST(PolylineTest, DensifyKeepsVertices) {
+  std::vector<Point> line{{0, 0}, {50, 0}, {50, 50}};
+  std::vector<Point> dense = Densify(line, 20.0);
+  EXPECT_NE(std::find(dense.begin(), dense.end(), Point{50, 0}), dense.end());
+  EXPECT_NEAR(PolylineLength(dense), 100.0, 1e-9);
+}
+
+TEST(PolylineTest, DensifyShortInputsUnchanged) {
+  std::vector<Point> one{{1, 2}};
+  EXPECT_EQ(Densify(one, 10.0), one);
+  std::vector<Point> empty;
+  EXPECT_EQ(Densify(empty, 10.0), empty);
+}
+
+TEST(PolylineTest, DistanceToPolyline) {
+  std::vector<Point> line{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(DistanceToPolyline({5, 3}, line), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceToPolyline({-3, 4}, line), 5.0);  // past endpoint
+  EXPECT_DOUBLE_EQ(DistanceToPolyline({5, 0}, line), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceToPolyline({1, 1}, {{0, 0}}), std::sqrt(2.0));
+}
+
+// Property sweep: Densify preserves arc length and respects the spacing
+// bound on random polylines.
+class DensifyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DensifyPropertyTest, LengthPreservedAndSpacingBounded) {
+  common::Rng rng(GetParam());
+  std::vector<Point> line;
+  size_t n = 2 + rng.UniformU64(10);
+  for (size_t i = 0; i < n; ++i) {
+    line.push_back({rng.UniformDouble(-500.0, 500.0),
+                    rng.UniformDouble(-500.0, 500.0)});
+  }
+  double spacing = rng.UniformDouble(5.0, 200.0);
+  std::vector<Point> dense = Densify(line, spacing);
+  EXPECT_NEAR(PolylineLength(dense), PolylineLength(line), 1e-6);
+  for (size_t i = 1; i < dense.size(); ++i) {
+    EXPECT_LE(Distance(dense[i - 1], dense[i]), spacing + 1e-9);
+  }
+  EXPECT_EQ(dense.front(), line.front());
+  EXPECT_EQ(dense.back(), line.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensifyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GridIndexTest, FindsPointsWithinRadius) {
+  GridIndex grid(100.0);
+  grid.Insert({0, 0}, 0);
+  grid.Insert({50, 0}, 1);
+  grid.Insert({150, 0}, 2);
+  grid.Insert({0, 99}, 3);
+
+  std::vector<int32_t> hits = grid.QueryRadius({0, 0}, 100.0);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<int32_t>{0, 1, 3}));
+}
+
+TEST(GridIndexTest, RadiusLargerThanCell) {
+  GridIndex grid(50.0);
+  grid.Insert({200, 0}, 7);
+  std::vector<int32_t> hits = grid.QueryRadius({0, 0}, 250.0);
+  EXPECT_EQ(hits, (std::vector<int32_t>{7}));
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  GridIndex grid(100.0);
+  grid.Insert({-250, -250}, 1);
+  grid.Insert({-260, -240}, 2);
+  std::vector<int32_t> hits = grid.QueryRadius({-255, -245}, 20.0);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<int32_t>{1, 2}));
+}
+
+TEST(GridIndexTest, MatchesBruteForceOnRandomPoints) {
+  common::Rng rng(7);
+  GridIndex grid(80.0);
+  std::vector<Point> points;
+  for (int32_t i = 0; i < 500; ++i) {
+    Point p{rng.UniformDouble(-1000.0, 1000.0),
+            rng.UniformDouble(-1000.0, 1000.0)};
+    points.push_back(p);
+    grid.Insert(p, i);
+  }
+  for (int q = 0; q < 50; ++q) {
+    Point center{rng.UniformDouble(-1000.0, 1000.0),
+                 rng.UniformDouble(-1000.0, 1000.0)};
+    double radius = rng.UniformDouble(10.0, 300.0);
+    std::vector<int32_t> got = grid.QueryRadius(center, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> want;
+    for (int32_t i = 0; i < 500; ++i) {
+      if (Distance(points[i], center) <= radius) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(GridIndexTest, SizeTracksInserts) {
+  GridIndex grid(10.0);
+  EXPECT_EQ(grid.size(), 0u);
+  grid.Insert({0, 0}, 0);
+  grid.Insert({0, 0}, 1);
+  EXPECT_EQ(grid.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mroam::geo

@@ -1,0 +1,139 @@
+#include "io/dataset_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace mroam::io {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mroam_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Dir() { return dir_.string(); }
+  std::string PathFor(const std::string& name) {
+    return (dir_ / name).string();
+  }
+  void WriteFile(const std::string& name, const std::string& contents) {
+    std::ofstream out(PathFor(name));
+    out << contents;
+  }
+
+  std::filesystem::path dir_;
+};
+
+model::Dataset SampleDataset() {
+  model::Dataset d;
+  d.name = "sample";
+  for (int i = 0; i < 3; ++i) {
+    model::Billboard b;
+    b.id = i;
+    b.location = {100.0 * i + 0.25, 50.0 * i};
+    d.billboards.push_back(b);
+  }
+  model::Trajectory t0;
+  t0.id = 0;
+  t0.points = {{0, 0}, {10.5, 20.25}};
+  t0.start_time_seconds = 30600.0;  // 08:30
+  t0.travel_time_seconds = 120.5;
+  model::Trajectory t1;
+  t1.id = 1;
+  t1.points = {{5, 5}};
+  t1.start_time_seconds = 64800.0;  // 18:00
+  t1.travel_time_seconds = 60.0;
+  d.trajectories = {t0, t1};
+  return d;
+}
+
+TEST_F(DatasetIoTest, BillboardRoundTrip) {
+  model::Dataset d = SampleDataset();
+  ASSERT_TRUE(SaveBillboardsCsv(PathFor("b.csv"), d.billboards).ok());
+  auto back = LoadBillboardsCsv(PathFor("b.csv"));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*back)[i].id, i);
+    EXPECT_NEAR((*back)[i].location.x, d.billboards[i].location.x, 0.01);
+    EXPECT_NEAR((*back)[i].location.y, d.billboards[i].location.y, 0.01);
+  }
+}
+
+TEST_F(DatasetIoTest, TrajectoryRoundTrip) {
+  model::Dataset d = SampleDataset();
+  ASSERT_TRUE(SaveTrajectoriesCsv(PathFor("t.csv"), d.trajectories).ok());
+  auto back = LoadTrajectoriesCsv(PathFor("t.csv"));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].points.size(), 2u);
+  EXPECT_NEAR((*back)[0].points[1].x, 10.5, 0.01);
+  EXPECT_NEAR((*back)[0].start_time_seconds, 30600.0, 0.01);
+  EXPECT_NEAR((*back)[0].travel_time_seconds, 120.5, 0.01);
+  EXPECT_EQ((*back)[1].points.size(), 1u);
+  EXPECT_NEAR((*back)[1].start_time_seconds, 64800.0, 0.01);
+}
+
+TEST_F(DatasetIoTest, FullDatasetRoundTrip) {
+  model::Dataset d = SampleDataset();
+  ASSERT_TRUE(SaveDataset(Dir(), d).ok());
+  auto back = LoadDataset(Dir(), "loaded");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->name, "loaded");
+  EXPECT_EQ(back->billboards.size(), 3u);
+  EXPECT_EQ(back->trajectories.size(), 2u);
+  EXPECT_EQ(model::ValidateDataset(*back), "");
+}
+
+TEST_F(DatasetIoTest, LoadAcceptsShuffledIds) {
+  WriteFile("b.csv", "2,20,0\n0,0,0\n1,10,0\n");
+  auto back = LoadBillboardsCsv(PathFor("b.csv"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[2].location.x, 20.0);
+}
+
+TEST_F(DatasetIoTest, LoadRejectsNonDenseIds) {
+  WriteFile("b.csv", "0,0,0\n2,20,0\n");
+  auto back = LoadBillboardsCsv(PathFor("b.csv"));
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), common::StatusCode::kDataLoss);
+}
+
+TEST_F(DatasetIoTest, LoadRejectsWrongColumnCount) {
+  WriteFile("b.csv", "0,0\n");
+  EXPECT_FALSE(LoadBillboardsCsv(PathFor("b.csv")).ok());
+}
+
+TEST_F(DatasetIoTest, LoadRejectsNonNumericField) {
+  WriteFile("b.csv", "0,zero,0\n");
+  auto back = LoadBillboardsCsv(PathFor("b.csv"));
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetIoTest, LoadRejectsTrajectoryWithoutPoints) {
+  WriteFile("t.csv", "0,0,60,\n");
+  EXPECT_FALSE(LoadTrajectoriesCsv(PathFor("t.csv")).ok());
+}
+
+TEST_F(DatasetIoTest, LoadRejectsMalformedPointPair) {
+  WriteFile("t.csv", "0,0,60,1 2;3\n");
+  auto back = LoadTrajectoriesCsv(PathFor("t.csv"));
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), common::StatusCode::kDataLoss);
+}
+
+TEST_F(DatasetIoTest, MissingDirectoryIsIoError) {
+  auto back = LoadDataset(Dir() + "/does_not_exist", "x");
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), common::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mroam::io

@@ -1,0 +1,160 @@
+#include "market/workload.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mroam::market {
+namespace {
+
+TEST(AdvertiserTest, BudgetEffectiveness) {
+  Advertiser a;
+  a.demand = 100;
+  a.payment = 150.0;
+  EXPECT_DOUBLE_EQ(a.BudgetEffectiveness(), 1.5);
+  a.demand = 0;
+  EXPECT_DOUBLE_EQ(a.BudgetEffectiveness(), 0.0);
+}
+
+TEST(NumAdvertisersTest, PaperGridValues) {
+  WorkloadConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.avg_individual_demand_ratio = 0.01;
+  EXPECT_EQ(NumAdvertisers(cfg), 100);  // paper: 100 small advertisers
+  cfg.avg_individual_demand_ratio = 0.20;
+  EXPECT_EQ(NumAdvertisers(cfg), 5);  // paper: 5 big advertisers
+  cfg.alpha = 0.4;
+  cfg.avg_individual_demand_ratio = 0.02;
+  EXPECT_EQ(NumAdvertisers(cfg), 20);
+}
+
+TEST(NumAdvertisersTest, RoundsToNearest) {
+  WorkloadConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.avg_individual_demand_ratio = 0.03;  // 16.67 advertisers
+  EXPECT_EQ(NumAdvertisers(cfg), 17);
+  cfg.alpha = 0.49;  // 16.33
+  EXPECT_EQ(NumAdvertisers(cfg), 16);
+}
+
+TEST(NumAdvertisersTest, AtLeastOne) {
+  WorkloadConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.avg_individual_demand_ratio = 0.2;
+  EXPECT_EQ(NumAdvertisers(cfg), 1);
+}
+
+TEST(GenerateAdvertisersTest, CountAndRanges) {
+  WorkloadConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.avg_individual_demand_ratio = 0.05;
+  common::Rng rng(1);
+  auto ads = GenerateAdvertisers(100000, cfg, &rng);
+  ASSERT_TRUE(ads.ok());
+  ASSERT_EQ(ads->size(), 20u);
+  for (const Advertiser& a : *ads) {
+    // I_i = floor(omega * I* * p), omega in [0.8, 1.2].
+    EXPECT_GE(a.demand, static_cast<int64_t>(0.8 * 100000 * 0.05) - 1);
+    EXPECT_LE(a.demand, static_cast<int64_t>(1.2 * 100000 * 0.05) + 1);
+    // L_i = floor(epsilon * I_i), epsilon in [0.9, 1.1].
+    EXPECT_GE(a.payment, 0.9 * static_cast<double>(a.demand) - 1.0);
+    EXPECT_LE(a.payment, 1.1 * static_cast<double>(a.demand) + 1.0);
+  }
+}
+
+TEST(GenerateAdvertisersTest, IdsAreDense) {
+  WorkloadConfig cfg;
+  common::Rng rng(2);
+  auto ads = GenerateAdvertisers(50000, cfg, &rng);
+  ASSERT_TRUE(ads.ok());
+  for (size_t i = 0; i < ads->size(); ++i) {
+    EXPECT_EQ((*ads)[i].id, static_cast<AdvertiserId>(i));
+  }
+}
+
+TEST(GenerateAdvertisersTest, GlobalDemandTracksAlpha) {
+  WorkloadConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.avg_individual_demand_ratio = 0.02;
+  common::Rng rng(3);
+  const int64_t supply = 1000000;
+  auto ads = GenerateAdvertisers(supply, cfg, &rng);
+  ASSERT_TRUE(ads.ok());
+  double realized_alpha = static_cast<double>(GlobalDemand(*ads)) /
+                          static_cast<double>(supply);
+  // omega averages 1.0, so the realized ratio concentrates near alpha.
+  EXPECT_NEAR(realized_alpha, 0.8, 0.05);
+}
+
+TEST(GenerateAdvertisersTest, DeterministicGivenSeed) {
+  WorkloadConfig cfg;
+  common::Rng rng1(4), rng2(4);
+  auto a = GenerateAdvertisers(70000, cfg, &rng1);
+  auto b = GenerateAdvertisers(70000, cfg, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].demand, (*b)[i].demand);
+    EXPECT_DOUBLE_EQ((*a)[i].payment, (*b)[i].payment);
+  }
+}
+
+TEST(GenerateAdvertisersTest, TinySupplyStillYieldsPositiveContracts) {
+  WorkloadConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.avg_individual_demand_ratio = 0.01;
+  common::Rng rng(5);
+  auto ads = GenerateAdvertisers(10, cfg, &rng);  // base demand 0.1
+  ASSERT_TRUE(ads.ok());
+  for (const Advertiser& a : *ads) {
+    EXPECT_GE(a.demand, 1);
+    EXPECT_GE(a.payment, 1.0);
+  }
+}
+
+TEST(GenerateAdvertisersTest, RejectsInvalidInputs) {
+  WorkloadConfig cfg;
+  common::Rng rng(6);
+  EXPECT_FALSE(GenerateAdvertisers(0, cfg, &rng).ok());
+  EXPECT_FALSE(GenerateAdvertisers(-5, cfg, &rng).ok());
+
+  WorkloadConfig bad_alpha;
+  bad_alpha.alpha = 0.0;
+  EXPECT_FALSE(GenerateAdvertisers(1000, bad_alpha, &rng).ok());
+
+  WorkloadConfig bad_p;
+  bad_p.avg_individual_demand_ratio = 0.0;
+  EXPECT_FALSE(GenerateAdvertisers(1000, bad_p, &rng).ok());
+  bad_p.avg_individual_demand_ratio = 1.5;
+  EXPECT_FALSE(GenerateAdvertisers(1000, bad_p, &rng).ok());
+
+  WorkloadConfig bad_omega;
+  bad_omega.omega_min = 1.2;
+  bad_omega.omega_max = 0.8;
+  EXPECT_FALSE(GenerateAdvertisers(1000, bad_omega, &rng).ok());
+
+  WorkloadConfig bad_eps;
+  bad_eps.epsilon_min = -1.0;
+  EXPECT_FALSE(GenerateAdvertisers(1000, bad_eps, &rng).ok());
+}
+
+TEST(AggregateTest, GlobalDemandAndTotalPayment) {
+  std::vector<Advertiser> ads;
+  Advertiser a;
+  a.id = 0;
+  a.demand = 10;
+  a.payment = 12.0;
+  ads.push_back(a);
+  a.id = 1;
+  a.demand = 20;
+  a.payment = 18.0;
+  ads.push_back(a);
+  EXPECT_EQ(GlobalDemand(ads), 30);
+  EXPECT_DOUBLE_EQ(TotalPayment(ads), 30.0);
+  EXPECT_EQ(GlobalDemand({}), 0);
+  EXPECT_DOUBLE_EQ(TotalPayment({}), 0.0);
+}
+
+}  // namespace
+}  // namespace mroam::market

@@ -1,0 +1,78 @@
+// Odds and ends: the umbrella header, the stopwatch, logging levels, and
+// InfluenceIndex::FromIncidence validation.
+#include "mroam.h"  // the umbrella header must compile standalone
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+namespace mroam {
+namespace {
+
+TEST(UmbrellaHeaderTest, ExposesTheMainEntryPoints) {
+  // Touch one symbol from each major module to prove the include set.
+  common::Rng rng(1);
+  (void)rng.Next64();
+  EXPECT_STREQ(core::MethodName(core::Method::kBls), "BLS");
+  EXPECT_STREQ(core::ReplanPolicyName(core::ReplanPolicy::kLockExisting),
+               "lock-existing");
+  gen::NycLikeConfig nyc;
+  EXPECT_EQ(nyc.num_billboards, 1462);
+  temporal::TimeWindow window{0.0, 10.0};
+  EXPECT_TRUE(window.Overlaps(5.0, 1.0));
+  prep::IngestConfig ingest;
+  EXPECT_TRUE(ingest.skip_bad_rows);
+  EXPECT_EQ(eval::AdvertiserColor(0).front(), '#');
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  common::Stopwatch watch;
+  double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Busy-wait a tiny bit; elapsed must be monotone.
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sink, 0.0);
+  double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 20.0 + 1.0);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), second + 1.0);
+}
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  common::LogLevel before = common::MinLogLevel();
+  common::SetMinLogLevel(common::LogLevel::kError);
+  EXPECT_EQ(common::MinLogLevel(), common::LogLevel::kError);
+  common::SetMinLogLevel(before);
+}
+
+TEST(FromIncidenceTest, BuildsAValidIndex) {
+  auto index = influence::InfluenceIndex::FromIncidence(
+      {{0, 2}, {}, {1}}, 3, 42.0);
+  EXPECT_EQ(index.num_billboards(), 3);
+  EXPECT_EQ(index.num_trajectories(), 3);
+  EXPECT_EQ(index.TotalSupply(), 3);
+  EXPECT_DOUBLE_EQ(index.lambda(), 42.0);
+  EXPECT_EQ(index.InfluenceOf(0), 2);
+  EXPECT_EQ(index.InfluenceOfSet({0, 2}), 3);
+}
+
+TEST(FromIncidenceTest, RejectsUnsortedLists) {
+  EXPECT_DEATH(influence::InfluenceIndex::FromIncidence({{2, 0}}, 3, 1.0),
+               "Check failed");
+}
+
+TEST(FromIncidenceTest, RejectsDuplicateEntries) {
+  EXPECT_DEATH(influence::InfluenceIndex::FromIncidence({{1, 1}}, 3, 1.0),
+               "Check failed");
+}
+
+TEST(FromIncidenceTest, RejectsOutOfRangeTrajectories) {
+  EXPECT_DEATH(influence::InfluenceIndex::FromIncidence({{0, 5}}, 3, 1.0),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace mroam

@@ -1,0 +1,77 @@
+#include "model/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace mroam::model {
+namespace {
+
+Dataset TwoTrajectoryDataset() {
+  Dataset d;
+  d.name = "fixture";
+  Billboard b0;
+  b0.id = 0;
+  b0.location = {0, 0};
+  d.billboards.push_back(b0);
+
+  Trajectory t0;
+  t0.id = 0;
+  t0.points = {{0, 0}, {3000, 4000}};  // 5 km
+  t0.travel_time_seconds = 600;
+  Trajectory t1;
+  t1.id = 1;
+  t1.points = {{0, 0}, {0, 1000}};  // 1 km
+  t1.travel_time_seconds = 200;
+  d.trajectories = {t0, t1};
+  return d;
+}
+
+TEST(ComputeStatsTest, AveragesMatchHandComputation) {
+  DatasetStats stats = ComputeStats(TwoTrajectoryDataset());
+  EXPECT_EQ(stats.num_billboards, 1u);
+  EXPECT_EQ(stats.num_trajectories, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_distance_km, 3.0);
+  EXPECT_DOUBLE_EQ(stats.avg_travel_time_sec, 400.0);
+  EXPECT_DOUBLE_EQ(stats.avg_points_per_trajectory, 2.0);
+}
+
+TEST(ComputeStatsTest, EmptyDataset) {
+  Dataset d;
+  DatasetStats stats = ComputeStats(d);
+  EXPECT_EQ(stats.num_trajectories, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_distance_km, 0.0);
+}
+
+TEST(ReindexDatasetTest, AssignsDenseIds) {
+  Dataset d = TwoTrajectoryDataset();
+  d.billboards[0].id = 99;
+  d.trajectories[1].id = 42;
+  ReindexDataset(&d);
+  EXPECT_EQ(d.billboards[0].id, 0);
+  EXPECT_EQ(d.trajectories[0].id, 0);
+  EXPECT_EQ(d.trajectories[1].id, 1);
+}
+
+TEST(ValidateDatasetTest, AcceptsValid) {
+  EXPECT_EQ(ValidateDataset(TwoTrajectoryDataset()), "");
+}
+
+TEST(ValidateDatasetTest, RejectsNonDenseBillboardIds) {
+  Dataset d = TwoTrajectoryDataset();
+  d.billboards[0].id = 5;
+  EXPECT_NE(ValidateDataset(d), "");
+}
+
+TEST(ValidateDatasetTest, RejectsNonDenseTrajectoryIds) {
+  Dataset d = TwoTrajectoryDataset();
+  d.trajectories[1].id = 7;
+  EXPECT_NE(ValidateDataset(d), "");
+}
+
+TEST(ValidateDatasetTest, RejectsEmptyTrajectory) {
+  Dataset d = TwoTrajectoryDataset();
+  d.trajectories[0].points.clear();
+  EXPECT_NE(ValidateDataset(d), "");
+}
+
+}  // namespace
+}  // namespace mroam::model

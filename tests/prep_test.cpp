@@ -1,0 +1,214 @@
+#include "prep/raw_ingest.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "geo/projection.h"
+
+namespace mroam::prep {
+namespace {
+
+// --- Projection -----------------------------------------------------------
+
+TEST(ProjectorTest, OriginMapsToZero) {
+  geo::Projector proj(-74.0, 40.7);
+  geo::Point p = proj.Project(-74.0, 40.7);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(ProjectorTest, OneDegreeLatitudeIs111Km) {
+  geo::Projector proj(-74.0, 40.7);
+  geo::Point p = proj.Project(-74.0, 41.7);
+  EXPECT_NEAR(p.y, 111195.0, 100.0);
+  EXPECT_NEAR(p.x, 0.0, 1e-6);
+}
+
+TEST(ProjectorTest, LongitudeShrinksWithLatitude) {
+  geo::Projector equator(0.0, 0.0);
+  geo::Projector nyc(0.0, 40.7);
+  double at_equator = equator.Project(1.0, 0.0).x;
+  double at_nyc = nyc.Project(1.0, 40.7).x;
+  EXPECT_NEAR(at_nyc / at_equator, std::cos(40.7 * std::numbers::pi / 180.0),
+              1e-9);
+}
+
+TEST(ProjectorTest, RoundTripsThroughUnproject) {
+  geo::Projector proj(103.8, 1.35);  // Singapore
+  double lon = 0.0, lat = 0.0;
+  proj.Unproject(proj.Project(103.95, 1.29), &lon, &lat);
+  EXPECT_NEAR(lon, 103.95, 1e-9);
+  EXPECT_NEAR(lat, 1.29, 1e-9);
+}
+
+// --- Raw ingest -----------------------------------------------------------
+
+class IngestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mroam_prep_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) {
+    return (dir_ / name).string();
+  }
+  void WriteFile(const std::string& name, const std::string& contents) {
+    std::ofstream out(PathFor(name));
+    out << contents;
+  }
+
+  /// NYC-ish config: crop to a box around Manhattan, sane trip lengths.
+  static IngestConfig NycConfig() {
+    IngestConfig config;
+    config.min_lon = -74.05;
+    config.max_lon = -73.90;
+    config.min_lat = 40.65;
+    config.max_lat = 40.90;
+    config.min_trip_m = 200.0;
+    config.max_trip_m = 30000.0;
+    return config;
+  }
+
+  static geo::Projector NycProjector() { return {-74.0, 40.75}; }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IngestTest, KeepsCleanRowsAndProjects) {
+  // Two clean trips (~1.1 km and ~2.2 km) with durations.
+  WriteFile("trips.csv",
+            "-73.99,40.75,-73.98,40.755,300\n"
+            "-73.97,40.76,-73.95,40.77,600\n");
+  IngestStats stats;
+  auto trips = IngestTrips(PathFor("trips.csv"), TripColumns{},
+                           NycConfig(), NycProjector(), &stats);
+  ASSERT_TRUE(trips.ok()) << trips.status();
+  ASSERT_EQ(trips->size(), 2u);
+  EXPECT_EQ(stats.rows_read, 2);
+  EXPECT_EQ(stats.rows_kept, 2);
+  EXPECT_EQ((*trips)[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ((*trips)[0].travel_time_seconds, 300.0);
+  // ~0.01 deg lon at 40.75N is ~845 m; straight-line trip ~ 1010 m.
+  double length = geo::Distance((*trips)[0].points[0], (*trips)[0].points[1]);
+  EXPECT_NEAR(length, 1010.0, 60.0);
+}
+
+TEST_F(IngestTest, DropsOutOfBoundsRows) {
+  WriteFile("trips.csv",
+            "-73.99,40.75,-73.98,40.755,300\n"
+            "-75.50,40.75,-73.98,40.755,300\n"   // pickup far west
+            "-73.99,40.75,-73.98,41.90,300\n");  // dropoff far north
+  IngestStats stats;
+  auto trips = IngestTrips(PathFor("trips.csv"), TripColumns{},
+                           NycConfig(), NycProjector(), &stats);
+  ASSERT_TRUE(trips.ok());
+  EXPECT_EQ(trips->size(), 1u);
+  EXPECT_EQ(stats.dropped_bounds, 2);
+}
+
+TEST_F(IngestTest, DropsDegenerateAndAbsurdTrips) {
+  WriteFile("trips.csv",
+            "-73.99,40.75,-73.99,40.75,300\n"     // zero-length
+            "-73.99,40.75,-73.98,40.755,300\n");  // fine
+  IngestStats stats;
+  auto trips = IngestTrips(PathFor("trips.csv"), TripColumns{},
+                           NycConfig(), NycProjector(), &stats);
+  ASSERT_TRUE(trips.ok());
+  EXPECT_EQ(trips->size(), 1u);
+  EXPECT_EQ(stats.dropped_length, 1);
+}
+
+TEST_F(IngestTest, SkipsOrFailsOnBadRowsPerConfig) {
+  WriteFile("trips.csv",
+            "oops,bad,row,entirely,\n"
+            "-73.99,40.75,-73.98,40.755,300\n");
+  IngestConfig lenient = NycConfig();
+  IngestStats stats;
+  auto trips = IngestTrips(PathFor("trips.csv"), TripColumns{}, lenient,
+                           NycProjector(), &stats);
+  ASSERT_TRUE(trips.ok());
+  EXPECT_EQ(trips->size(), 1u);
+  EXPECT_EQ(stats.dropped_parse, 1);
+
+  IngestConfig strict = lenient;
+  strict.skip_bad_rows = false;
+  auto failed = IngestTrips(PathFor("trips.csv"), TripColumns{}, strict,
+                            NycProjector());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), common::StatusCode::kDataLoss);
+}
+
+TEST_F(IngestTest, EstimatesMissingDurations) {
+  WriteFile("trips.csv", "-73.99,40.75,-73.98,40.755\n");
+  TripColumns columns;
+  columns.duration_seconds = -1;
+  IngestConfig config = NycConfig();
+  config.assumed_speed_mps = 10.0;
+  auto trips = IngestTrips(PathFor("trips.csv"), columns, config,
+                           NycProjector());
+  ASSERT_TRUE(trips.ok()) << trips.status();
+  ASSERT_EQ(trips->size(), 1u);
+  double length = geo::Distance((*trips)[0].points[0], (*trips)[0].points[1]);
+  EXPECT_NEAR((*trips)[0].travel_time_seconds, length / 10.0, 1e-6);
+}
+
+TEST_F(IngestTest, CustomColumnMapping) {
+  // Extra leading columns, lon/lat swapped around.
+  WriteFile("trips.csv", "x,y,40.75,-73.99,40.755,-73.98,420\n");
+  TripColumns columns;
+  columns.pickup_lat = 2;
+  columns.pickup_lon = 3;
+  columns.dropoff_lat = 4;
+  columns.dropoff_lon = 5;
+  columns.duration_seconds = 6;
+  auto trips = IngestTrips(PathFor("trips.csv"), columns, NycConfig(),
+                           NycProjector());
+  ASSERT_TRUE(trips.ok()) << trips.status();
+  ASSERT_EQ(trips->size(), 1u);
+  EXPECT_DOUBLE_EQ((*trips)[0].travel_time_seconds, 420.0);
+}
+
+TEST_F(IngestTest, IngestBillboardsProjectsAndCrops) {
+  WriteFile("boards.csv",
+            "-73.99,40.75\n"
+            "-80.00,40.75\n");  // out of crop
+  IngestStats stats;
+  auto boards = IngestBillboards(PathFor("boards.csv"), BillboardColumns{},
+                                 NycConfig(), NycProjector(), &stats);
+  ASSERT_TRUE(boards.ok());
+  EXPECT_EQ(boards->size(), 1u);
+  EXPECT_EQ(stats.dropped_bounds, 1);
+  EXPECT_EQ((*boards)[0].id, 0);
+}
+
+TEST_F(IngestTest, IngestDatasetEndToEnd) {
+  WriteFile("trips.csv",
+            "-73.99,40.75,-73.98,40.755,300\n"
+            "-73.97,40.76,-73.95,40.77,600\n");
+  WriteFile("boards.csv", "-73.99,40.75\n-73.98,40.755\n");
+  auto dataset = IngestDataset(PathFor("trips.csv"), TripColumns{},
+                               PathFor("boards.csv"), BillboardColumns{},
+                               NycConfig(), NycProjector(), "tlc-slice");
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->name, "tlc-slice");
+  EXPECT_EQ(dataset->trajectories.size(), 2u);
+  EXPECT_EQ(dataset->billboards.size(), 2u);
+  EXPECT_EQ(model::ValidateDataset(*dataset), "");
+}
+
+TEST_F(IngestTest, MissingFileIsIoError) {
+  auto trips = IngestTrips(PathFor("nope.csv"), TripColumns{}, NycConfig(),
+                           NycProjector());
+  ASSERT_FALSE(trips.ok());
+  EXPECT_EQ(trips.status().code(), common::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mroam::prep

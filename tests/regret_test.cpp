@@ -1,0 +1,171 @@
+#include "core/regret.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mroam::core {
+namespace {
+
+using mroam::testing::Adv;
+
+TEST(RegretTest, ZeroInfluenceCostsFullPayment) {
+  // gamma-independent: I(S)=0 makes the discount term vanish.
+  for (double gamma : {0.0, 0.5, 1.0}) {
+    RegretParams params{gamma};
+    EXPECT_DOUBLE_EQ(Regret(Adv(0, 10, 100.0), 0, params), 100.0);
+  }
+}
+
+TEST(RegretTest, ExactSatisfactionIsZeroRegret) {
+  RegretParams params{0.5};
+  EXPECT_DOUBLE_EQ(Regret(Adv(0, 10, 100.0), 10, params), 0.0);
+}
+
+TEST(RegretTest, UnsatisfiedBranchMatchesEquationOne) {
+  // R = L (1 - gamma * I/I_i).
+  RegretParams params{0.5};
+  EXPECT_DOUBLE_EQ(Regret(Adv(0, 10, 100.0), 6, params),
+                   100.0 * (1.0 - 0.5 * 0.6));
+}
+
+TEST(RegretTest, ExcessiveBranchMatchesEquationOne) {
+  // R = L (I - I_i) / I_i.
+  RegretParams params{0.5};
+  EXPECT_DOUBLE_EQ(Regret(Adv(0, 10, 100.0), 15, params), 50.0);
+  EXPECT_DOUBLE_EQ(Regret(Adv(0, 10, 100.0), 20, params), 100.0);
+  // Excessive regret can exceed the payment (more than 2x demand).
+  EXPECT_DOUBLE_EQ(Regret(Adv(0, 10, 100.0), 30, params), 200.0);
+}
+
+TEST(RegretTest, GammaZeroMeansAllOrNothing) {
+  RegretParams params{0.0};
+  EXPECT_DOUBLE_EQ(Regret(Adv(0, 10, 100.0), 9, params), 100.0);
+  EXPECT_DOUBLE_EQ(Regret(Adv(0, 10, 100.0), 10, params), 0.0);
+}
+
+TEST(RegretTest, GammaOneMeansProportionalPayment) {
+  RegretParams params{1.0};
+  EXPECT_DOUBLE_EQ(Regret(Adv(0, 10, 100.0), 7, params), 30.0);
+}
+
+TEST(RegretTest, UnsatisfiedRegretDecreasesWithInfluence) {
+  RegretParams params{0.75};
+  double prev = Regret(Adv(0, 100, 50.0), 0, params);
+  for (int64_t achieved = 1; achieved < 100; ++achieved) {
+    double cur = Regret(Adv(0, 100, 50.0), achieved, params);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(RegretTest, ExcessiveRegretIncreasesWithInfluence) {
+  RegretParams params{0.5};
+  double prev = Regret(Adv(0, 100, 50.0), 100, params);
+  for (int64_t achieved = 101; achieved < 200; ++achieved) {
+    double cur = Regret(Adv(0, 100, 50.0), achieved, params);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(SatisfiedTest, BoundaryAtDemand) {
+  EXPECT_FALSE(Satisfied(Adv(0, 10, 1.0), 9));
+  EXPECT_TRUE(Satisfied(Adv(0, 10, 1.0), 10));
+  EXPECT_TRUE(Satisfied(Adv(0, 10, 1.0), 11));
+}
+
+TEST(DualRevenueTest, MatchesEquationTwo) {
+  // Unsatisfied: R' = L * I/I_i.
+  EXPECT_DOUBLE_EQ(DualRevenue(Adv(0, 10, 100.0), 6), 60.0);
+  // Satisfied: R' = L - L (I - I_i)/I_i.
+  EXPECT_DOUBLE_EQ(DualRevenue(Adv(0, 10, 100.0), 10), 100.0);
+  EXPECT_DOUBLE_EQ(DualRevenue(Adv(0, 10, 100.0), 15), 50.0);
+  EXPECT_DOUBLE_EQ(DualRevenue(Adv(0, 10, 100.0), 0), 0.0);
+}
+
+TEST(DualRevenueTest, ZeroRegretIffFullDualPayment) {
+  // "R' mimics R as R(S_i) = 0 iff R'(S_i) = L_i" (§6.3).
+  RegretParams params{0.5};
+  for (int64_t achieved : {0, 5, 9, 10, 11, 20, 30}) {
+    market::Advertiser a = Adv(0, 10, 100.0);
+    bool zero_regret = Regret(a, achieved, params) == 0.0;
+    bool full_dual = DualRevenue(a, achieved) == a.payment;
+    EXPECT_EQ(zero_regret, full_dual) << "achieved=" << achieved;
+  }
+}
+
+TEST(DualRevenueTest, DualityIdentityInSatisfiedBranch) {
+  // R + R' = L for any gamma once the demand is met.
+  for (double gamma : {0.0, 0.3, 1.0}) {
+    RegretParams params{gamma};
+    for (int64_t achieved : {10, 13, 25}) {
+      market::Advertiser a = Adv(0, 10, 100.0);
+      EXPECT_DOUBLE_EQ(Regret(a, achieved, params) + DualRevenue(a, achieved),
+                       100.0);
+    }
+  }
+}
+
+TEST(DualRevenueTest, DualityIdentityUnsatisfiedRequiresGammaOne) {
+  market::Advertiser a = Adv(0, 10, 100.0);
+  RegretParams gamma_one{1.0};
+  EXPECT_DOUBLE_EQ(Regret(a, 4, gamma_one) + DualRevenue(a, 4), 100.0);
+  RegretParams gamma_half{0.5};
+  EXPECT_GT(Regret(a, 4, gamma_half) + DualRevenue(a, 4), 100.0);
+}
+
+// Parameterized sweep over the (gamma, demand) grid: checks the exact
+// values of Equation 1 on both sides of the satisfaction boundary and the
+// size of the jump discontinuity at I(S) = I_i, which is L * (1 - gamma).
+class RegretGridTest
+    : public ::testing::TestWithParam<std::tuple<double, int64_t>> {};
+
+TEST_P(RegretGridTest, EquationOneOnBothSidesOfTheBoundary) {
+  const double gamma = std::get<0>(GetParam());
+  const int64_t demand = std::get<1>(GetParam());
+  const double payment = 3.0 * static_cast<double>(demand);
+  market::Advertiser a = Adv(0, demand, payment);
+  RegretParams params{gamma};
+
+  for (int64_t achieved = 0; achieved <= 2 * demand; ++achieved) {
+    double expected;
+    if (achieved < demand) {
+      expected = payment * (1.0 - gamma * static_cast<double>(achieved) /
+                                      static_cast<double>(demand));
+    } else {
+      expected = payment * static_cast<double>(achieved - demand) /
+                 static_cast<double>(demand);
+    }
+    EXPECT_NEAR(Regret(a, achieved, params), expected, 1e-9)
+        << "achieved=" << achieved;
+  }
+  // The jump at the boundary: R(I_i - 1) - R(I_i) -> L(1 - gamma) as
+  // demands grow; exactly L(1-gamma) + L*gamma/I_i for integer influence.
+  double jump = Regret(a, demand - 1, params) - Regret(a, demand, params);
+  EXPECT_NEAR(jump,
+              payment * (1.0 - gamma) +
+                  payment * gamma / static_cast<double>(demand),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaDemandGrid, RegretGridTest,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values<int64_t>(1, 7, 100)));
+
+TEST(RegretBreakdownTest, Percentages) {
+  RegretBreakdown b;
+  b.excessive = 30.0;
+  b.unsatisfied_penalty = 70.0;
+  b.total = 100.0;
+  EXPECT_DOUBLE_EQ(b.ExcessivePercent(), 30.0);
+  EXPECT_DOUBLE_EQ(b.UnsatisfiedPercent(), 70.0);
+
+  RegretBreakdown zero;
+  EXPECT_DOUBLE_EQ(zero.ExcessivePercent(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.UnsatisfiedPercent(), 0.0);
+}
+
+}  // namespace
+}  // namespace mroam::core

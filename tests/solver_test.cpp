@@ -1,0 +1,135 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mroam::core {
+namespace {
+
+using mroam::testing::IndexFromIncidence;
+using mroam::testing::PaperExampleAdvertisers;
+using mroam::testing::PaperExampleIncidence;
+
+TEST(MethodTest, NamesAndEnumeration) {
+  EXPECT_STREQ(MethodName(Method::kGOrder), "G-Order");
+  EXPECT_STREQ(MethodName(Method::kGGlobal), "G-Global");
+  EXPECT_STREQ(MethodName(Method::kAls), "ALS");
+  EXPECT_STREQ(MethodName(Method::kBls), "BLS");
+  EXPECT_EQ(AllMethods().size(), 4u);
+}
+
+class SolverTest : public ::testing::Test {
+ protected:
+  SolverTest()
+      : index_(IndexFromIncidence(PaperExampleIncidence(), 20, &dataset_)) {}
+
+  model::Dataset dataset_;
+  influence::InfluenceIndex index_;
+};
+
+TEST_F(SolverTest, AllMethodsProduceConsistentResults) {
+  for (Method method : AllMethods()) {
+    SolverConfig config;
+    config.method = method;
+    SolveResult result = Solve(index_, PaperExampleAdvertisers(), config);
+
+    ASSERT_EQ(result.sets.size(), 3u);
+    ASSERT_EQ(result.influences.size(), 3u);
+
+    // Sets are disjoint and within range.
+    std::set<model::BillboardId> seen;
+    for (const auto& set : result.sets) {
+      for (model::BillboardId o : set) {
+        EXPECT_GE(o, 0);
+        EXPECT_LT(o, index_.num_billboards());
+        EXPECT_TRUE(seen.insert(o).second)
+            << MethodName(method) << ": billboard " << o << " assigned twice";
+      }
+    }
+
+    // Reported influence matches an independent union count.
+    for (size_t a = 0; a < result.sets.size(); ++a) {
+      EXPECT_EQ(result.influences[a], index_.InfluenceOfSet(result.sets[a]))
+          << MethodName(method) << " advertiser " << a;
+    }
+
+    // Breakdown is internally consistent.
+    EXPECT_NEAR(result.breakdown.total,
+                result.breakdown.excessive +
+                    result.breakdown.unsatisfied_penalty,
+                1e-9);
+    EXPECT_GE(result.breakdown.total, -1e-9);
+    EXPECT_EQ(result.breakdown.advertiser_count, 3);
+    EXPECT_GE(result.seconds, 0.0);
+  }
+}
+
+TEST_F(SolverTest, DeterministicAcrossRunsWithSameSeed) {
+  for (Method method : {Method::kAls, Method::kBls}) {
+    SolverConfig config;
+    config.method = method;
+    config.seed = 99;
+    SolveResult a = Solve(index_, PaperExampleAdvertisers(), config);
+    SolveResult b = Solve(index_, PaperExampleAdvertisers(), config);
+    EXPECT_DOUBLE_EQ(a.breakdown.total, b.breakdown.total);
+    EXPECT_EQ(a.influences, b.influences);
+  }
+}
+
+TEST_F(SolverTest, LocalSearchMethodsBeatOrMatchGGlobal) {
+  SolverConfig global_cfg;
+  global_cfg.method = Method::kGGlobal;
+  double global = Solve(index_, PaperExampleAdvertisers(), global_cfg)
+                      .breakdown.total;
+  for (Method method : {Method::kAls, Method::kBls}) {
+    SolverConfig config;
+    config.method = method;
+    double regret =
+        Solve(index_, PaperExampleAdvertisers(), config).breakdown.total;
+    EXPECT_LE(regret, global + 1e-9) << MethodName(method);
+  }
+}
+
+TEST_F(SolverTest, BlsSolvesThePaperExampleExactly) {
+  SolverConfig config;
+  config.method = Method::kBls;
+  SolveResult result = Solve(index_, PaperExampleAdvertisers(), config);
+  EXPECT_DOUBLE_EQ(result.breakdown.total, 0.0);
+  EXPECT_EQ(result.breakdown.satisfied_count, 3);
+}
+
+TEST_F(SolverTest, SearchStatsPopulatedForLocalSearchOnly) {
+  SolverConfig greedy_cfg;
+  greedy_cfg.method = Method::kGGlobal;
+  EXPECT_EQ(Solve(index_, PaperExampleAdvertisers(), greedy_cfg)
+                .search_stats.deltas_evaluated,
+            0);
+  SolverConfig bls_cfg;
+  bls_cfg.method = Method::kBls;
+  EXPECT_GT(Solve(index_, PaperExampleAdvertisers(), bls_cfg)
+                .search_stats.deltas_evaluated,
+            0);
+}
+
+TEST_F(SolverTest, GammaFlowsThroughToTheObjective) {
+  // With gamma = 1 and an unsatisfiable market the regret is lower than
+  // with gamma = 0 (partial payments soften the penalty).
+  std::vector<market::Advertiser> huge = {
+      mroam::testing::Adv(0, 1000, 100.0)};
+  SolverConfig strict;
+  strict.method = Method::kGGlobal;
+  strict.regret.gamma = 0.0;
+  SolverConfig lenient = strict;
+  lenient.regret.gamma = 1.0;
+  double strict_regret = Solve(index_, huge, strict).breakdown.total;
+  double lenient_regret = Solve(index_, huge, lenient).breakdown.total;
+  EXPECT_DOUBLE_EQ(strict_regret, 100.0);
+  EXPECT_LT(lenient_regret, strict_regret);
+}
+
+}  // namespace
+}  // namespace mroam::core

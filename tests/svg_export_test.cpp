@@ -1,0 +1,109 @@
+#include "eval/svg_export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mroam::eval {
+namespace {
+
+using mroam::testing::Adv;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+model::Dataset SmallCity() {
+  model::Dataset d;
+  d.name = "svg-fixture";
+  for (int i = 0; i < 4; ++i) {
+    model::Billboard b;
+    b.id = i;
+    b.location = {100.0 * i, 50.0 * i};
+    d.billboards.push_back(b);
+  }
+  model::Trajectory t;
+  t.id = 0;
+  t.points = {{0, 0}, {300, 150}};
+  d.trajectories.push_back(t);
+  return d;
+}
+
+core::SolveResult TwoAdvertiserResult() {
+  core::SolveResult result;
+  result.sets = {{0, 2}, {1}};  // billboard 3 unassigned
+  result.influences = {1, 1};
+  return result;
+}
+
+TEST(AdvertiserColorTest, StableAndCycling) {
+  EXPECT_EQ(AdvertiserColor(0), AdvertiserColor(0));
+  EXPECT_NE(AdvertiserColor(0), AdvertiserColor(1));
+  EXPECT_EQ(AdvertiserColor(0), AdvertiserColor(16));  // palette cycles
+  EXPECT_EQ(AdvertiserColor(3).front(), '#');
+}
+
+TEST(WriteDeploymentSvgTest, ProducesWellFormedSvg) {
+  std::string path = ::testing::TempDir() + "/mroam_map.svg";
+  ASSERT_TRUE(
+      WriteDeploymentSvg(path, SmallCity(), TwoAdvertiserResult()).ok());
+  std::string svg = ReadFile(path);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Four billboards drawn.
+  size_t circles = 0;
+  for (size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 4u);
+  // Advertiser colors and the unassigned grey all appear.
+  EXPECT_NE(svg.find(AdvertiserColor(0)), std::string::npos);
+  EXPECT_NE(svg.find(AdvertiserColor(1)), std::string::npos);
+  EXPECT_NE(svg.find("#bbbbbb"), std::string::npos);
+  // Trajectory layer present by default.
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(WriteDeploymentSvgTest, TrajectoryLayerCanBeDisabled) {
+  std::string path = ::testing::TempDir() + "/mroam_map_no_traj.svg";
+  SvgOptions options;
+  options.trajectory_fraction = 0.0;
+  ASSERT_TRUE(WriteDeploymentSvg(path, SmallCity(), TwoAdvertiserResult(),
+                                 options)
+                  .ok());
+  EXPECT_EQ(ReadFile(path).find("<polyline"), std::string::npos);
+}
+
+TEST(WriteDeploymentSvgTest, RejectsEmptyDataset) {
+  model::Dataset empty;
+  core::SolveResult result;
+  EXPECT_FALSE(WriteDeploymentSvg(::testing::TempDir() + "/x.svg", empty,
+                                  result)
+                   .ok());
+}
+
+TEST(WriteDeploymentSvgTest, RejectsBadOptions) {
+  SvgOptions options;
+  options.width_px = 0;
+  EXPECT_FALSE(WriteDeploymentSvg(::testing::TempDir() + "/x.svg",
+                                  SmallCity(), TwoAdvertiserResult(),
+                                  options)
+                   .ok());
+}
+
+TEST(WriteDeploymentSvgTest, UnwritablePathIsIoError) {
+  auto status = WriteDeploymentSvg("/nonexistent_mroam_dir/map.svg",
+                                   SmallCity(), TwoAdvertiserResult());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mroam::eval
