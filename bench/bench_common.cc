@@ -28,6 +28,17 @@ BenchScale ScaleFromEnv() {
   return scale;
 }
 
+int32_t ThreadsFromEnv() {
+  const char* env = std::getenv("MROAM_BENCH_THREADS");
+  if (env == nullptr) return 1;
+  auto threads = common::ParseInt64(env);
+  if (!threads.ok() || *threads < 0 || *threads > 1024) {
+    std::cerr << "ignoring invalid MROAM_BENCH_THREADS='" << env << "'\n";
+    return 1;
+  }
+  return static_cast<int32_t>(*threads);
+}
+
 model::Dataset MakeCity(City city, const BenchScale& scale) {
   if (city == City::kNyc) {
     gen::NycLikeConfig config;  // 1,462 billboards (Table 5)
@@ -54,6 +65,7 @@ eval::ExperimentConfig DefaultExperimentConfig() {
   config.local_search.restarts = 3;
   config.local_search.max_sweeps = 6;
   config.local_search.max_exchange_candidates = 500;
+  config.local_search.num_threads = ThreadsFromEnv();
   config.workload_seed = 7;
   config.solver_seed = 42;
   return config;

@@ -29,6 +29,12 @@ struct BenchScale {
 /// Reads MROAM_BENCH_SCALE and applies it to the defaults.
 BenchScale ScaleFromEnv();
 
+/// Reads MROAM_BENCH_THREADS — the `num_threads` knob the benches pass to
+/// the solver (parallel ALS/BLS restarts). 1 (the default) keeps the
+/// single-core budget of DESIGN.md §4; 0 means one thread per hardware
+/// core; results are bit-identical for every value.
+int32_t ThreadsFromEnv();
+
 /// Generates the requested city at bench scale with a fixed seed.
 model::Dataset MakeCity(City city, const BenchScale& scale);
 

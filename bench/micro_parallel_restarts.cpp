@@ -1,0 +1,146 @@
+// Parallel restart engine study: wall-clock speedup and bit-level
+// determinism of Algorithm 3's randomized restarts across thread counts.
+// Writes BENCH_parallel.json (cwd) with one record per thread count so CI
+// can track both the speedup curve and the determinism invariant
+// (TotalRegret at N threads must equal TotalRegret at 1 thread).
+//
+// Scale with MROAM_BENCH_SCALE as usual; the restart count (default 8,
+// override MROAM_BENCH_RESTARTS) is the parallelism available to the
+// engine, so speedup saturates at min(threads, restarts + 1).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "core/solver.h"
+#include "market/workload.h"
+
+namespace mroam::bench {
+namespace {
+
+struct ThreadPoint {
+  int32_t threads = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  double total_regret = 0.0;
+  bool deterministic = true;
+};
+
+int32_t RestartsFromEnv() {
+  const char* env = std::getenv("MROAM_BENCH_RESTARTS");
+  if (env == nullptr) return 8;
+  auto parsed = common::ParseInt64(env);
+  if (!parsed.ok() || *parsed < 0 || *parsed > 4096) {
+    std::cerr << "ignoring invalid MROAM_BENCH_RESTARTS='" << env << "'\n";
+    return 8;
+  }
+  return static_cast<int32_t>(*parsed);
+}
+
+void WriteJson(const std::string& path, const model::Dataset& dataset,
+               const influence::InfluenceIndex& index, int32_t restarts,
+               const std::vector<ThreadPoint>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"micro_parallel_restarts\",\n"
+      << "  \"dataset\": \"" << dataset.name << "\",\n"
+      << "  \"trajectories\": " << dataset.trajectories.size() << ",\n"
+      << "  \"billboards\": " << dataset.billboards.size() << ",\n"
+      << "  \"lambda\": " << index.lambda() << ",\n"
+      << "  \"restarts\": " << restarts << ",\n"
+      << "  \"hardware_threads\": "
+      << common::ThreadPool::HardwareThreads() << ",\n"
+      << "  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ThreadPoint& p = points[i];
+    out << "    {\"threads\": " << p.threads << ", \"seconds\": "
+        << common::FormatDouble(p.seconds, 4) << ", \"speedup\": "
+        << common::FormatDouble(p.speedup, 3) << ", \"total_regret\": "
+        << common::FormatDouble(p.total_regret, 6)
+        << ", \"deterministic\": " << (p.deterministic ? "true" : "false")
+        << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int Run() {
+  BenchScale scale = ScaleFromEnv();
+  scale.nyc_trajectories = std::max(200, scale.nyc_trajectories / 4);
+  model::Dataset dataset = MakeCity(City::kNyc, scale);
+  influence::InfluenceIndex index = MakeIndex(dataset, /*lambda=*/100.0);
+  PrintBanner("micro_parallel_restarts", dataset, index);
+
+  eval::ExperimentConfig experiment = DefaultExperimentConfig();
+  common::Rng workload_rng(experiment.workload_seed);
+  auto ads = market::GenerateAdvertisers(index.TotalSupply(),
+                                         experiment.workload, &workload_rng);
+  if (!ads.ok()) {
+    std::cerr << "workload generation failed: " << ads.status() << "\n";
+    return 1;
+  }
+
+  const int32_t restarts = RestartsFromEnv();
+  core::SolverConfig solver;
+  solver.method = core::Method::kBls;
+  solver.regret = experiment.regret;
+  solver.local_search = experiment.local_search;
+  solver.local_search.restarts = restarts;
+  solver.seed = experiment.solver_seed;
+
+  std::cout << "BLS, " << restarts << " restarts (+1 incumbent), "
+            << ads->size() << " advertisers, hardware threads: "
+            << common::ThreadPool::HardwareThreads() << "\n\n"
+            << "threads  seconds   speedup  total-regret  deterministic\n";
+
+  std::vector<ThreadPoint> points;
+  for (int32_t threads : {1, 2, 4, 8}) {
+    solver.local_search.num_threads = threads;
+    common::Stopwatch watch;
+    core::SolveResult result = core::Solve(index, *ads, solver);
+    ThreadPoint point;
+    point.threads = threads;
+    point.seconds = watch.ElapsedSeconds();
+    point.total_regret = result.breakdown.total;
+    point.speedup =
+        points.empty() ? 1.0
+                       : points.front().seconds / std::max(point.seconds,
+                                                           1e-9);
+    // Bit-identical to the 1-thread run: the engine's core guarantee.
+    point.deterministic =
+        points.empty() ||
+        point.total_regret == points.front().total_regret;
+    points.push_back(point);
+    std::cout << common::FormatDouble(threads, 0) << "        "
+              << common::FormatDouble(point.seconds, 3) << "    "
+              << common::FormatDouble(point.speedup, 2) << "x    "
+              << common::FormatDouble(point.total_regret, 2) << "      "
+              << (point.deterministic ? "yes" : "NO — BUG") << "\n";
+  }
+
+  WriteJson("BENCH_parallel.json", dataset, index, restarts, points);
+  std::cout << "\nwrote BENCH_parallel.json\n";
+
+  bool all_deterministic = true;
+  for (const ThreadPoint& p : points) {
+    all_deterministic = all_deterministic && p.deterministic;
+  }
+  if (!all_deterministic) {
+    std::cerr << "DETERMINISM VIOLATION: thread count changed the result\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mroam::bench
+
+int main() { return mroam::bench::Run(); }

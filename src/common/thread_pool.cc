@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include <exception>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mroam::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  MROAM_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> result = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MROAM_CHECK(!stopping_);
+    queue_.push(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // a throwing task parks its exception in the future
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    futures.push_back(pool->Submit([&fn, i] { fn(i); }));
+  }
+  std::exception_ptr first;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace mroam::common

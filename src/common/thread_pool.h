@@ -1,0 +1,66 @@
+#ifndef MROAM_COMMON_THREAD_POOL_H_
+#define MROAM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mroam::common {
+
+/// Fixed-size pool of worker threads executing submitted tasks in FIFO
+/// order. Built for deterministic fan-out/join parallelism (the
+/// randomized-restart engine, DESIGN.md §5.4): no work stealing and no
+/// priorities, so reproducibility is the caller's job — make every task
+/// self-contained (its own Rng stream forked *before* submission, its own
+/// output slot) and reduce results in task-index order afterwards.
+///
+/// Tasks may throw: the exception is captured in the future returned by
+/// Submit and rethrown from future::get(). Workers never swallow errors.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` (>= 1) workers.
+  explicit ThreadPool(int num_threads);
+
+  /// Runs every already-queued task to completion, then joins the
+  /// workers. Submitting during destruction is a programming error.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. The future becomes ready when the task finishes and
+  /// rethrows anything the task threw.
+  std::future<void> Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency clamped to >= 1 (the standard
+  /// allows it to report 0 when unknown).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0), ..., fn(n-1) across `pool` and waits for all of them.
+/// Tasks must write only to disjoint state. If any task throws, the
+/// lowest-index exception is rethrown after every task has finished. A
+/// null (or single-threaded) pool degenerates to an inline loop on the
+/// calling thread — same results, no handoff.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace mroam::common
+
+#endif  // MROAM_COMMON_THREAD_POOL_H_

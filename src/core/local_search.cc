@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/greedy.h"
 
 namespace mroam::core {
@@ -54,8 +56,11 @@ namespace {
 bool TryExchangeAcrossPair(Assignment* assignment, AdvertiserId i,
                            AdvertiserId j, const LocalSearchConfig& config,
                            common::Rng* rng, LocalSearchStats* stats) {
-  const std::vector<BillboardId>& si = assignment->BillboardsOf(i);
-  const std::vector<BillboardId>& sj = assignment->BillboardsOf(j);
+  // Snapshot the scan lists by value: ExchangeAcross reorders both
+  // owners' lists, so scanning live references into BillboardsOf() while
+  // a first-improvement move mutates them would be use-after-invalidate.
+  const std::vector<BillboardId> si = assignment->BillboardsOf(i);
+  const std::vector<BillboardId> sj = assignment->BillboardsOf(j);
   if (si.empty() || sj.empty()) return false;
 
   const int64_t pairs =
@@ -94,8 +99,7 @@ bool TryExchangeAcrossPair(Assignment* assignment, AdvertiserId i,
       if (consider(om, on)) return true;
     }
   } else {
-    // Exhaustive scan (the paper's ∃ o_m, o_n neighborhood). Snapshot the
-    // lists: we mutate only after deciding.
+    // Exhaustive scan (the paper's ∃ o_m, o_n neighborhood).
     for (BillboardId om : si) {
       for (BillboardId on : sj) {
         if (consider(om, on)) return true;
@@ -114,8 +118,10 @@ bool TryExchangeAcrossPair(Assignment* assignment, AdvertiserId i,
 bool TryReplaceWithFree(Assignment* assignment, AdvertiserId i,
                         const LocalSearchConfig& config, common::Rng* rng,
                         LocalSearchStats* stats) {
-  const std::vector<BillboardId>& si = assignment->BillboardsOf(i);
-  const std::vector<BillboardId>& free = assignment->FreeBillboards();
+  // Snapshot by value for the same reason as TryExchangeAcrossPair:
+  // Replace reorders both the owner's list and the free pool.
+  const std::vector<BillboardId> si = assignment->BillboardsOf(i);
+  const std::vector<BillboardId> free = assignment->FreeBillboards();
   if (si.empty() || free.empty()) return false;
 
   const int64_t pairs =
@@ -226,6 +232,32 @@ LocalSearchStats BillboardDrivenLocalSearch(Assignment* assignment,
   return stats;
 }
 
+namespace {
+
+/// Improves `plan` in place with the chosen neighborhood search,
+/// accumulating effort counters into `stats`.
+void RunStrategy(Assignment* plan, SearchStrategy strategy,
+                 const LocalSearchConfig& config, common::Rng* rng,
+                 LocalSearchStats* stats) {
+  LocalSearchStats s;
+  if (strategy == SearchStrategy::kAdvertiserDriven) {
+    s = AdvertiserDrivenLocalSearch(plan, config);
+  } else {
+    s = BillboardDrivenLocalSearch(plan, config, rng);
+  }
+  stats->moves_applied += s.moves_applied;
+  stats->deltas_evaluated += s.deltas_evaluated;
+  stats->sweeps += s.sweeps;
+}
+
+/// Resolves LocalSearchConfig::num_threads: 0 = all hardware threads.
+int ResolveNumThreads(int32_t requested) {
+  if (requested <= 0) return common::ThreadPool::HardwareThreads();
+  return static_cast<int>(requested);
+}
+
+}  // namespace
+
 Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
                                  const std::vector<market::Advertiser>& ads,
                                  const RegretParams& params,
@@ -233,43 +265,66 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
                                  const LocalSearchConfig& config,
                                  common::Rng* rng, LocalSearchStats* stats,
                                  uint16_t impression_threshold) {
-  LocalSearchStats total_stats;
-  auto run_search = [&](Assignment* a) {
-    LocalSearchStats s;
-    if (strategy == SearchStrategy::kAdvertiserDriven) {
-      s = AdvertiserDrivenLocalSearch(a, config);
+  const int32_t restarts = std::max(config.restarts, 0);
+  const int32_t tasks = restarts + 1;  // task 0 is the greedy incumbent
+
+  // Fork every task's Rng stream from the caller's generator *before*
+  // any work is dispatched: each task's randomness is then a pure
+  // function of (caller seed, task index), so the outcome is
+  // bit-identical for every thread count and scheduling order.
+  std::vector<common::Rng> task_rngs;
+  task_rngs.reserve(static_cast<size_t>(tasks));
+  for (int32_t t = 0; t < tasks; ++t) task_rngs.push_back(rng->Fork());
+
+  // Each task owns its slot: no synchronization beyond the join.
+  std::vector<std::optional<Assignment>> plans(static_cast<size_t>(tasks));
+  std::vector<LocalSearchStats> task_stats(static_cast<size_t>(tasks));
+
+  auto run_task = [&](int64_t t) {
+    common::Rng* task_rng = &task_rngs[t];
+    Assignment plan(&index, ads, params, impression_threshold);
+    if (t == 0) {
+      // Line 3.1: incumbent from the deterministic synchronous greedy —
+      // improved by the same local search as every restart, so it
+      // competes on equal terms.
+      SynchronousGreedy(&plan);
     } else {
-      s = BillboardDrivenLocalSearch(a, config, rng);
+      // Lines 3.3-3.7: seed every advertiser with one random billboard.
+      for (AdvertiserId a = 0;
+           a < plan.num_advertisers() && !plan.FreeBillboards().empty();
+           ++a) {
+        const std::vector<BillboardId>& free = plan.FreeBillboards();
+        plan.Assign(free[task_rng->UniformU64(free.size())], a);
+      }
+      // Line 3.8: complete the plan greedily.
+      SynchronousGreedy(&plan);
     }
-    total_stats.moves_applied += s.moves_applied;
-    total_stats.deltas_evaluated += s.deltas_evaluated;
-    total_stats.sweeps += s.sweeps;
+    // Line 3.9: local search.
+    RunStrategy(&plan, strategy, config, task_rng, &task_stats[t]);
+    plans[t] = std::move(plan);
   };
 
-  // Line 3.1: incumbent from the deterministic synchronous greedy.
-  Assignment best(&index, ads, params, impression_threshold);
-  SynchronousGreedy(&best);
+  const int num_threads = ResolveNumThreads(config.num_threads);
+  if (num_threads > 1 && tasks > 1) {
+    common::ThreadPool pool(std::min(num_threads, static_cast<int>(tasks)));
+    common::ParallelFor(&pool, tasks, run_task);
+  } else {
+    common::ParallelFor(nullptr, tasks, run_task);
+  }
 
-  for (int32_t iter = 0; iter < config.restarts; ++iter) {
-    // Lines 3.3-3.7: seed every advertiser with one random billboard.
-    Assignment candidate(&index, ads, params, impression_threshold);
-    for (AdvertiserId a = 0;
-         a < candidate.num_advertisers() &&
-         !candidate.FreeBillboards().empty();
-         ++a) {
-      const std::vector<BillboardId>& free = candidate.FreeBillboards();
-      BillboardId o = free[rng->UniformU64(free.size())];
-      candidate.Assign(o, a);
-    }
-    // Line 3.8: complete the plan greedily; line 3.9: local search.
-    SynchronousGreedy(&candidate);
-    run_search(&candidate);
-    if (candidate.TotalRegret() < best.TotalRegret()) {
-      best = std::move(candidate);
-    }
+  // Reduction (lines 3.10-3.11): lowest regret wins; ties go to the
+  // lowest task index (incumbent first, then earlier restarts), keeping
+  // the winner schedule-independent.
+  size_t winner = 0;
+  LocalSearchStats total_stats;
+  for (size_t t = 0; t < plans.size(); ++t) {
+    total_stats.moves_applied += task_stats[t].moves_applied;
+    total_stats.deltas_evaluated += task_stats[t].deltas_evaluated;
+    total_stats.sweeps += task_stats[t].sweeps;
+    if (plans[t]->TotalRegret() < plans[winner]->TotalRegret()) winner = t;
   }
   if (stats != nullptr) *stats = total_stats;
-  return best;
+  return std::move(*plans[winner]);
 }
 
 }  // namespace mroam::core

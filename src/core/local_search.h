@@ -34,6 +34,15 @@ struct LocalSearchConfig {
   /// (the paper's ∃-semantics). Costs a full scan per applied move; the
   /// ablation bench measures whether the steeper descent pays off.
   bool best_improvement = false;
+
+  /// Worker threads for Algorithm 3's restarts (the restarts are
+  /// independent, so they parallelize perfectly). 1 = serial (default);
+  /// 0 = one thread per hardware core; n > 1 = exactly n threads. The
+  /// result is bit-identical for every value: each restart's Rng stream
+  /// is forked from the caller's seed before dispatch and the winner is
+  /// reduced by (regret, restart index), so neither thread count nor
+  /// scheduling order can influence the outcome (DESIGN.md §5.4).
+  int32_t num_threads = 1;
 };
 
 /// Counters reported by the local-search routines.
@@ -67,9 +76,13 @@ enum class SearchStrategy {
 };
 
 /// Algorithm 3 — Randomized Local Search framework: the incumbent starts
-/// as SynchronousGreedy's plan; each restart seeds every advertiser with
-/// one random billboard, completes the plan with SynchronousGreedy, runs
-/// the chosen local search, and keeps the best plan seen.
+/// as SynchronousGreedy's plan *improved by the chosen local search* (it
+/// competes on equal terms with the restarts); each restart seeds every
+/// advertiser with one random billboard, completes the plan with
+/// SynchronousGreedy, runs the chosen local search, and keeps the best
+/// plan seen, ties broken toward the incumbent then earlier restarts.
+/// Restarts run on `config.num_threads` threads; the result is
+/// bit-identical for any thread count at a fixed seed.
 /// `impression_threshold` selects the influence measure (see Assignment).
 Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
                                  const std::vector<market::Advertiser>& ads,

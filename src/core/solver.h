@@ -26,6 +26,9 @@ std::vector<Method> AllMethods();
 struct SolverConfig {
   Method method = Method::kBls;
   RegretParams regret;
+  /// Local-search knobs, including `num_threads`: ALS/BLS restarts run in
+  /// parallel on that many workers with bit-identical results for any
+  /// value (per-restart Rng streams are forked from `seed` up front).
   LocalSearchConfig local_search;
   uint64_t seed = 42;  ///< seeds the Rng driving randomized components
   /// Influence measure: 1 = the paper's set-union meet model (default);

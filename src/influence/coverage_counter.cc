@@ -12,6 +12,11 @@ int64_t CoverageCounter::MarginalGainAfterRemove(model::BillboardId add,
   // t). Membership in rem's sorted list is tested with a merge pointer.
   const auto& add_list = index_->CoveredBy(add);
   const auto& rem_list = index_->CoveredBy(rem);
+  // The monotone merge pointer below silently returns wrong gains if
+  // either list is unsorted; InfluenceIndex guarantees sortedness at
+  // build time and this guards the precondition in debug builds.
+  MROAM_DCHECK(std::is_sorted(add_list.begin(), add_list.end()));
+  MROAM_DCHECK(std::is_sorted(rem_list.begin(), rem_list.end()));
   const uint16_t at_gain = threshold_ - 1;
   int64_t gain = 0;
   size_t ri = 0;

@@ -79,7 +79,9 @@ class CoverageCounter {
 
   /// Influence gained by adding `add` right after removing `rem`, i.e.
   /// I(S \ {rem} ∪ {add}) - I(S \ {rem}), in one pass without mutation.
-  /// Requires rem currently counted and add not counted.
+  /// Requires rem currently counted and add not counted. Relies on both
+  /// incidence lists being sorted ascending (an InfluenceIndex invariant,
+  /// DCHECKed in debug builds) for its merge pointer.
   int64_t MarginalGainAfterRemove(model::BillboardId add,
                                   model::BillboardId rem) const;
 

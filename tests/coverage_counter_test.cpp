@@ -193,5 +193,76 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
                        ::testing::Values(1, 2, 3)));
 
+/// I(S) recomputed from nothing but the incidence lists: per-trajectory
+/// meet counts, then count those at/above the threshold. Shares no code
+/// with CoverageCounter's incremental machinery.
+int64_t BruteForceInfluence(const InfluenceIndex& index,
+                            const std::vector<model::BillboardId>& set,
+                            uint16_t threshold) {
+  std::vector<int> counts(index.num_trajectories(), 0);
+  for (model::BillboardId o : set) {
+    for (model::TrajectoryId t : index.CoveredBy(o)) ++counts[t];
+  }
+  int64_t influence = 0;
+  for (int c : counts) {
+    if (c >= threshold) ++influence;
+  }
+  return influence;
+}
+
+// MarginalGainAfterRemove relies on sorted incidence lists for its merge
+// pointer; this pins its output to a from-scratch recompute of
+// I(S \ {rem} ∪ {add}) - I(S \ {rem}) on randomized sets so any silent
+// ordering regression (or merge bug) shows up as a wrong gain.
+TEST(CoverageCounterBruteForceTest, GainAfterRemoveMatchesRecompute) {
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    for (uint16_t threshold : {uint16_t{1}, uint16_t{2}, uint16_t{3}}) {
+      common::Rng rng(seed);
+      const int32_t num_billboards = 10;
+      const int32_t num_trajectories = 25;
+      std::vector<std::vector<model::TrajectoryId>> covered(num_billboards);
+      for (auto& list : covered) {
+        for (int32_t t = 0; t < num_trajectories; ++t) {
+          if (rng.Bernoulli(0.3)) list.push_back(t);
+        }
+      }
+      model::Dataset keep;
+      InfluenceIndex index =
+          IndexFromIncidence(covered, num_trajectories, &keep);
+
+      std::vector<model::BillboardId> members;
+      std::vector<model::BillboardId> outside;
+      CoverageCounter counter(&index, threshold);
+      for (int32_t o = 0; o < num_billboards; ++o) {
+        if (rng.Bernoulli(0.5)) {
+          counter.Add(o);
+          members.push_back(o);
+        } else {
+          outside.push_back(o);
+        }
+      }
+      if (members.empty() || outside.empty()) continue;
+
+      for (model::BillboardId rem : members) {
+        std::vector<model::BillboardId> without_rem;
+        for (model::BillboardId o : members) {
+          if (o != rem) without_rem.push_back(o);
+        }
+        const int64_t base =
+            BruteForceInfluence(index, without_rem, threshold);
+        for (model::BillboardId add : outside) {
+          std::vector<model::BillboardId> swapped = without_rem;
+          swapped.push_back(add);
+          const int64_t expected =
+              BruteForceInfluence(index, swapped, threshold) - base;
+          EXPECT_EQ(counter.MarginalGainAfterRemove(add, rem), expected)
+              << "seed " << seed << " threshold " << threshold << " rem "
+              << rem << " add " << add;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mroam::influence
