@@ -2,13 +2,16 @@
 //   (a) randomized restarts (Algorithm 3) vs a single deterministic start;
 //   (b) the improvement ratio r of Definition 6.1;
 //   (c) the exchange-candidate sampling cap (our efficiency knob).
-// All runs use BLS on the NYC-like city at the Table 6 defaults.
+// All runs use BLS on the NYC-like city at the Table 6 defaults. Timing
+// comes from the solver's own telemetry (SolveResult::report) rather than
+// ad-hoc stopwatches, so the table and BENCH_ablation_local_search.json
+// agree by construction.
 #include <iostream>
 
 #include "bench_common.h"
-#include "common/stopwatch.h"
+#include "bench_report.h"
 #include "common/strings.h"
-#include "core/local_search.h"
+#include "core/solver.h"
 #include "eval/table_printer.h"
 #include "market/workload.h"
 
@@ -76,39 +79,58 @@ int main() {
     variants.push_back(v);
   }
 
+  bench::ReportWriter report("ablation_local_search");
+  report.SetDataset(dataset, index);
+
+  auto solve_variant = [&](core::Method method,
+                           const core::LocalSearchConfig& config) {
+    core::SolverConfig solver;
+    solver.method = method;
+    solver.regret = core::RegretParams{0.5};
+    solver.local_search = config;
+    solver.seed = 42;
+    return core::Solve(index, ads, solver);
+  };
+
   eval::TablePrinter table({"variant", "regret", "satisfied", "moves",
-                            "deltas", "time_s"});
-  for (const Variant& v : variants) {
-    common::Stopwatch watch;
-    common::Rng rng(42);
-    core::LocalSearchStats stats;
-    core::Assignment best = core::RandomizedLocalSearch(
-        index, ads, core::RegretParams{0.5},
-        core::SearchStrategy::kBillboardDriven, v.config, &rng, &stats);
-    core::RegretBreakdown b = best.Breakdown();
+                            "deltas", "search_s", "time_s"});
+  std::string variants_json = "[";
+  for (size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    core::SolveResult result = solve_variant(core::Method::kBls, v.config);
+    const core::RegretBreakdown& b = result.breakdown;
     table.AddRow({v.name, common::FormatDouble(b.total, 1),
                   std::to_string(b.satisfied_count) + "/" +
                       std::to_string(b.advertiser_count),
-                  std::to_string(stats.moves_applied),
-                  std::to_string(stats.deltas_evaluated),
-                  common::FormatDouble(watch.ElapsedSeconds(), 3)});
+                  std::to_string(result.search_stats.moves_applied),
+                  std::to_string(result.search_stats.deltas_evaluated),
+                  common::FormatDouble(
+                      result.report.PhaseSeconds("restarts.search"), 3),
+                  common::FormatDouble(result.seconds, 3)});
+    if (i > 0) variants_json.push_back(',');
+    result.report.label = v.name;
+    variants_json.push_back('\n');
+    variants_json += result.report.ToJson();
   }
+  variants_json += "\n]";
+  report.AddRaw("variants", std::move(variants_json));
   table.Print(std::cout);
+
   std::cout << "\nALS vs BLS head-to-head at the same budget:\n";
   eval::TablePrinter duel({"strategy", "regret", "time_s"});
-  for (core::SearchStrategy strategy :
-       {core::SearchStrategy::kAdvertiserDriven,
-        core::SearchStrategy::kBillboardDriven}) {
-    common::Stopwatch watch;
-    common::Rng rng(42);
-    core::Assignment best = core::RandomizedLocalSearch(
-        index, ads, core::RegretParams{0.5}, strategy, base, &rng);
-    duel.AddRow({strategy == core::SearchStrategy::kAdvertiserDriven
-                     ? "ALS"
-                     : "BLS",
-                 common::FormatDouble(best.TotalRegret(), 1),
-                 common::FormatDouble(watch.ElapsedSeconds(), 3)});
+  for (core::Method method : {core::Method::kAls, core::Method::kBls}) {
+    core::SolveResult result = solve_variant(method, base);
+    duel.AddRow({core::MethodName(method),
+                 common::FormatDouble(result.breakdown.total, 1),
+                 common::FormatDouble(result.seconds, 3)});
+    report.AddRunReport(std::string("duel_") + core::MethodName(method),
+                        result.report);
   }
   duel.Print(std::cout);
+
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -6,9 +6,11 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "common/strings.h"
 #include "core/exact.h"
 #include "eval/table_printer.h"
+#include "obs/metrics.h"
 
 int main() {
   using namespace mroam;  // NOLINT: harness brevity
@@ -91,6 +93,13 @@ int main() {
     }
   }
 
+  bench::ReportWriter report("ablation_optimality_gap");
+  report.AddNumber("instances", kInstances);
+  report.AddNumber("solved", solved);
+  report.AddNumber("avg_opt_regret", opt_sum / solved);
+  report.AddNumber("avg_nodes_explored",
+                   static_cast<double>(nodes_sum / std::max(1, solved)));
+
   eval::TablePrinter table(
       {"method", "avg regret", "avg OPT", "avg excess over OPT",
        "optimal hits", "worst excess"});
@@ -105,11 +114,23 @@ int main() {
          std::to_string(tallies[m].optimal_hits) + "/" +
              std::to_string(solved),
          common::FormatDouble(tallies[m].worst_excess, 2)});
+    using obs::internal::JsonDouble;
+    report.AddRaw(
+        core::MethodName(methods[m]),
+        "{\"avg_regret\":" + JsonDouble(tallies[m].regret_sum / solved) +
+            ",\"avg_excess_over_opt\":" +
+            JsonDouble((tallies[m].regret_sum - opt_sum) / solved) +
+            ",\"optimal_hits\":" + std::to_string(tallies[m].optimal_hits) +
+            ",\"worst_excess\":" + JsonDouble(tallies[m].worst_excess) + "}");
   }
   table.Print(std::cout);
   std::cout << "\nexact solver: " << solved << "/" << kInstances
             << " instances solved, avg "
             << common::FormatWithCommas(nodes_sum / std::max(1, solved))
             << " nodes each\n";
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
   return 0;
 }

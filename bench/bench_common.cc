@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/strings.h"
 
 namespace mroam::bench {
@@ -84,7 +85,8 @@ void PrintBanner(const std::string& experiment, const model::Dataset& dataset,
             << "defaults (Table 6): alpha=100%  p=5%  gamma=0.5\n\n";
 }
 
-void RunRegretVsAlpha(City city, double p, const std::string& figure_name) {
+void RunRegretVsAlpha(City city, double p, const std::string& figure_name,
+                      const std::string& bench_slug) {
   BenchScale scale = ScaleFromEnv();
   model::Dataset dataset = MakeCity(city, scale);
   influence::InfluenceIndex index = MakeIndex(dataset, /*lambda=*/100.0);
@@ -113,9 +115,20 @@ void RunRegretVsAlpha(City city, double p, const std::string& figure_name) {
           common::FormatDouble(p * 100, 0) + "% (|A|=" +
           std::to_string(advertisers_at_full_demand) + " at alpha=100%)",
       points);
+
+  ReportWriter report(bench_slug);
+  report.AddNote("figure", figure_name);
+  report.SetDataset(dataset, index);
+  report.AddNumber("p", p);
+  report.AddNumber("threads", ThreadsFromEnv());
+  report.AddSeries("points", points);
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+  }
 }
 
-void RunRegretVsGamma(City city, const std::string& figure_name) {
+void RunRegretVsGamma(City city, const std::string& figure_name,
+                      const std::string& bench_slug) {
   BenchScale scale = ScaleFromEnv();
   model::Dataset dataset = MakeCity(city, scale);
   influence::InfluenceIndex index = MakeIndex(dataset, /*lambda=*/100.0);
@@ -136,6 +149,15 @@ void RunRegretVsGamma(City city, const std::string& figure_name) {
   eval::PrintExperimentSeries(
       std::cout, figure_name + ": regret vs gamma (" + CityName(city) + ")",
       points);
+
+  ReportWriter report(bench_slug);
+  report.AddNote("figure", figure_name);
+  report.SetDataset(dataset, index);
+  report.AddNumber("threads", ThreadsFromEnv());
+  report.AddSeries("points", points);
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+  }
 }
 
 }  // namespace mroam::bench

@@ -52,11 +52,16 @@ void PrintBanner(const std::string& experiment, const model::Dataset& dataset,
                  const influence::InfluenceIndex& index);
 
 /// Shared driver for Figures 2-7: regret vs demand-supply ratio alpha at a
-/// fixed average-individual demand ratio `p`.
-void RunRegretVsAlpha(City city, double p, const std::string& figure_name);
+/// fixed average-individual demand ratio `p`. Prints the table and writes
+/// BENCH_<bench_slug>.json (banner metadata + the series with per-run
+/// RunReports).
+void RunRegretVsAlpha(City city, double p, const std::string& figure_name,
+                      const std::string& bench_slug);
 
 /// Shared driver for Figures 10-11: regret vs unsatisfied penalty gamma.
-void RunRegretVsGamma(City city, const std::string& figure_name);
+/// Same JSON contract as RunRegretVsAlpha.
+void RunRegretVsGamma(City city, const std::string& figure_name,
+                      const std::string& bench_slug);
 
 }  // namespace mroam::bench
 

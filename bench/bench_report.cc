@@ -1,0 +1,76 @@
+#include "bench_report.h"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/metrics.h"
+
+namespace mroam::bench {
+
+using common::Status;
+using obs::internal::AppendJsonString;
+using obs::internal::JsonDouble;
+
+ReportWriter::ReportWriter(std::string bench_name)
+    : bench_name_(std::move(bench_name)),
+      path_("BENCH_" + bench_name_ + ".json") {}
+
+void ReportWriter::SetDataset(const model::Dataset& dataset,
+                              const influence::InfluenceIndex& index) {
+  model::DatasetStats stats = model::ComputeStats(dataset);
+  std::string json = "{\"name\":";
+  AppendJsonString(&json, dataset.name);
+  json += ",\"trajectories\":" + std::to_string(stats.num_trajectories) +
+          ",\"billboards\":" + std::to_string(stats.num_billboards) +
+          ",\"lambda\":" + JsonDouble(index.lambda()) +
+          ",\"supply\":" + std::to_string(index.TotalSupply()) + "}";
+  AddRaw("dataset", std::move(json));
+}
+
+void ReportWriter::AddNote(const std::string& key, const std::string& value) {
+  std::string json;
+  AppendJsonString(&json, value);
+  AddRaw(key, std::move(json));
+}
+
+void ReportWriter::AddNumber(const std::string& key, double value) {
+  AddRaw(key, JsonDouble(value));
+}
+
+void ReportWriter::AddSeries(
+    const std::string& key, const std::vector<eval::ExperimentPoint>& points) {
+  AddRaw(key, eval::ExperimentSeriesToJson(points));
+}
+
+void ReportWriter::AddRunReport(const std::string& key,
+                                const obs::RunReport& report) {
+  AddRaw(key, report.ToJson());
+}
+
+void ReportWriter::AddRaw(const std::string& key, std::string json) {
+  fields_.emplace_back(key, std::move(json));
+}
+
+std::string ReportWriter::ToJson() const {
+  std::string out = "{\"bench\":";
+  AppendJsonString(&out, bench_name_);
+  for (const auto& [key, value] : fields_) {
+    out += ",\n";
+    AppendJsonString(&out, key);
+    out.push_back(':');
+    out += value;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+Status ReportWriter::Write() const {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path_);
+  out << ToJson();
+  if (!out) return Status::IoError("short write to " + path_);
+  std::cout << "wrote " << path_ << "\n";
+  return Status::Ok();
+}
+
+}  // namespace mroam::bench

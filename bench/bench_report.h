@@ -1,0 +1,64 @@
+#ifndef MROAM_BENCH_BENCH_REPORT_H_
+#define MROAM_BENCH_BENCH_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/experiment.h"
+#include "influence/influence_index.h"
+#include "model/dataset.h"
+#include "obs/run_report.h"
+
+namespace mroam::bench {
+
+/// Assembles one bench binary's machine-readable output and writes it as
+/// `BENCH_<name>.json` in the working directory: banner metadata (dataset,
+/// scale, thread count) plus whatever series, run reports, and scalars the
+/// bench adds. Every bench emits through this class so downstream tooling
+/// can diff runs across PRs without scraping stdout.
+class ReportWriter {
+ public:
+  /// `bench_name` is the file slug: output goes to BENCH_<bench_name>.json.
+  explicit ReportWriter(std::string bench_name);
+
+  /// Records the standard banner metadata block under "dataset".
+  void SetDataset(const model::Dataset& dataset,
+                  const influence::InfluenceIndex& index);
+
+  /// Adds a free-form string field.
+  void AddNote(const std::string& key, const std::string& value);
+
+  /// Adds a numeric field.
+  void AddNumber(const std::string& key, double value);
+
+  /// Adds an experiment series (the JSON twin of one printed table).
+  void AddSeries(const std::string& key,
+                 const std::vector<eval::ExperimentPoint>& points);
+
+  /// Adds one solver run's telemetry.
+  void AddRunReport(const std::string& key, const obs::RunReport& report);
+
+  /// Adds a field whose value is already-serialized JSON (caller's
+  /// responsibility that it is valid).
+  void AddRaw(const std::string& key, std::string json);
+
+  /// Serializes every field added so far into one JSON object.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to path(). Also prints the path to stdout so the
+  /// operator sees where the data went.
+  common::Status Write() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> JSON
+};
+
+}  // namespace mroam::bench
+
+#endif  // MROAM_BENCH_BENCH_REPORT_H_

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "common/strings.h"
 #include "core/daily_market.h"
 #include "eval/table_printer.h"
@@ -21,6 +22,11 @@ int main() {
   constexpr int kDays = 12;
   constexpr int kArrivalsPerDay = 3;
   const int64_t supply = index.TotalSupply();
+
+  bench::ReportWriter report("ext_daily_market");
+  report.SetDataset(dataset, index);
+  report.AddNumber("days", kDays);
+  report.AddNumber("arrivals_per_day", kArrivalsPerDay);
 
   for (core::ReplanPolicy policy : {core::ReplanPolicy::kReoptimizeAll,
                                     core::ReplanPolicy::kLockExisting}) {
@@ -39,6 +45,7 @@ int main() {
                               "regret", "satisfied", "time_s"});
     double cumulative_regret = 0.0;
     double cumulative_seconds = 0.0;
+    std::string days_json = "[";
     for (int day = 0; day < kDays; ++day) {
       std::vector<market::Advertiser> arrivals;
       for (int k = 0; k < kArrivalsPerDay; ++k) {
@@ -60,15 +67,27 @@ int main() {
                     std::to_string(r.breakdown.satisfied_count) + "/" +
                         std::to_string(r.active_contracts),
                     common::FormatDouble(r.seconds, 3)});
+      if (day > 0) days_json.push_back(',');
+      days_json.push_back('\n');
+      days_json += r.report.ToJson();
     }
+    days_json += "\n]";
     std::cout << "policy: " << core::ReplanPolicyName(policy) << "\n";
     table.Print(std::cout);
     std::cout << "cumulative regret over " << kDays << " days: "
               << common::FormatDouble(cumulative_regret, 1) << "  (compute "
               << common::FormatDouble(cumulative_seconds, 2) << " s)\n\n";
+    const std::string slug = core::ReplanPolicyName(policy);
+    report.AddNumber(slug + ".cumulative_regret", cumulative_regret);
+    report.AddNumber(slug + ".cumulative_seconds", cumulative_seconds);
+    report.AddRaw(slug + ".days", std::move(days_json));
   }
   std::cout << "Re-optimizing daily costs more compute but repacks the\n"
                "inventory as contracts churn; locking is what hosts do when\n"
                "customers expect stable placements.\n";
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "common/strings.h"
 #include "eval/table_printer.h"
 
@@ -19,6 +20,9 @@ int main() {
       "Extension: impression-count threshold m (NYC-like, fixed contracts)",
       dataset, index);
 
+  bench::ReportWriter report("ext_impression_threshold");
+  report.SetDataset(dataset, index);
+  std::vector<eval::ExperimentPoint> points;
   eval::TablePrinter table({"m", "method", "regret", "excess%", "unsat%",
                             "satisfied", "time_s"});
   for (uint16_t m : {uint16_t{1}, uint16_t{2}, uint16_t{3}}) {
@@ -39,10 +43,16 @@ int main() {
                         std::to_string(r.breakdown.advertiser_count),
                     common::FormatDouble(r.seconds, 3)});
     }
+    points.push_back(std::move(point).value());
   }
   table.Print(std::cout);
   std::cout << "\nDemands are sized against the m=1 supply, so rows are\n"
                "comparable: higher m makes the same contracts harder to\n"
                "fill and shifts regret into the unsatisfied penalty.\n";
+  report.AddSeries("points", points);
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
   return 0;
 }

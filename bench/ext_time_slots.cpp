@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "common/strings.h"
 #include "eval/table_printer.h"
 #include "temporal/time_slots.h"
@@ -19,6 +20,8 @@ int main() {
   std::cout << "### Extension: digital billboards sold per time slot "
                "(NYC-like)\n\n";
 
+  bench::ReportWriter report("ext_time_slots");
+  std::vector<eval::ExperimentPoint> points;
   eval::TablePrinter table({"slots/day", "sellable units", "supply I*",
                             "method", "regret", "excess%", "unsat%",
                             "satisfied", "time_s"});
@@ -52,10 +55,16 @@ int main() {
                         std::to_string(r.breakdown.advertiser_count),
                     common::FormatDouble(r.seconds, 3)});
     }
+    points.push_back(std::move(point).value());
   }
   table.Print(std::cout);
   std::cout << "\nDemands scale with each market's own supply (alpha fixed "
                "at 80%),\nso rows compare packing quality, not market "
                "size.\n";
+  report.AddSeries("points", points);
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
   return 0;
 }

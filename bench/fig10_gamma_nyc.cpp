@@ -2,6 +2,6 @@
 #include "bench_common.h"
 
 int main() {
-  mroam::bench::RunRegretVsGamma(mroam::bench::City::kNyc, "Figure 10");
+  mroam::bench::RunRegretVsGamma(mroam::bench::City::kNyc, "Figure 10", "fig10_gamma_nyc");
   return 0;
 }

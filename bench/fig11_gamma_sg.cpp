@@ -2,6 +2,6 @@
 #include "bench_common.h"
 
 int main() {
-  mroam::bench::RunRegretVsGamma(mroam::bench::City::kSg, "Figure 11");
+  mroam::bench::RunRegretVsGamma(mroam::bench::City::kSg, "Figure 11", "fig11_gamma_sg");
   return 0;
 }

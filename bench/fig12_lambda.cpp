@@ -6,12 +6,15 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "common/strings.h"
 #include "eval/table_printer.h"
 
 int main() {
   using namespace mroam;  // NOLINT: harness brevity
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::ReportWriter report("fig12_lambda");
+  report.AddNote("figure", "Figure 12");
 
   std::cout << "### Figure 12: regret vs lambda (alpha=100%, p=5%, "
                "gamma=0.5)\n\n";
@@ -33,6 +36,11 @@ int main() {
     }
     eval::PrintExperimentSeries(
         std::cout, std::string("Figure 12 — ") + dataset.name, points);
+    report.AddSeries(dataset.name, points);
+  }
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
   }
   return 0;
 }

@@ -6,13 +6,30 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "common/strings.h"
 #include "eval/table_printer.h"
 #include "influence/reports.h"
 
+namespace {
+
+std::string JsonArray(const std::vector<double>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += mroam::obs::internal::JsonDouble(values[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace
+
 int main() {
   using namespace mroam;  // NOLINT: harness brevity
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::ReportWriter report("fig1_influence_distribution");
+  report.AddNote("figure", "Figure 1");
 
   std::cout << "### Figure 1: influence distributions\n\n";
 
@@ -47,8 +64,13 @@ int main() {
               << summary.max << ", top-decile supply share "
               << common::FormatDouble(summary.top_decile_share * 100, 1)
               << "%\n";
+    report.AddRaw(dataset.name,
+                  "{\"rank_influence\":" + JsonArray(dist[c]) +
+                      ",\"impression_curve\":" + JsonArray(curve[c]) + "}");
   }
   std::cout << "\n";
+  report.AddRaw("rank_pcts", JsonArray(rank_pcts));
+  report.AddRaw("sel_pcts", JsonArray(sel_pcts));
 
   for (size_t i = 0; i < rank_pcts.size(); ++i) {
     fig1a.AddRow({common::FormatDouble(rank_pcts[i], 0) + "%",
@@ -68,5 +90,9 @@ int main() {
   fig1b.Print(std::cout);
   std::cout << "\n(NYC-like rises slower than SG-like: its top billboards "
                "overlap heavily.)\n";
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -3,6 +3,6 @@
 #include "bench_common.h"
 
 int main() {
-  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.01, "Figure 2");
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.01, "Figure 2", "fig2_regret_alpha_p1");
   return 0;
 }

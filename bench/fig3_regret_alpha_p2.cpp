@@ -2,6 +2,6 @@
 #include "bench_common.h"
 
 int main() {
-  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.02, "Figure 3");
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.02, "Figure 3", "fig3_regret_alpha_p2");
   return 0;
 }

@@ -2,6 +2,6 @@
 #include "bench_common.h"
 
 int main() {
-  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.05, "Figure 4");
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.05, "Figure 4", "fig4_regret_alpha_p5");
   return 0;
 }

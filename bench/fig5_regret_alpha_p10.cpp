@@ -3,6 +3,6 @@
 #include "bench_common.h"
 
 int main() {
-  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.10, "Figure 5");
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.10, "Figure 5", "fig5_regret_alpha_p10");
   return 0;
 }

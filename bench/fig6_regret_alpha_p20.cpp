@@ -3,6 +3,6 @@
 #include "bench_common.h"
 
 int main() {
-  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.20, "Figure 6");
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kNyc, 0.20, "Figure 6", "fig6_regret_alpha_p20");
   return 0;
 }

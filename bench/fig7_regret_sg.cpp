@@ -3,6 +3,6 @@
 #include "bench_common.h"
 
 int main() {
-  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kSg, 0.05, "Figure 7");
+  mroam::bench::RunRegretVsAlpha(mroam::bench::City::kSg, 0.05, "Figure 7", "fig7_regret_sg");
   return 0;
 }

@@ -4,12 +4,15 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "common/strings.h"
 #include "eval/table_printer.h"
 
 int main() {
   using namespace mroam;  // NOLINT: harness brevity
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::ReportWriter report("fig8_efficiency_alpha");
+  report.AddNote("figure", "Figure 8");
 
   std::cout << "### Figure 8: running time vs alpha (p=5%, gamma=0.5)\n\n";
   for (bench::City city : {bench::City::kNyc, bench::City::kSg}) {
@@ -19,6 +22,7 @@ int main() {
 
     eval::TablePrinter table(
         {"alpha", "G-Order (s)", "G-Global (s)", "ALS (s)", "BLS (s)"});
+    std::vector<eval::ExperimentPoint> points;
     for (double alpha : {0.4, 0.6, 0.8, 1.0, 1.2}) {
       config.workload.alpha = alpha;
       auto point = eval::RunExperimentPoint(
@@ -32,10 +36,16 @@ int main() {
         row.push_back(common::FormatDouble(r.seconds, 3));
       }
       table.AddRow(std::move(row));
+      points.push_back(std::move(point).value());
     }
     std::cout << dataset.name << ":\n";
     table.Print(std::cout);
     std::cout << "\n";
+    report.AddSeries(dataset.name, points);
+  }
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
   }
   return 0;
 }

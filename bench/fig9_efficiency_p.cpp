@@ -3,12 +3,15 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "common/strings.h"
 #include "eval/table_printer.h"
 
 int main() {
   using namespace mroam;  // NOLINT: harness brevity
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::ReportWriter report("fig9_efficiency_p");
+  report.AddNote("figure", "Figure 9");
 
   std::cout << "### Figure 9: running time vs p (alpha=100%, gamma=0.5)\n\n";
   for (bench::City city : {bench::City::kNyc, bench::City::kSg}) {
@@ -18,6 +21,7 @@ int main() {
 
     eval::TablePrinter table(
         {"p", "|A|", "G-Order (s)", "G-Global (s)", "ALS (s)", "BLS (s)"});
+    std::vector<eval::ExperimentPoint> points;
     for (double p : {0.01, 0.02, 0.05, 0.10, 0.20}) {
       config.workload.avg_individual_demand_ratio = p;
       auto point = eval::RunExperimentPoint(
@@ -33,10 +37,16 @@ int main() {
         row.push_back(common::FormatDouble(r.seconds, 3));
       }
       table.AddRow(std::move(row));
+      points.push_back(std::move(point).value());
     }
     std::cout << dataset.name << ":\n";
     table.Print(std::cout);
     std::cout << "\n";
+    report.AddSeries(dataset.name, points);
+  }
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
   }
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include "bench_common.h"
 #include "core/greedy.h"
+#include "micro_main.h"
+#include "obs/trace.h"
 #include "core/local_search.h"
 #include "market/workload.h"
 
@@ -130,6 +132,19 @@ void BM_AssignReleaseRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_AssignReleaseRoundTrip);
 
+// The cost a hot path pays for an MROAM_TRACE_SPAN when tracing is not
+// enabled (the DESIGN.md §6 "disabled-path cost" number): one relaxed
+// atomic load per span.
+void BM_DisabledScopedSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    MROAM_TRACE_SPAN("bench.disabled_span");
+    benchmark::DoNotOptimize(&state);
+  }
+}
+BENCHMARK(BM_DisabledScopedSpan);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mroam::bench::RunMicroBenchmarkMain(argc, argv, "micro_algorithms");
+}

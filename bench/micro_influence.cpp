@@ -4,6 +4,7 @@
 
 #include "bench_common.h"
 #include "influence/coverage_counter.h"
+#include "micro_main.h"
 
 namespace {
 
@@ -96,4 +97,6 @@ BENCHMARK(BM_InfluenceOfSet)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mroam::bench::RunMicroBenchmarkMain(argc, argv, "micro_influence");
+}

@@ -1,0 +1,39 @@
+// Shared main() body for the google-benchmark micro binaries. Injects
+// --benchmark_out=BENCH_<name>.json --benchmark_out_format=json when the
+// caller did not pass their own --benchmark_out, so every bench binary in
+// this directory drops a uniformly named JSON artifact next to the
+// human-readable console table.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mroam::bench {
+
+inline int RunMicroBenchmarkMain(int argc, char** argv,
+                                 const std::string& bench_name) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_" + bench_name + ".json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mroam::bench

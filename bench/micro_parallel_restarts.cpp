@@ -29,6 +29,7 @@ struct ThreadPoint {
   double speedup = 1.0;
   double total_regret = 0.0;
   bool deterministic = true;
+  std::string report_json;  ///< the run's obs::RunReport, serialized
 };
 
 int32_t RestartsFromEnv() {
@@ -67,6 +68,7 @@ void WriteJson(const std::string& path, const model::Dataset& dataset,
         << common::FormatDouble(p.speedup, 3) << ", \"total_regret\": "
         << common::FormatDouble(p.total_regret, 6)
         << ", \"deterministic\": " << (p.deterministic ? "true" : "false")
+        << ",\n     \"report\": " << p.report_json
         << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -110,6 +112,7 @@ int Run() {
     point.threads = threads;
     point.seconds = watch.ElapsedSeconds();
     point.total_regret = result.breakdown.total;
+    point.report_json = result.report.ToJson();
     point.speedup =
         points.empty() ? 1.0
                        : points.front().seconds / std::max(point.seconds,

@@ -3,6 +3,7 @@
 // what each solver method finds.
 #include <iostream>
 
+#include "bench_report.h"
 #include "common/strings.h"
 #include "core/solver.h"
 #include "eval/table_printer.h"
@@ -74,6 +75,8 @@ int main() {
   PrintStrategy(index, ads, "Strategy 1 (Table 3)", {{1}, {3}, {0, 2, 4, 5}});
   PrintStrategy(index, ads, "Strategy 2 (Table 4)", {{0, 2}, {3}, {1, 4, 5}});
 
+  bench::ReportWriter report("table1_4_running_example");
+  report.SetDataset(dataset, index);
   eval::TablePrinter table({"method", "regret", "satisfied"});
   for (core::Method method : core::AllMethods()) {
     core::SolverConfig config;
@@ -84,8 +87,13 @@ int main() {
     table.AddRow({core::MethodName(method),
                   common::FormatDouble(result.breakdown.total, 2),
                   satisfied});
+    report.AddRunReport(core::MethodName(method), result.report);
   }
   std::cout << "Solver results on the example:\n";
   table.Print(std::cout);
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -4,12 +4,14 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "common/strings.h"
 #include "eval/table_printer.h"
 
 int main() {
   using namespace mroam;  // NOLINT: harness brevity
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::ReportWriter report("table5_dataset_stats");
 
   eval::TablePrinter table({"dataset", "|T|", "|U|", "AvgDistance",
                             "AvgTravelTime", "source"});
@@ -28,11 +30,23 @@ int main() {
          common::FormatDouble(stats.avg_distance_km, 1) + "km",
          common::FormatDouble(stats.avg_travel_time_sec, 0) + "s",
          "synthetic (DESIGN.md §4)"});
+    using obs::internal::JsonDouble;
+    report.AddRaw(
+        dataset.name,
+        "{\"trajectories\":" + std::to_string(stats.num_trajectories) +
+            ",\"billboards\":" + std::to_string(stats.num_billboards) +
+            ",\"avg_distance_km\":" + JsonDouble(stats.avg_distance_km) +
+            ",\"avg_travel_time_sec\":" +
+            JsonDouble(stats.avg_travel_time_sec) + "}");
   }
 
   std::cout << "### Table 5: dataset statistics\n"
             << "(synthetic trajectory counts are scaled down for the bench "
                "budget;\n set MROAM_BENCH_SCALE to change)\n\n";
   table.Print(std::cout);
+  if (auto status = report.Write(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
   return 0;
 }

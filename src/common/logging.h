@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <string_view>
 
 namespace mroam::common {
 
@@ -15,6 +16,12 @@ LogLevel MinLogLevel();
 
 /// Sets the process-wide minimum log level (tests silence output with it).
 void SetMinLogLevel(LogLevel level);
+
+/// Parses "debug"/"info"/"warning"/"error" (any case; "warn" also
+/// accepted) into `*level`. Returns false — leaving `*level` untouched —
+/// for anything else. The MROAM_LOG_LEVEL environment variable is routed
+/// through this at startup.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
 
 namespace internal {
 

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mroam::common {
 
@@ -27,26 +29,43 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   std::future<void> result = wrapped.get_future();
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     MROAM_CHECK(!stopping_);
-    queue_.push(std::move(wrapped));
+    queue_.push({std::move(wrapped), obs::Tracer::NowNanos()});
+    depth = queue_.size();
   }
   cv_.notify_one();
+  MROAM_COUNTER_ADD("threadpool.tasks_submitted", 1);
+  MROAM_GAUGE_SET("threadpool.queue_depth", static_cast<int64_t>(depth));
   return result;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask queued;
+    size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and fully drained
-      task = std::move(queue_.front());
+      queued = std::move(queue_.front());
       queue_.pop();
+      depth = queue_.size();
     }
-    task();  // a throwing task parks its exception in the future
+    MROAM_GAUGE_SET("threadpool.queue_depth", static_cast<int64_t>(depth));
+    const int64_t start_ns = obs::Tracer::NowNanos();
+    MROAM_HISTOGRAM_OBSERVE(
+        "threadpool.queue_wait_seconds",
+        static_cast<double>(start_ns - queued.enqueue_ns) / 1e9);
+    {
+      MROAM_TRACE_SPAN("threadpool.task");
+      queued.task();  // a throwing task parks its exception in the future
+    }
+    MROAM_HISTOGRAM_OBSERVE(
+        "threadpool.task_seconds",
+        static_cast<double>(obs::Tracer::NowNanos() - start_ns) / 1e9);
   }
 }
 

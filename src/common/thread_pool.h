@@ -46,9 +46,16 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// A queued task plus its enqueue timestamp, so the worker can report
+  /// queue-wait latency to the metrics registry when it dequeues.
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    int64_t enqueue_ns = 0;
+  };
+
   std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "core/greedy.h"
+#include "obs/trace.h"
 
 namespace mroam::core {
 
@@ -35,6 +36,7 @@ void DailyMarket::RefreshCaches() {
 
 DayResult DailyMarket::AdvanceDay(
     std::vector<market::Advertiser> arrivals) {
+  MROAM_TRACE_SPAN_ID("market.advance_day", day_ + 1);
   common::Stopwatch watch;
   DayResult result;
   result.day = ++day_;
@@ -72,6 +74,7 @@ DayResult DailyMarket::AdvanceDay(
       contracts_[i].billboards = solve.sets[i];
     }
     result.breakdown = solve.breakdown;
+    result.report = std::move(solve.report);
   } else {
     // Lock-existing: restore yesterday's deployment, then hand remaining
     // inventory to the (new or still-unsatisfied) contracts greedily.
@@ -82,15 +85,19 @@ DayResult DailyMarket::AdvanceDay(
         state.Assign(o, static_cast<market::AdvertiserId>(i));
       }
     }
+    common::Stopwatch greedy_watch;
     SynchronousGreedy(&state);
     for (size_t i = 0; i < contracts_.size(); ++i) {
       contracts_[i].billboards =
           state.BillboardsOf(static_cast<market::AdvertiserId>(i));
     }
     result.breakdown = state.Breakdown();
+    result.report.label = ReplanPolicyName(config_.policy);
+    result.report.AddPhase("greedy", greedy_watch.ElapsedSeconds());
   }
   RefreshCaches();
   result.seconds = watch.ElapsedSeconds();
+  result.report.AddPhase("day_total", result.seconds);
   return result;
 }
 

@@ -38,6 +38,9 @@ struct DayResult {
   int32_t arrived = 0;
   int32_t expired = 0;
   double seconds = 0.0;
+  /// Telemetry of today's replan: under kReoptimizeAll this is the inner
+  /// Solve's report; under kLockExisting it covers the greedy completion.
+  obs::RunReport report;
 };
 
 /// The paper's motivating operational setting (§1): advertisers arrive

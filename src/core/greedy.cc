@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mroam::core {
 
 using market::AdvertiserId;
@@ -43,6 +46,8 @@ BillboardId BestBillboardFor(const Assignment& assignment, AdvertiserId a) {
 }
 
 void BudgetEffectiveGreedy(Assignment* assignment) {
+  MROAM_TRACE_SPAN("greedy.budget_effective");
+  int64_t assigned = 0;
   std::vector<AdvertiserId> order(assignment->num_advertisers());
   for (int32_t a = 0; a < assignment->num_advertisers(); ++a) order[a] = a;
   std::sort(order.begin(), order.end(),
@@ -57,11 +62,18 @@ void BudgetEffectiveGreedy(Assignment* assignment) {
       BillboardId o = BestBillboardFor(*assignment, a);
       if (o == model::kInvalidBillboard) break;  // out of usable billboards
       assignment->Assign(o, a);
+      ++assigned;
     }
   }
+  // One flush per call: the registry never sits in the inner loop.
+  MROAM_COUNTER_ADD("greedy.budget_effective_runs", 1);
+  MROAM_COUNTER_ADD("greedy.assignments", assigned);
 }
 
 void SynchronousGreedy(Assignment* assignment) {
+  MROAM_TRACE_SPAN("greedy.synchronous");
+  int64_t assigned = 0;
+  int64_t victims = 0;
   const int32_t n = assignment->num_advertisers();
   std::vector<bool> active(n, true);
 
@@ -73,6 +85,13 @@ void SynchronousGreedy(Assignment* assignment) {
     return out;
   };
 
+  // Counters flush once on every exit path, never inside the round loop.
+  auto flush = [&] {
+    MROAM_COUNTER_ADD("greedy.synchronous_runs", 1);
+    MROAM_COUNTER_ADD("greedy.assignments", assigned);
+    MROAM_COUNTER_ADD("greedy.victims_released", victims);
+  };
+
   while (true) {
     bool assigned_any = false;
     for (AdvertiserId a = 0; a < n; ++a) {
@@ -81,15 +100,16 @@ void SynchronousGreedy(Assignment* assignment) {
       if (o == model::kInvalidBillboard) continue;
       assignment->Assign(o, a);
       assigned_any = true;
+      ++assigned;
     }
     std::vector<AdvertiserId> unsat = unsatisfied_active();
-    if (unsat.empty()) return;
+    if (unsat.empty()) return flush();
     if (assigned_any) continue;
 
     // No billboard could be handed out this round. Release the least
     // budget-effective unsatisfied advertiser so the rest can be served,
     // unless at most one advertiser remains unsatisfied.
-    if (unsat.size() < 2) return;
+    if (unsat.size() < 2) return flush();
     AdvertiserId victim = unsat[0];
     for (AdvertiserId a : unsat) {
       if (assignment->advertiser(a).BudgetEffectiveness() <
@@ -99,6 +119,7 @@ void SynchronousGreedy(Assignment* assignment) {
     }
     assignment->ReleaseAll(victim);
     active[victim] = false;
+    ++victims;
   }
 }
 

@@ -5,8 +5,11 @@
 #include <optional>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/greedy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mroam::core {
 
@@ -27,10 +30,12 @@ bool Accepts(double delta, double current_total, double r) {
 
 LocalSearchStats AdvertiserDrivenLocalSearch(Assignment* assignment,
                                              const LocalSearchConfig& config) {
+  MROAM_TRACE_SPAN("als.search");
   LocalSearchStats stats;
   const int32_t n = assignment->num_advertisers();
   bool improved = true;
   while (improved && stats.sweeps < config.max_sweeps) {
+    MROAM_TRACE_SPAN_ID("als.sweep", stats.sweeps);
     improved = false;
     ++stats.sweeps;
     for (AdvertiserId i = 0; i < n; ++i) {
@@ -46,6 +51,11 @@ LocalSearchStats AdvertiserDrivenLocalSearch(Assignment* assignment,
       }
     }
   }
+  // Registry writes happen once per search, never in the delta loop.
+  MROAM_COUNTER_ADD("als.searches", 1);
+  MROAM_COUNTER_ADD("als.sweeps", stats.sweeps);
+  MROAM_COUNTER_ADD("als.moves_applied", stats.moves_applied);
+  MROAM_COUNTER_ADD("als.deltas_evaluated", stats.deltas_evaluated);
   return stats;
 }
 
@@ -56,6 +66,7 @@ namespace {
 bool TryExchangeAcrossPair(Assignment* assignment, AdvertiserId i,
                            AdvertiserId j, const LocalSearchConfig& config,
                            common::Rng* rng, LocalSearchStats* stats) {
+  MROAM_TRACE_SPAN("bls.move.exchange");
   // Snapshot the scan lists by value: ExchangeAcross reorders both
   // owners' lists, so scanning live references into BillboardsOf() while
   // a first-improvement move mutates them would be use-after-invalidate.
@@ -81,6 +92,7 @@ bool TryExchangeAcrossPair(Assignment* assignment, AdvertiserId i,
     if (!config.best_improvement) {
       assignment->ExchangeAcross(om, on);
       ++stats->moves_applied;
+      MROAM_COUNTER_ADD("bls.moves.exchange", 1);
       return true;  // applied: stop scanning
     }
     if (delta < best_delta) {
@@ -109,6 +121,7 @@ bool TryExchangeAcrossPair(Assignment* assignment, AdvertiserId i,
   if (best_om != model::kInvalidBillboard) {
     assignment->ExchangeAcross(best_om, best_on);
     ++stats->moves_applied;
+    MROAM_COUNTER_ADD("bls.moves.exchange", 1);
     return true;
   }
   return false;
@@ -118,6 +131,7 @@ bool TryExchangeAcrossPair(Assignment* assignment, AdvertiserId i,
 bool TryReplaceWithFree(Assignment* assignment, AdvertiserId i,
                         const LocalSearchConfig& config, common::Rng* rng,
                         LocalSearchStats* stats) {
+  MROAM_TRACE_SPAN("bls.move.replace");
   // Snapshot by value for the same reason as TryExchangeAcrossPair:
   // Replace reorders both the owner's list and the free pool.
   const std::vector<BillboardId> si = assignment->BillboardsOf(i);
@@ -141,6 +155,7 @@ bool TryReplaceWithFree(Assignment* assignment, AdvertiserId i,
     if (!config.best_improvement) {
       assignment->Replace(om, on);
       ++stats->moves_applied;
+      MROAM_COUNTER_ADD("bls.moves.replace", 1);
       return true;
     }
     if (delta < best_delta) {
@@ -167,6 +182,7 @@ bool TryReplaceWithFree(Assignment* assignment, AdvertiserId i,
   if (best_om != model::kInvalidBillboard) {
     assignment->Replace(best_om, best_on);
     ++stats->moves_applied;
+    MROAM_COUNTER_ADD("bls.moves.replace", 1);
     return true;
   }
   return false;
@@ -175,6 +191,7 @@ bool TryReplaceWithFree(Assignment* assignment, AdvertiserId i,
 /// BLS move 3: release billboards of `i` whose removal reduces regret.
 bool TryReleases(Assignment* assignment, AdvertiserId i,
                  const LocalSearchConfig& config, LocalSearchStats* stats) {
+  MROAM_TRACE_SPAN("bls.move.release");
   // Copy: Release mutates the set we'd be iterating.
   std::vector<BillboardId> snapshot = assignment->BillboardsOf(i);
   bool any = false;
@@ -185,6 +202,7 @@ bool TryReleases(Assignment* assignment, AdvertiserId i,
                 config.improvement_ratio)) {
       assignment->Release(om);
       ++stats->moves_applied;
+      MROAM_COUNTER_ADD("bls.moves.release", 1);
       any = true;
     }
   }
@@ -196,10 +214,12 @@ bool TryReleases(Assignment* assignment, AdvertiserId i,
 LocalSearchStats BillboardDrivenLocalSearch(Assignment* assignment,
                                             const LocalSearchConfig& config,
                                             common::Rng* rng) {
+  MROAM_TRACE_SPAN("bls.search");
   LocalSearchStats stats;
   const int32_t n = assignment->num_advertisers();
   bool improved = true;
   while (improved && stats.sweeps < config.max_sweeps) {
+    MROAM_TRACE_SPAN_ID("bls.sweep", stats.sweeps);
     improved = false;
     ++stats.sweeps;
     for (AdvertiserId i = 0; i < n; ++i) {
@@ -219,16 +239,22 @@ LocalSearchStats BillboardDrivenLocalSearch(Assignment* assignment,
     // Move 4 (lines 5.11-5.13): hand the free pool to SynchronousGreedy;
     // keep the completed plan only if it is strictly better.
     if (!assignment->FreeBillboards().empty()) {
+      MROAM_TRACE_SPAN("bls.move.complete");
       Assignment candidate = *assignment;
       SynchronousGreedy(&candidate);
       if (Accepts(candidate.TotalRegret() - assignment->TotalRegret(),
                   assignment->TotalRegret(), config.improvement_ratio)) {
         assignment->CopyDeploymentFrom(candidate);
         ++stats.moves_applied;
+        MROAM_COUNTER_ADD("bls.moves.complete", 1);
         improved = true;
       }
     }
   }
+  MROAM_COUNTER_ADD("bls.searches", 1);
+  MROAM_COUNTER_ADD("bls.sweeps", stats.sweeps);
+  MROAM_COUNTER_ADD("bls.moves_applied", stats.moves_applied);
+  MROAM_COUNTER_ADD("bls.deltas_evaluated", stats.deltas_evaluated);
   return stats;
 }
 
@@ -265,6 +291,7 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
                                  const LocalSearchConfig& config,
                                  common::Rng* rng, LocalSearchStats* stats,
                                  uint16_t impression_threshold) {
+  MROAM_TRACE_SPAN("rls.run");
   const int32_t restarts = std::max(config.restarts, 0);
   const int32_t tasks = restarts + 1;  // task 0 is the greedy incumbent
 
@@ -281,6 +308,9 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
   std::vector<LocalSearchStats> task_stats(static_cast<size_t>(tasks));
 
   auto run_task = [&](int64_t t) {
+    // Task 0 is the deterministic incumbent; t >= 1 are random restarts.
+    MROAM_TRACE_SPAN_ID(t == 0 ? "rls.incumbent" : "rls.restart", t);
+    common::Stopwatch phase_watch;
     common::Rng* task_rng = &task_rngs[t];
     Assignment plan(&index, ads, params, impression_threshold);
     if (t == 0) {
@@ -299,8 +329,13 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
       // Line 3.8: complete the plan greedily.
       SynchronousGreedy(&plan);
     }
+    MROAM_HISTOGRAM_OBSERVE("rls.greedy_seconds",
+                            phase_watch.ElapsedSeconds());
+    phase_watch.Restart();
     // Line 3.9: local search.
     RunStrategy(&plan, strategy, config, task_rng, &task_stats[t]);
+    MROAM_HISTOGRAM_OBSERVE("rls.search_seconds",
+                            phase_watch.ElapsedSeconds());
     plans[t] = std::move(plan);
   };
 
@@ -324,6 +359,8 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
     if (plans[t]->TotalRegret() < plans[winner]->TotalRegret()) winner = t;
   }
   if (stats != nullptr) *stats = total_stats;
+  MROAM_COUNTER_ADD("rls.runs", 1);
+  MROAM_COUNTER_ADD("rls.restarts", restarts);
   return std::move(*plans[winner]);
 }
 

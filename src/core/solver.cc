@@ -2,8 +2,12 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/greedy.h"
+#include "core/regret.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mroam::core {
 
@@ -28,6 +32,8 @@ std::vector<Method> AllMethods() {
 SolveResult Solve(const influence::InfluenceIndex& index,
                   const std::vector<market::Advertiser>& advertisers,
                   const SolverConfig& config) {
+  MROAM_TRACE_SPAN("core.solve");
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
   common::Stopwatch watch;
   common::Rng rng(config.seed);
   SolveResult result;
@@ -63,6 +69,39 @@ SolveResult Solve(const influence::InfluenceIndex& index,
     result.sets.push_back(assignment.BillboardsOf(a));
     result.influences.push_back(assignment.InfluenceOf(a));
   }
+
+  // Telemetry: registry delta over this run, per-phase times, and the
+  // per-advertiser regret breakdown of the final deployment.
+  obs::RunReport& report = result.report;
+  report.label = MethodName(config.method);
+  report.metrics =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  report.AddPhase("total", result.seconds);
+  if (config.method == Method::kGOrder || config.method == Method::kGGlobal) {
+    report.AddPhase("greedy", result.seconds);
+  } else {
+    // Restart tasks observed their greedy/search phases into the rls.*
+    // histograms; the delta sums are CPU seconds across all tasks.
+    if (const auto* h = report.metrics.FindHistogram("rls.greedy_seconds")) {
+      report.AddPhase("restarts.greedy", h->sum);
+    }
+    if (const auto* h = report.metrics.FindHistogram("rls.search_seconds")) {
+      report.AddPhase("restarts.search", h->sum);
+    }
+  }
+  report.advertisers.reserve(advertisers.size());
+  for (int32_t a = 0; a < assignment.num_advertisers(); ++a) {
+    const market::Advertiser& ad = assignment.advertiser(a);
+    obs::RunReport::AdvertiserOutcome outcome;
+    outcome.id = ad.id;
+    outcome.demand = ad.demand;
+    outcome.payment = ad.payment;
+    outcome.influence = result.influences[a];
+    outcome.regret = Regret(ad, result.influences[a], config.regret);
+    outcome.satisfied = Satisfied(ad, result.influences[a]);
+    report.advertisers.push_back(outcome);
+  }
+  MROAM_LOG(Info) << "solve " << report.OneLineSummary();
   return result;
 }
 

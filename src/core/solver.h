@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/local_search.h"
+#include "obs/run_report.h"
 
 namespace mroam::core {
 
@@ -49,6 +50,10 @@ struct SolveResult {
   double seconds = 0.0;
   /// Local-search effort counters (zero for the greedy methods).
   LocalSearchStats search_stats;
+  /// Structured telemetry: per-phase wall times, the metrics-registry
+  /// delta over the run, and per-advertiser outcomes. Serialized by the
+  /// bench harness into BENCH_<name>.json.
+  obs::RunReport report;
 };
 
 /// Runs `config.method` on the given market and returns the deployment.

@@ -1,6 +1,7 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/csv.h"
 #include "common/strings.h"
@@ -42,7 +43,8 @@ Result<ExperimentPoint> RunExperimentPoint(
     r.breakdown = solve.breakdown;
     r.seconds = solve.seconds;
     r.search_stats = solve.search_stats;
-    point.results.push_back(r);
+    r.report = std::move(solve.report);
+    point.results.push_back(std::move(r));
   }
   return point;
 }
@@ -89,6 +91,52 @@ Status WriteExperimentSeriesCsv(const std::string& path,
     }
   }
   return common::WriteCsvFile(path, rows);
+}
+
+std::string ExperimentSeriesToJson(
+    const std::vector<ExperimentPoint>& points) {
+  using obs::internal::AppendJsonString;
+  using obs::internal::JsonDouble;
+  std::string out = "[";
+  for (size_t p = 0; p < points.size(); ++p) {
+    const ExperimentPoint& point = points[p];
+    if (p > 0) out.push_back(',');
+    out += "\n{\"label\":";
+    AppendJsonString(&out, point.label);
+    out += ",\"supply\":" + std::to_string(point.supply) +
+           ",\"global_demand\":" + std::to_string(point.global_demand) +
+           ",\"num_advertisers\":" + std::to_string(point.num_advertisers) +
+           ",\"total_payment\":" + JsonDouble(point.total_payment) +
+           ",\"results\":[";
+    for (size_t r = 0; r < point.results.size(); ++r) {
+      const MethodResult& result = point.results[r];
+      if (r > 0) out.push_back(',');
+      out += "\n{\"method\":";
+      AppendJsonString(&out, core::MethodName(result.method));
+      out += ",\"total_regret\":" + JsonDouble(result.breakdown.total) +
+             ",\"excessive\":" + JsonDouble(result.breakdown.excessive) +
+             ",\"unsatisfied_penalty\":" +
+             JsonDouble(result.breakdown.unsatisfied_penalty) +
+             ",\"satisfied\":" +
+             std::to_string(result.breakdown.satisfied_count) +
+             ",\"advertisers\":" +
+             std::to_string(result.breakdown.advertiser_count) +
+             ",\"seconds\":" + JsonDouble(result.seconds) +
+             ",\"report\":" + result.report.ToJson() + "}";
+    }
+    out += "]}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Status WriteExperimentSeriesJson(
+    const std::string& path, const std::vector<ExperimentPoint>& points) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << ExperimentSeriesToJson(points);
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
 }
 
 Status WriteDeploymentCsv(const std::string& path,

@@ -31,6 +31,9 @@ struct MethodResult {
   core::RegretBreakdown breakdown;
   double seconds = 0.0;
   core::LocalSearchStats search_stats;
+  /// Per-run telemetry from core::Solve (phases, metrics delta,
+  /// per-advertiser outcomes).
+  obs::RunReport report;
 };
 
 /// Results of all methods at one experiment point.
@@ -61,6 +64,15 @@ void PrintExperimentSeries(std::ostream& os, const std::string& title,
 /// downstream plotting. Columns: label, method, total_regret, excessive,
 /// unsatisfied_penalty, satisfied, advertisers, seconds.
 common::Status WriteExperimentSeriesCsv(
+    const std::string& path, const std::vector<ExperimentPoint>& points);
+
+/// Serializes the series as one JSON array (one element per point, each
+/// with a `results` array carrying the full RunReport per method). The
+/// machine-readable twin of PrintExperimentSeries.
+std::string ExperimentSeriesToJson(const std::vector<ExperimentPoint>& points);
+
+/// Writes ExperimentSeriesToJson(points) to `path`.
+common::Status WriteExperimentSeriesJson(
     const std::string& path, const std::vector<ExperimentPoint>& points);
 
 /// Exports one deployment plan as CSV, one row per advertiser:

@@ -4,13 +4,18 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "geo/grid_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mroam::influence {
 
 InfluenceIndex InfluenceIndex::Build(const model::Dataset& dataset,
                                      double lambda) {
   MROAM_CHECK(lambda > 0.0);
+  MROAM_TRACE_SPAN("influence.index_build");
+  common::Stopwatch watch;
   InfluenceIndex index;
   index.lambda_ = lambda;
   index.num_trajectories_ =
@@ -45,6 +50,9 @@ InfluenceIndex InfluenceIndex::Build(const model::Dataset& dataset,
     MROAM_DCHECK(std::is_sorted(list.begin(), list.end()));
     index.total_supply_ += static_cast<int64_t>(list.size());
   }
+  MROAM_COUNTER_ADD("influence.index_builds", 1);
+  MROAM_HISTOGRAM_OBSERVE("influence.index_build_seconds",
+                          watch.ElapsedSeconds());
   return index;
 }
 

@@ -1,0 +1,300 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mroam::obs {
+
+namespace internal {
+
+uint32_t ThisThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+/// JSON string escaping for metric names (ASCII control chars, quote,
+/// backslash). Metric names are plain identifiers in practice, but the
+/// exporter must not produce invalid JSON for any input.
+void AppendJsonString(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonDouble(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "mroam_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace internal
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  shards_ = std::vector<Shard>(kMetricShards);
+  for (Shard& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<int64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  Shard& shard = shards_[internal::ThisThreadShard()];
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(&shard.sum, value);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t MetricsSnapshot::CounterOf(const std::string& name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& before) const {
+  MetricsSnapshot delta;
+  for (const CounterValue& c : counters) {
+    int64_t value = c.value - before.CounterOf(c.name);
+    if (value != 0) delta.counters.push_back({c.name, value});
+  }
+  delta.gauges = gauges;
+  for (const HistogramValue& h : histograms) {
+    HistogramValue d = h;
+    if (const HistogramValue* b = before.FindHistogram(h.name)) {
+      d.count -= b->count;
+      d.sum -= b->sum;
+      for (size_t i = 0; i < d.counts.size() && i < b->counts.size(); ++i) {
+        d.counts[i] -= b->counts[i];
+      }
+    }
+    if (d.count != 0) delta.histograms.push_back(std::move(d));
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  using internal::AppendJsonString;
+  using internal::JsonDouble;
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, counters[i].name);
+    out.push_back(':');
+    out += std::to_string(counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, gauges[i].name);
+    out.push_back(':');
+    out += std::to_string(gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, h.name);
+    out += ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + JsonDouble(h.sum) + ",\"buckets\":[";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      out += "{\"le\":";
+      out += b < h.bounds.size() ? JsonDouble(h.bounds[b]) : "\"+Inf\"";
+      out += ",\"count\":" + std::to_string(h.counts[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  using internal::JsonDouble;
+  using internal::PrometheusName;
+  std::string out;
+  for (const CounterValue& c : counters) {
+    const std::string name = PrometheusName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeValue& g : gauges) {
+    const std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramValue& h : histograms) {
+    const std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le =
+          b < h.bounds.size() ? JsonDouble(h.bounds[b]) : "+Inf";
+      out += name + "_bucket{le=\"" + le +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + JsonDouble(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::vector<double> MetricsRegistry::DefaultLatencyBuckets() {
+  return {1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+          1e-2, 5e-2, 1e-1, 5e-1, 1.0,  5.0,  10.0, 100.0};
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = name;
+    h.bounds = histogram->bounds();
+    h.counts = histogram->BucketCounts();
+    h.count = histogram->TotalCount();
+    h.sum = histogram->Sum();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace mroam::obs

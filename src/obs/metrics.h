@@ -1,0 +1,222 @@
+#ifndef MROAM_OBS_METRICS_H_
+#define MROAM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mroam::obs {
+
+/// Number of independent write shards per metric. Threads are assigned a
+/// shard round-robin on first use, so with up to kMetricShards concurrently
+/// hot threads every increment is a relaxed fetch_add on a private cache
+/// line; more threads alias onto shared shards and stay correct, just with
+/// occasional line sharing. Snapshot() merges the shards.
+inline constexpr uint32_t kMetricShards = 16;
+
+namespace internal {
+
+/// The calling thread's shard slot (stable for the thread's lifetime).
+uint32_t ThisThreadShard();
+
+/// Appends `text` to `out` as a quoted, escaped JSON string.
+void AppendJsonString(std::string* out, const std::string& text);
+
+/// Compact double for JSON: integral values print without a fraction,
+/// everything else keeps enough digits to round-trip timing data.
+std::string JsonDouble(double value);
+
+struct alignas(64) PaddedCounterCell {
+  std::atomic<int64_t> value{0};
+};
+
+/// fetch_add for atomic<double> without relying on C++20 library support.
+inline void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// Monotonically increasing event count (moves applied, tasks run, ...).
+/// Add is wait-free on the caller's shard; Value sums the shards.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    cells_[internal::ThisThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  internal::PaddedCounterCell cells_[kMetricShards];
+};
+
+/// Instantaneous level (queue depth, active workers, ...). Set is
+/// last-writer-wins; Add is an atomic delta.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram of double observations (typically seconds).
+/// Bucket i counts observations <= bounds[i]; one implicit overflow bucket
+/// counts the rest. Observations also accumulate into sum/count so means
+/// are exact. Sharded like Counter.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries, last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+  int64_t TotalCount() const;
+  double Sum() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<int64_t>> buckets;
+    std::atomic<double> sum{0.0};
+    std::atomic<int64_t> count{0};
+  };
+
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::vector<Shard> shards_;
+};
+
+/// One exported value set, decoupled from the live metric objects — safe
+/// to hold, diff, and serialize while the registry keeps counting.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;  ///< bounds.size() + 1, last = overflow
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of the named counter, or 0 when absent.
+  int64_t CounterOf(const std::string& name) const;
+  /// The named histogram, or nullptr when absent.
+  const HistogramValue* FindHistogram(const std::string& name) const;
+
+  /// Per-run delta: counters and histogram counts/sums subtract `before`
+  /// (metrics absent from `before` pass through unchanged); gauges keep
+  /// this snapshot's value. Zero-valued counters/histograms are dropped,
+  /// so a delta carries only what the run actually touched.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
+
+  /// Compact JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"count":..,"sum":..,"buckets":[..]}}}.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format ('.' becomes '_', histograms get
+  /// cumulative _bucket{le=...} series plus _sum and _count).
+  std::string ToPrometheus() const;
+};
+
+/// Process-wide metric registry. Get* registers on first use and returns a
+/// stable pointer — cache it in a function-local static at the call site
+/// (the MROAM_*_METRIC macros below do exactly that). All methods are
+/// thread-safe; Snapshot() may run concurrently with hot-path writers.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies on first registration only (later calls return the
+  /// existing histogram regardless of bounds).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = DefaultLatencyBuckets());
+
+  /// 1us .. ~100s in half-decade steps — covers index builds down to
+  /// single queue waits.
+  static std::vector<double> DefaultLatencyBuckets();
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (names stay registered). Tests only —
+  /// concurrent writers may interleave with the reset.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;  // guards the maps, not the metric hot paths
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Hot-path helpers: resolve the metric once per call site, then the
+// operation is a relaxed atomic on a sharded cell.
+#define MROAM_COUNTER_ADD(name, delta)                                  \
+  do {                                                                  \
+    static ::mroam::obs::Counter* mroam_counter_ =                      \
+        ::mroam::obs::MetricsRegistry::Global().GetCounter(name);       \
+    mroam_counter_->Add(delta);                                         \
+  } while (0)
+
+#define MROAM_GAUGE_SET(name, value)                                    \
+  do {                                                                  \
+    static ::mroam::obs::Gauge* mroam_gauge_ =                          \
+        ::mroam::obs::MetricsRegistry::Global().GetGauge(name);         \
+    mroam_gauge_->Set(value);                                           \
+  } while (0)
+
+#define MROAM_GAUGE_ADD(name, delta)                                    \
+  do {                                                                  \
+    static ::mroam::obs::Gauge* mroam_gauge_ =                          \
+        ::mroam::obs::MetricsRegistry::Global().GetGauge(name);         \
+    mroam_gauge_->Add(delta);                                           \
+  } while (0)
+
+#define MROAM_HISTOGRAM_OBSERVE(name, value)                            \
+  do {                                                                  \
+    static ::mroam::obs::Histogram* mroam_histogram_ =                  \
+        ::mroam::obs::MetricsRegistry::Global().GetHistogram(name);     \
+    mroam_histogram_->Observe(value);                                   \
+  } while (0)
+
+}  // namespace mroam::obs
+
+#endif  // MROAM_OBS_METRICS_H_

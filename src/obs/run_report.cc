@@ -1,0 +1,71 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+
+namespace mroam::obs {
+
+using internal::AppendJsonString;
+using internal::JsonDouble;
+
+void RunReport::AddPhase(std::string name, double seconds) {
+  phases.push_back({std::move(name), seconds});
+}
+
+double RunReport::PhaseSeconds(const std::string& name) const {
+  for (const Phase& phase : phases) {
+    if (phase.name == name) return phase.seconds;
+  }
+  return 0.0;
+}
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\"label\":";
+  AppendJsonString(&out, label);
+  out += ",\"phases\":{";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, phases[i].name);
+    out.push_back(':');
+    out += JsonDouble(phases[i].seconds);
+  }
+  out += "},\"metrics\":" + metrics.ToJson();
+  out += ",\"advertisers\":[";
+  for (size_t i = 0; i < advertisers.size(); ++i) {
+    const AdvertiserOutcome& a = advertisers[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"id\":" + std::to_string(a.id) +
+           ",\"demand\":" + std::to_string(a.demand) +
+           ",\"payment\":" + JsonDouble(a.payment) +
+           ",\"influence\":" + std::to_string(a.influence) +
+           ",\"regret\":" + JsonDouble(a.regret) +
+           ",\"satisfied\":" + (a.satisfied ? "true" : "false") + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RunReport::OneLineSummary() const {
+  std::string out = label.empty() ? std::string("run") : label;
+  out += " phases:";
+  if (phases.empty()) out += " none";
+  for (const Phase& phase : phases) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %s=%.3fs", phase.name.c_str(),
+                  phase.seconds);
+    out += buf;
+  }
+  const int64_t moves = metrics.CounterOf("als.moves_applied") +
+                        metrics.CounterOf("bls.moves_applied");
+  if (moves > 0) out += " moves=" + std::to_string(moves);
+  if (!advertisers.empty()) {
+    int64_t satisfied = 0;
+    for (const AdvertiserOutcome& a : advertisers) {
+      if (a.satisfied) ++satisfied;
+    }
+    out += " satisfied=" + std::to_string(satisfied) + "/" +
+           std::to_string(static_cast<int64_t>(advertisers.size()));
+  }
+  return out;
+}
+
+}  // namespace mroam::obs

@@ -1,0 +1,61 @@
+#ifndef MROAM_OBS_RUN_REPORT_H_
+#define MROAM_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mroam::obs {
+
+/// Structured telemetry of one solver (or market) run: where the wall
+/// time went, what the metrics registry counted while the run was in
+/// flight, and how each advertiser came out. Produced by core::Solve on
+/// every SolveResult and serialized by the bench harness into
+/// BENCH_<name>.json, so per-phase cost is machine-diffable across PRs.
+struct RunReport {
+  /// What ran — a method name ("BLS"), a policy, or a bench label.
+  std::string label;
+
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+  };
+  /// Per-phase wall time. For parallel phases (restart tasks) the value
+  /// is the *sum across tasks* — CPU seconds, not elapsed wall time.
+  std::vector<Phase> phases;
+
+  /// Delta of the global metrics registry over the run. With concurrent
+  /// runs in one process the deltas mix; the solvers themselves are
+  /// instrumented per run, so single-run-at-a-time processes (every
+  /// bench and test binary) get exact per-run numbers.
+  MetricsSnapshot metrics;
+
+  struct AdvertiserOutcome {
+    int64_t id = 0;
+    int64_t demand = 0;
+    double payment = 0.0;
+    int64_t influence = 0;
+    double regret = 0.0;
+    bool satisfied = false;
+  };
+  /// Per-advertiser regret breakdown of the final deployment.
+  std::vector<AdvertiserOutcome> advertisers;
+
+  void AddPhase(std::string name, double seconds);
+  /// Seconds of the named phase, or 0 when absent.
+  double PhaseSeconds(const std::string& name) const;
+
+  /// Compact JSON object (phases, metrics, advertisers) for embedding in
+  /// larger documents.
+  std::string ToJson() const;
+
+  /// One-line human summary ("phases: greedy=0.12s ... moves=34") for the
+  /// end-of-solve Info log.
+  std::string OneLineSummary() const;
+};
+
+}  // namespace mroam::obs
+
+#endif  // MROAM_OBS_RUN_REPORT_H_

@@ -1,0 +1,156 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+namespace mroam::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+/// Reads MROAM_TRACE once at process start; a non-empty value arms the
+/// tracer and registers an exit-time flush, so any binary linked against
+/// mroam becomes traceable without code changes.
+[[maybe_unused]] const bool g_trace_env_armed = [] {
+  const char* path = std::getenv("MROAM_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  Tracer::Global().Enable(path);
+  return true;
+}();
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(NowNanos()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+int64_t Tracer::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Tracer::Enable(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path_ = std::move(path);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  // One exit-time flush covers both env-armed and programmatic enables;
+  // flushing with no buffered spans just rewrites an empty trace.
+  static const bool registered = [] {
+    std::atexit([] {
+      common::Status status = Tracer::Global().Flush();
+      if (!status.ok()) {
+        std::fprintf(stderr, "mroam tracer flush failed: %s\n",
+                     status.message().c_str());
+      }
+    });
+    return true;
+  }();
+  static_cast<void>(registered);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(std::move(owned));
+  }
+  return buffer;
+}
+
+void Tracer::Record(const char* name, int64_t id, int64_t start_ns,
+                    int64_t end_ns) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->spans.push_back({name, id, start_ns, end_ns - start_ns});
+}
+
+std::string Tracer::DumpJson() {
+  std::string out =
+      "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const SpanRecord& span : buffer->spans) {
+      if (!first) out += ",\n";
+      first = false;
+      char line[256];
+      // Chrome trace events use microsecond timestamps; keep nanosecond
+      // precision with a fractional part.
+      const double ts_us =
+          static_cast<double>(span.start_ns - epoch_ns_) / 1e3;
+      const double dur_us = static_cast<double>(span.dur_ns) / 1e3;
+      if (span.id >= 0) {
+        std::snprintf(line, sizeof(line),
+                      "{\"name\":\"%s\",\"cat\":\"mroam\",\"ph\":\"X\","
+                      "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"args\":{\"id\":%lld}}",
+                      span.name, buffer->tid, ts_us, dur_us,
+                      static_cast<long long>(span.id));
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "{\"name\":\"%s\",\"cat\":\"mroam\",\"ph\":\"X\","
+                      "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                      span.name, buffer->tid, ts_us, dur_us);
+      }
+      out += line;
+    }
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+common::Status Tracer::Flush() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = path_;
+  }
+  if (path.empty()) return common::Status::Ok();
+  const std::string json = DumpJson();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return common::Status::IoError("cannot open trace file " + path);
+  }
+  out << json;
+  if (!out) {
+    return common::Status::IoError("short write to trace file " + path);
+  }
+  Clear();
+  return common::Status::Ok();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->spans.clear();
+  }
+}
+
+int64_t Tracer::SpanCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += static_cast<int64_t>(buffer->spans.size());
+  }
+  return total;
+}
+
+}  // namespace mroam::obs

@@ -1,0 +1,130 @@
+#ifndef MROAM_OBS_TRACE_H_
+#define MROAM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mroam::obs {
+
+/// Process-wide scoped-span tracer. Disabled by default: the only cost a
+/// span pays then is one relaxed atomic load (measured at well under a
+/// nanosecond on the bench fixture, DESIGN.md §6). Enabled either by the
+/// MROAM_TRACE=<path> environment variable (spans are flushed to <path>
+/// as Chrome trace-event JSON at process exit — load the file in Perfetto
+/// or chrome://tracing) or programmatically via Enable().
+///
+/// Spans are buffered per thread (one mutex-guarded buffer per thread,
+/// uncontended in steady state) and merged at Flush()/DumpJson() time.
+/// Span names must be string literals (or otherwise outlive the tracer):
+/// only the pointer is stored on the hot path.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// True when spans are being recorded. The hot-path check.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts recording; Flush() (and process exit) writes to `path`.
+  /// An empty path records in memory only (DumpJson for tests).
+  void Enable(std::string path);
+
+  /// Stops recording. Already-buffered spans are kept until Flush/Clear.
+  void Disable();
+
+  /// Appends one completed span to the calling thread's buffer.
+  void Record(const char* name, int64_t id, int64_t start_ns,
+              int64_t end_ns);
+
+  /// Serializes all buffered spans as a Chrome trace-event JSON document.
+  std::string DumpJson();
+
+  /// Writes DumpJson() to the Enable() path and clears the buffers.
+  /// No-op (Ok) when no path was configured.
+  common::Status Flush();
+
+  /// Drops all buffered spans (test isolation).
+  void Clear();
+
+  /// Buffered span count across all threads (tests / diagnostics).
+  int64_t SpanCount();
+
+  /// Monotonic clock used for span timestamps, in nanoseconds.
+  static int64_t NowNanos();
+
+ private:
+  struct SpanRecord {
+    const char* name;
+    int64_t id;  ///< -1 = none; else emitted as args.id
+    int64_t start_ns;
+    int64_t dur_ns;
+  };
+  struct ThreadBuffer {
+    std::mutex mu;
+    uint32_t tid = 0;
+    std::vector<SpanRecord> spans;
+  };
+
+  Tracer();
+  ThreadBuffer* BufferForThisThread();
+
+  static std::atomic<bool> enabled_;
+
+  const int64_t epoch_ns_;  ///< trace timestamps are relative to this
+  std::mutex mu_;           ///< guards buffers_ registration and path_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::string path_;
+};
+
+/// RAII span: records [construction, destruction) under `name` when the
+/// tracer is enabled at construction time. `name` must be a string
+/// literal. Pass `id` >= 0 to tag the span (e.g. a restart index); it is
+/// emitted as args.id in the trace.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, int64_t id = -1) {
+    if (!Tracer::Enabled()) return;
+    name_ = name;
+    id_ = id;
+    start_ns_ = Tracer::NowNanos();
+  }
+
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    Tracer::Global().Record(name_, id_, start_ns_, Tracer::NowNanos());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t id_ = -1;
+  int64_t start_ns_ = 0;
+};
+
+#define MROAM_OBS_CONCAT_INNER(a, b) a##b
+#define MROAM_OBS_CONCAT(a, b) MROAM_OBS_CONCAT_INNER(a, b)
+
+// MROAM_TRACE_SPAN("name") traces the enclosing scope. Compiled to
+// nothing when the MROAM_ENABLE_TRACING CMake option is OFF.
+#ifndef MROAM_TRACING_DISABLED
+#define MROAM_TRACE_SPAN(name)                                        \
+  ::mroam::obs::ScopedSpan MROAM_OBS_CONCAT(mroam_span_, __LINE__)(name)
+#define MROAM_TRACE_SPAN_ID(name, id)                                 \
+  ::mroam::obs::ScopedSpan MROAM_OBS_CONCAT(mroam_span_, __LINE__)(name, id)
+#else
+#define MROAM_TRACE_SPAN(name) static_cast<void>(0)
+#define MROAM_TRACE_SPAN_ID(name, id) static_cast<void>(0)
+#endif
+
+}  // namespace mroam::obs
+
+#endif  // MROAM_OBS_TRACE_H_

@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace mroam::common {
+namespace {
+
+TEST(ParseLogLevelTest, ParsesEveryCanonicalName) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, AcceptsWarnAlias) {
+  LogLevel level = LogLevel::kDebug;
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+TEST(ParseLogLevelTest, IsCaseInsensitive) {
+  LogLevel level = LogLevel::kDebug;
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("eRrOr", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, RejectsUnknownTextAndLeavesLevelUntouched) {
+  LogLevel level = LogLevel::kWarning;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_FALSE(ParseLogLevel("2", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  // Whitespace and decoration are not trimmed: the env var must be exact.
+  EXPECT_FALSE(ParseLogLevel(" info", &level));
+  EXPECT_FALSE(ParseLogLevel("info ", &level));
+  EXPECT_FALSE(ParseLogLevel("log-info", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+TEST(MinLogLevelTest, SetterRoundTrips) {
+  LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(original);
+  EXPECT_EQ(MinLogLevel(), original);
+}
+
+}  // namespace
+}  // namespace mroam::common

@@ -1,0 +1,67 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace mroam::common {
+namespace {
+
+TEST(StopwatchTest, StartsNearZero) {
+  Stopwatch watch;
+  // A fresh stopwatch has not accumulated a visible amount of time; allow
+  // generous slack for a loaded CI machine.
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch watch;
+  double previous = watch.ElapsedSeconds();
+  for (int i = 0; i < 100; ++i) {
+    double now = watch.ElapsedSeconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(StopwatchTest, MeasuresASleep) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // steady_clock sleeps can only over-shoot, never under-shoot.
+  EXPECT_GE(watch.ElapsedSeconds(), 0.010);
+  EXPECT_GE(watch.ElapsedMillis(), 10.0);
+}
+
+TEST(StopwatchTest, MillisMatchesSeconds) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  double seconds = watch.ElapsedSeconds();
+  double millis = watch.ElapsedMillis();
+  // Two separate clock reads, so allow the skew between them.
+  EXPECT_NEAR(millis, seconds * 1e3, 5.0);
+  EXPECT_GE(millis, seconds * 1e3 - 1e-9);  // millis was read later
+}
+
+TEST(StopwatchTest, RestartDropsAccumulatedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_GE(watch.ElapsedSeconds(), 0.010);
+  watch.Restart();
+  // The elapsed time right after a restart must be less than what had
+  // accumulated before it — the start point really moved.
+  EXPECT_LT(watch.ElapsedSeconds(), 0.010);
+}
+
+TEST(StopwatchTest, RestartIsRepeatable) {
+  Stopwatch watch;
+  for (int i = 0; i < 3; ++i) {
+    watch.Restart();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GE(watch.ElapsedSeconds(), 0.002);
+  }
+}
+
+}  // namespace
+}  // namespace mroam::common

@@ -196,6 +196,40 @@ TEST_F(PaperExampleSearchTest, ParallelRestartsMatchSerialBitForBit) {
   }
 }
 
+// Satellite of the telemetry PR: LocalSearchStats is reduced over the
+// restart tasks in task-index order, so the aggregate totals must be a
+// pure function of the seed — identical for every thread count, not just
+// the serial/8-way pair above.
+TEST_F(PaperExampleSearchTest, StatsAggregateDeterministicAcrossThreadCounts) {
+  LocalSearchConfig config;
+  config.restarts = 6;
+  for (SearchStrategy strategy : {SearchStrategy::kAdvertiserDriven,
+                                  SearchStrategy::kBillboardDriven}) {
+    LocalSearchConfig baseline_cfg = config;
+    baseline_cfg.num_threads = 1;
+    common::Rng baseline_rng(29);
+    LocalSearchStats baseline_stats;
+    Assignment baseline = RandomizedLocalSearch(
+        index_, PaperExampleAdvertisers(), RegretParams{0.5}, strategy,
+        baseline_cfg, &baseline_rng, &baseline_stats);
+
+    for (int32_t threads : {2, 3, 8}) {
+      LocalSearchConfig cfg = config;
+      cfg.num_threads = threads;
+      common::Rng rng(29);
+      LocalSearchStats stats;
+      Assignment result = RandomizedLocalSearch(
+          index_, PaperExampleAdvertisers(), RegretParams{0.5}, strategy,
+          cfg, &rng, &stats);
+      EXPECT_EQ(stats.sweeps, baseline_stats.sweeps) << threads;
+      EXPECT_EQ(stats.moves_applied, baseline_stats.moves_applied) << threads;
+      EXPECT_EQ(stats.deltas_evaluated, baseline_stats.deltas_evaluated)
+          << threads;
+      EXPECT_EQ(result.TotalRegret(), baseline.TotalRegret()) << threads;
+    }
+  }
+}
+
 // Exercises the first-improvement exchange scans (moves 1-2) across many
 // sweeps on a randomized instance: the scan lists are snapshots, so the
 // mid-scan mutations must not touch freed storage (run under

@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mroam::obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(CounterTest, ShardsSumAcrossThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(5);
+  EXPECT_EQ(gauge.Value(), 5);
+  gauge.Add(-2);
+  EXPECT_EQ(gauge.Value(), 3);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(HistogramTest, BucketsByUpperBoundWithOverflow) {
+  Histogram h({0.001, 0.01, 0.1});
+  h.Observe(0.0005);  // <= 0.001 -> bucket 0
+  h.Observe(0.001);   // == bound -> bucket 0 (bounds are inclusive)
+  h.Observe(0.005);   // bucket 1
+  h.Observe(0.05);    // bucket 2
+  h.Observe(5.0);     // overflow
+  std::vector<int64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h.TotalCount(), 5);
+  EXPECT_NEAR(h.Sum(), 0.0005 + 0.001 + 0.005 + 0.05 + 5.0, 1e-12);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(HistogramTest, SortsAndDeduplicatesBounds) {
+  Histogram h({0.1, 0.001, 0.1, 0.01});
+  EXPECT_EQ(h.bounds(), (std::vector<double>{0.001, 0.01, 0.1}));
+  EXPECT_EQ(h.BucketCounts().size(), 4u);
+}
+
+TEST(MetricsRegistryTest, ReturnsStablePointers) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* a = registry.GetCounter("test.registry.stable");
+  Counter* b = registry.GetCounter("test.registry.stable");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.GetGauge("test.registry.gauge");
+  Gauge* g2 = registry.GetGauge("test.registry.gauge");
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsApplyOnFirstRegistrationOnly) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* first = registry.GetHistogram("test.registry.hist", {1.0, 2.0});
+  Histogram* second = registry.GetHistogram("test.registry.hist", {9.0});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsSnapshotTest, CapturesRegisteredValues) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.snapshot.counter")->Reset();
+  registry.GetCounter("test.snapshot.counter")->Add(7);
+  registry.GetGauge("test.snapshot.gauge")->Set(3);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOf("test.snapshot.counter"), 7);
+  EXPECT_EQ(snapshot.CounterOf("test.snapshot.absent"), 0);
+  bool found_gauge = false;
+  for (const auto& g : snapshot.gauges) {
+    if (g.name == "test.snapshot.gauge") {
+      found_gauge = true;
+      EXPECT_EQ(g.value, 3);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+}
+
+TEST(MetricsSnapshotTest, DeltaSinceSubtractsAndDropsUntouched) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* moved = registry.GetCounter("test.delta.moved");
+  Counter* idle = registry.GetCounter("test.delta.idle");
+  Histogram* hist = registry.GetHistogram("test.delta.hist", {1.0});
+  moved->Reset();
+  idle->Reset();
+  hist->Reset();
+  moved->Add(10);
+  idle->Add(4);
+  hist->Observe(0.5);
+
+  MetricsSnapshot before = registry.Snapshot();
+  moved->Add(5);
+  hist->Observe(2.0);
+  hist->Observe(0.25);
+  MetricsSnapshot after = registry.Snapshot();
+  MetricsSnapshot delta = after.DeltaSince(before);
+
+  EXPECT_EQ(delta.CounterOf("test.delta.moved"), 5);
+  // The idle counter did not move between the snapshots, so the delta
+  // drops it entirely.
+  for (const auto& c : delta.counters) {
+    EXPECT_NE(c.name, "test.delta.idle");
+  }
+  const MetricsSnapshot::HistogramValue* h =
+      delta.FindHistogram("test.delta.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_NEAR(h->sum, 2.25, 1e-12);
+  ASSERT_EQ(h->counts.size(), 2u);
+  EXPECT_EQ(h->counts[0], 1);  // the 0.25 observation
+  EXPECT_EQ(h->counts[1], 1);  // the 2.0 overflow
+}
+
+TEST(MetricsSnapshotTest, ToJsonHasTheDocumentedShape) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"a.count", 2});
+  snapshot.gauges.push_back({"q.depth", 1});
+  MetricsSnapshot::HistogramValue h;
+  h.name = "lat";
+  h.bounds = {0.5};
+  h.counts = {3, 1};
+  h.count = 4;
+  h.sum = 1.25;
+  snapshot.histograms.push_back(h);
+
+  std::string json = snapshot.ToJson();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a.count\":2},"
+            "\"gauges\":{\"q.depth\":1},"
+            "\"histograms\":{\"lat\":{\"count\":4,\"sum\":1.25,"
+            "\"buckets\":[{\"le\":0.5,\"count\":3},"
+            "{\"le\":\"+Inf\",\"count\":1}]}}}");
+}
+
+TEST(MetricsSnapshotTest, ToPrometheusMangledNamesAndCumulativeBuckets) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"als.moves_applied", 7});
+  MetricsSnapshot::HistogramValue h;
+  h.name = "rls.search_seconds";
+  h.bounds = {0.1, 1.0};
+  h.counts = {2, 1, 1};
+  h.count = 4;
+  h.sum = 2.5;
+  snapshot.histograms.push_back(h);
+
+  std::string text = snapshot.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE mroam_als_moves_applied counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mroam_als_moves_applied 7\n"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("mroam_rls_search_seconds_bucket{le=\"0.1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mroam_rls_search_seconds_bucket{le=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mroam_rls_search_seconds_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mroam_rls_search_seconds_sum 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mroam_rls_search_seconds_count 4\n"),
+            std::string::npos);
+}
+
+TEST(JsonHelpersTest, EscapesAndFormats) {
+  std::string out;
+  internal::AppendJsonString(&out, "a\"b\\c\nd");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(internal::JsonDouble(3.0), "3");
+  EXPECT_EQ(internal::JsonDouble(-2.0), "-2");
+  EXPECT_EQ(internal::JsonDouble(0.25), "0.25");
+}
+
+// The tsan target of this suite: snapshots race with hot-path writers by
+// design (relaxed atomics, no locks on the write side). Writers hammer a
+// counter, a gauge, and a histogram while the main thread snapshots; the
+// final snapshot must contain the exact totals.
+TEST(MetricsConcurrencyTest, SnapshotWhileWriting) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test.race.counter");
+  Gauge* gauge = registry.GetGauge("test.race.gauge");
+  Histogram* hist = registry.GetHistogram("test.race.hist", {0.5});
+  counter->Reset();
+  gauge->Reset();
+  hist->Reset();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        gauge->Set(i);
+        hist->Observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    MetricsSnapshot mid = registry.Snapshot();
+    EXPECT_GE(mid.CounterOf("test.race.counter"), 0);
+    EXPECT_LE(mid.CounterOf("test.race.counter"),
+              int64_t{kThreads} * kPerThread);
+  }
+  for (auto& writer : writers) writer.join();
+
+  MetricsSnapshot final_snapshot = registry.Snapshot();
+  EXPECT_EQ(final_snapshot.CounterOf("test.race.counter"),
+            int64_t{kThreads} * kPerThread);
+  const MetricsSnapshot::HistogramValue* h =
+      final_snapshot.FindHistogram("test.race.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, int64_t{kThreads} * kPerThread);
+  ASSERT_EQ(h->counts.size(), 2u);
+  EXPECT_EQ(h->counts[0], int64_t{kThreads} * kPerThread / 2);
+  EXPECT_EQ(h->counts[1], int64_t{kThreads} * kPerThread / 2);
+}
+
+TEST(MetricsRegistryTest, ResetForTestZeroesEverything) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.reset.counter")->Add(3);
+  registry.GetGauge("test.reset.gauge")->Set(9);
+  registry.GetHistogram("test.reset.hist")->Observe(1.0);
+  registry.ResetForTest();
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOf("test.reset.counter"), 0);
+  const MetricsSnapshot::HistogramValue* h =
+      snapshot.FindHistogram("test.reset.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0);
+}
+
+}  // namespace
+}  // namespace mroam::obs

@@ -1,0 +1,76 @@
+#include "obs/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mroam::obs {
+namespace {
+
+TEST(RunReportTest, AddPhaseAndLookup) {
+  RunReport report;
+  EXPECT_DOUBLE_EQ(report.PhaseSeconds("missing"), 0.0);
+  report.AddPhase("greedy", 0.125);
+  report.AddPhase("restarts.search", 1.5);
+  EXPECT_DOUBLE_EQ(report.PhaseSeconds("greedy"), 0.125);
+  EXPECT_DOUBLE_EQ(report.PhaseSeconds("restarts.search"), 1.5);
+  EXPECT_DOUBLE_EQ(report.PhaseSeconds("missing"), 0.0);
+}
+
+TEST(RunReportTest, ToJsonSerializesAllSections) {
+  RunReport report;
+  report.label = "BLS";
+  report.AddPhase("greedy", 0.25);
+  report.metrics.counters.push_back({"bls.moves_applied", 12});
+  RunReport::AdvertiserOutcome outcome;
+  outcome.id = 3;
+  outcome.demand = 100;
+  outcome.payment = 150.0;
+  outcome.influence = 102;
+  outcome.regret = 1.0;
+  outcome.satisfied = true;
+  report.advertisers.push_back(outcome);
+
+  std::string json = report.ToJson();
+  EXPECT_EQ(json,
+            "{\"label\":\"BLS\","
+            "\"phases\":{\"greedy\":0.25},"
+            "\"metrics\":{\"counters\":{\"bls.moves_applied\":12},"
+            "\"gauges\":{},\"histograms\":{}},"
+            "\"advertisers\":[{\"id\":3,\"demand\":100,\"payment\":150,"
+            "\"influence\":102,\"regret\":1,\"satisfied\":true}]}");
+}
+
+TEST(RunReportTest, ToJsonEscapesTheLabel) {
+  RunReport report;
+  report.label = "odd \"label\"\n";
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"label\":\"odd \\\"label\\\"\\n\""),
+            std::string::npos);
+}
+
+TEST(RunReportTest, OneLineSummaryNamesPhasesMovesAndSatisfaction) {
+  RunReport report;
+  report.label = "ALS";
+  report.AddPhase("greedy", 0.1);
+  report.AddPhase("restarts.search", 2.0);
+  report.metrics.counters.push_back({"als.moves_applied", 5});
+  report.metrics.counters.push_back({"bls.moves_applied", 2});
+  RunReport::AdvertiserOutcome satisfied;
+  satisfied.satisfied = true;
+  RunReport::AdvertiserOutcome unsatisfied;
+  report.advertisers = {satisfied, unsatisfied, satisfied};
+
+  std::string line = report.OneLineSummary();
+  EXPECT_EQ(line,
+            "ALS phases: greedy=0.100s restarts.search=2.000s"
+            " moves=7 satisfied=2/3");
+}
+
+TEST(RunReportTest, OneLineSummaryDegradesGracefully) {
+  RunReport report;  // no label, no phases, no metrics, no advertisers
+  EXPECT_EQ(report.OneLineSummary(), "run phases: none");
+}
+
+}  // namespace
+}  // namespace mroam::obs

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mroam::obs {
+namespace {
+
+/// Every test leaves the global tracer disabled and empty so suites can
+/// run in any order.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(Tracer::Enabled());
+  {
+    MROAM_TRACE_SPAN("never.recorded");
+    MROAM_TRACE_SPAN_ID("never.recorded.id", 7);
+  }
+  EXPECT_EQ(Tracer::Global().SpanCount(), 0);
+}
+
+TEST_F(TraceTest, EnableRecordsScopedSpans) {
+  Tracer::Global().Enable("");  // memory only
+  EXPECT_TRUE(Tracer::Enabled());
+  {
+    MROAM_TRACE_SPAN("unit.outer");
+    { MROAM_TRACE_SPAN_ID("unit.inner", 3); }
+  }
+#ifndef MROAM_TRACING_DISABLED
+  EXPECT_EQ(Tracer::Global().SpanCount(), 2);
+#else
+  EXPECT_EQ(Tracer::Global().SpanCount(), 0);
+#endif
+}
+
+TEST_F(TraceTest, DisableStopsNewSpansButKeepsBuffered) {
+  Tracer::Global().Enable("");
+  { ScopedSpan span("kept.span"); }
+  ASSERT_EQ(Tracer::Global().SpanCount(), 1);
+  Tracer::Global().Disable();
+  { ScopedSpan span("dropped.span"); }
+  EXPECT_EQ(Tracer::Global().SpanCount(), 1);
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableStillRecords) {
+  // A span that was live when Disable() hit latched its name at
+  // construction, so it still records — spans are never torn.
+  Tracer::Global().Enable("");
+  {
+    ScopedSpan span("straddles.disable");
+    Tracer::Global().Disable();
+  }
+  EXPECT_EQ(Tracer::Global().SpanCount(), 1);
+}
+
+TEST_F(TraceTest, DumpJsonIsChromeTraceShaped) {
+  Tracer::Global().Enable("");
+  { ScopedSpan span("shape.plain"); }
+  { ScopedSpan span("shape.tagged", 42); }
+  std::string json = Tracer::Global().DumpJson();
+
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shape.plain\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shape.tagged\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"mroam\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"id\":42}"), std::string::npos);
+  // Durations are complete events with non-negative timestamps.
+  EXPECT_EQ(json.find("\"ts\":-"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsBufferedSpans) {
+  Tracer::Global().Enable("");
+  { ScopedSpan span("to.clear"); }
+  ASSERT_GT(Tracer::Global().SpanCount(), 0);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().SpanCount(), 0);
+  EXPECT_EQ(Tracer::Global().DumpJson().find("to.clear"), std::string::npos);
+}
+
+TEST_F(TraceTest, FlushWritesTheTraceFileAndClears) {
+  const std::string path = ::testing::TempDir() + "mroam_trace_test.json";
+  Tracer::Global().Enable(path);
+  { ScopedSpan span("flushed.span", 1); }
+  common::Status status = Tracer::Global().Flush();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(Tracer::Global().SpanCount(), 0);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("flushed.span"), std::string::npos);
+  EXPECT_NE(contents.str().find("\"traceEvents\""), std::string::npos);
+  std::remove(path.c_str());
+  // Leave no path configured for later tests / process exit.
+  Tracer::Global().Enable("");
+}
+
+TEST_F(TraceTest, FlushWithoutPathIsANoOp) {
+  Tracer::Global().Enable("");
+  { ScopedSpan span("memory.only"); }
+  common::Status status = Tracer::Global().Flush();
+  EXPECT_TRUE(status.ok());
+  // Nothing was written anywhere, and the buffer is kept.
+  EXPECT_EQ(Tracer::Global().SpanCount(), 1);
+}
+
+TEST_F(TraceTest, NowNanosIsMonotonic) {
+  int64_t previous = Tracer::NowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    int64_t now = Tracer::NowNanos();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+}  // namespace
+}  // namespace mroam::obs
