@@ -6,6 +6,7 @@
 #include "bench_common.h"
 #include "core/greedy.h"
 #include "micro_main.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "core/local_search.h"
 #include "market/workload.h"
@@ -41,25 +42,56 @@ Fixture& TheFixture() {
   return *fixture;
 }
 
-void BM_BudgetEffectiveGreedy(benchmark::State& state) {
-  Fixture& f = TheFixture();
-  for (auto _ : state) {
-    core::Assignment s(&f.index, f.advertisers, core::RegretParams{0.5});
-    core::BudgetEffectiveGreedy(&s);
-    benchmark::DoNotOptimize(s.TotalRegret());
+// Attaches the greedy selection-effort counters (delta over the timed
+// loop, averaged per iteration) so BENCH_micro_algorithms.json shows the
+// lazy and naive variants side by side: "deltas" is the number of
+// incidence-list walks the selection rule paid for.
+void ReportSelectionCounters(benchmark::State& state,
+                             const obs::MetricsSnapshot& before) {
+  const obs::MetricsSnapshot after =
+      obs::MetricsRegistry::Global().Snapshot();
+  const auto per_iteration = benchmark::Counter::kAvgIterations;
+  for (const char* name :
+       {"greedy.deltas", "greedy.lazy_hits", "greedy.lazy_reevals"}) {
+    state.counters[name] = benchmark::Counter(
+        static_cast<double>(after.CounterOf(name) - before.CounterOf(name)),
+        per_iteration);
   }
 }
-BENCHMARK(BM_BudgetEffectiveGreedy)->Unit(benchmark::kMillisecond);
 
-void BM_SynchronousGreedy(benchmark::State& state) {
+template <typename GreedyFn>
+void RunGreedyBench(benchmark::State& state, GreedyFn greedy,
+                    bool lazy_selection) {
   Fixture& f = TheFixture();
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
   for (auto _ : state) {
     core::Assignment s(&f.index, f.advertisers, core::RegretParams{0.5});
-    core::SynchronousGreedy(&s);
+    greedy(&s, lazy_selection);
     benchmark::DoNotOptimize(s.TotalRegret());
   }
+  ReportSelectionCounters(state, before);
 }
-BENCHMARK(BM_SynchronousGreedy)->Unit(benchmark::kMillisecond);
+
+void BM_BudgetEffectiveGreedyLazy(benchmark::State& state) {
+  RunGreedyBench(state, core::BudgetEffectiveGreedy, /*lazy_selection=*/true);
+}
+BENCHMARK(BM_BudgetEffectiveGreedyLazy)->Unit(benchmark::kMillisecond);
+
+void BM_BudgetEffectiveGreedyNaive(benchmark::State& state) {
+  RunGreedyBench(state, core::BudgetEffectiveGreedy, /*lazy_selection=*/false);
+}
+BENCHMARK(BM_BudgetEffectiveGreedyNaive)->Unit(benchmark::kMillisecond);
+
+void BM_SynchronousGreedyLazy(benchmark::State& state) {
+  RunGreedyBench(state, core::SynchronousGreedy, /*lazy_selection=*/true);
+}
+BENCHMARK(BM_SynchronousGreedyLazy)->Unit(benchmark::kMillisecond);
+
+void BM_SynchronousGreedyNaive(benchmark::State& state) {
+  RunGreedyBench(state, core::SynchronousGreedy, /*lazy_selection=*/false);
+}
+BENCHMARK(BM_SynchronousGreedyNaive)->Unit(benchmark::kMillisecond);
 
 void BM_AdvertiserDrivenLocalSearch(benchmark::State& state) {
   Fixture& f = TheFixture();

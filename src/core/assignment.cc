@@ -140,6 +140,7 @@ void Assignment::Release(BillboardId o) {
   owner_[o] = kNoAdvertiser;
   slot_[o] = static_cast<int32_t>(free_.size());
   free_.push_back(o);
+  ++free_add_epoch_;
   counters_[a].Remove(o);
   RecomputeRegret(a);
 }
@@ -166,6 +167,11 @@ void Assignment::SwapSets(AdvertiserId i, AdvertiserId j) {
   MROAM_CHECK(i != j);
   std::swap(sets_[i], sets_[j]);
   std::swap(counters_[i], counters_[j]);
+  // The swapped counter objects carry their epochs with them, so a stamp
+  // cached against "advertiser i's counter" could still match numerically
+  // while describing what is now advertiser j's set: invalidate both.
+  counters_[i].MarkStructuralChange();
+  counters_[j].MarkStructuralChange();
   for (BillboardId o : sets_[i]) owner_[o] = i;
   for (BillboardId o : sets_[j]) owner_[o] = j;
   // Slots are positions within the (moved) vectors, so they stay valid.
@@ -197,6 +203,10 @@ void Assignment::CopyDeploymentFrom(const Assignment& other) {
   regret_ = other.regret_;
   params_ = other.params_;
   total_regret_ = other.total_regret_;
+  // The copied counters carry `other`'s epochs, which could collide with
+  // stamps cached against this assignment's previous state.
+  for (influence::CoverageCounter& c : counters_) c.MarkStructuralChange();
+  ++free_add_epoch_;
 }
 
 void Assignment::VerifyInvariants() const {

@@ -102,6 +102,22 @@ class Assignment {
     return counters_[a].MarginalLoss(o);
   }
 
+  /// Advertiser `a`'s coverage counter. Exposed (read-only) for the lazy
+  /// greedy selector, which stamps its cached marginal gains with the
+  /// counter's epoch (see CoverageCounter::epoch()).
+  const influence::CoverageCounter& CounterOf(market::AdvertiserId a) const {
+    return counters_[a];
+  }
+
+  /// Epoch advanced every time a billboard (re-)enters the free pool, i.e.
+  /// on every Release (and wholesale on CopyDeploymentFrom). Lets any
+  /// structure caching a view of the free pool detect re-added members
+  /// without diffing the list; billboards *leaving* the pool are cheaper
+  /// to detect per-entry via OwnerOf. The lazy selector re-reads the pool
+  /// on every query, so it only needs the counter epochs — this one is
+  /// for callers that persist candidate lists across picks.
+  uint64_t free_add_epoch() const { return free_add_epoch_; }
+
   /// The stacked-bar decomposition of the current total regret.
   RegretBreakdown Breakdown() const;
 
@@ -174,6 +190,7 @@ class Assignment {
   std::vector<influence::CoverageCounter> counters_;   // by advertiser
   std::vector<double> regret_;                    // cached R(S_a)
   double total_regret_ = 0.0;
+  uint64_t free_add_epoch_ = 1;  // 0 reserved for "never observed"
 };
 
 }  // namespace mroam::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/lazy_selector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -11,42 +12,28 @@ namespace mroam::core {
 using market::AdvertiserId;
 using model::BillboardId;
 
-BillboardId BestBillboardFor(const Assignment& assignment, AdvertiserId a) {
-  const influence::InfluenceIndex& index = assignment.index();
-  BillboardId best = model::kInvalidBillboard;
-  double best_ratio = 0.0;
-  double best_gain_ratio = 0.0;
-  for (BillboardId o : assignment.FreeBillboards()) {
-    const double supplied = static_cast<double>(index.InfluenceOf(o));
-    if (supplied <= 0.0) continue;
-    const double ratio = -assignment.DeltaAssign(o, a) / supplied;
-    const double gain_ratio =
-        static_cast<double>(assignment.MarginalGain(a, o)) / supplied;
-    bool better = false;
-    if (best == model::kInvalidBillboard) {
-      better = true;
-    } else if (ratio > best_ratio + 1e-12) {
-      better = true;
-    } else if (ratio > best_ratio - 1e-12) {
-      // Tie on the regret ratio: prefer the billboard whose coverage is
-      // least wasted, then the smaller id for determinism.
-      if (gain_ratio > best_gain_ratio + 1e-12) {
-        better = true;
-      } else if (gain_ratio > best_gain_ratio - 1e-12 && o < best) {
-        better = true;
-      }
-    }
-    if (better) {
-      best = o;
-      best_ratio = ratio;
-      best_gain_ratio = gain_ratio;
-    }
-  }
-  return best;
+namespace {
+
+/// One registry flush per greedy run: exact evaluations (incidence-list
+/// walks) under the shared "greedy.deltas" name — the number the
+/// lazy-vs-exhaustive comparison in micro_algorithms reads — plus the
+/// lazy engine's hit/re-evaluation split.
+void FlushSelectorCounters(const LazySelector& selector) {
+  MROAM_COUNTER_ADD("greedy.deltas", selector.exact_evaluations());
+  MROAM_COUNTER_ADD("greedy.lazy_hits", selector.lazy_hits());
+  MROAM_COUNTER_ADD("greedy.lazy_reevals", selector.lazy_reevals());
 }
 
-void BudgetEffectiveGreedy(Assignment* assignment) {
+}  // namespace
+
+BillboardId BestBillboardFor(const Assignment& assignment, AdvertiserId a) {
+  LazySelector selector(&assignment, /*lazy=*/false);
+  return selector.BestBillboard(a);
+}
+
+void BudgetEffectiveGreedy(Assignment* assignment, bool lazy_selection) {
   MROAM_TRACE_SPAN("greedy.budget_effective");
+  LazySelector selector(assignment, lazy_selection);
   int64_t assigned = 0;
   std::vector<AdvertiserId> order(assignment->num_advertisers());
   for (int32_t a = 0; a < assignment->num_advertisers(); ++a) order[a] = a;
@@ -59,8 +46,8 @@ void BudgetEffectiveGreedy(Assignment* assignment) {
             });
   for (AdvertiserId a : order) {
     while (!assignment->IsSatisfied(a)) {
-      BillboardId o = BestBillboardFor(*assignment, a);
-      if (o == model::kInvalidBillboard) break;  // out of usable billboards
+      BillboardId o = selector.BestBillboard(a);
+      if (o == model::kInvalidBillboard) break;  // nothing can still help
       assignment->Assign(o, a);
       ++assigned;
     }
@@ -68,10 +55,12 @@ void BudgetEffectiveGreedy(Assignment* assignment) {
   // One flush per call: the registry never sits in the inner loop.
   MROAM_COUNTER_ADD("greedy.budget_effective_runs", 1);
   MROAM_COUNTER_ADD("greedy.assignments", assigned);
+  FlushSelectorCounters(selector);
 }
 
-void SynchronousGreedy(Assignment* assignment) {
+void SynchronousGreedy(Assignment* assignment, bool lazy_selection) {
   MROAM_TRACE_SPAN("greedy.synchronous");
+  LazySelector selector(assignment, lazy_selection);
   int64_t assigned = 0;
   int64_t victims = 0;
   const int32_t n = assignment->num_advertisers();
@@ -90,13 +79,14 @@ void SynchronousGreedy(Assignment* assignment) {
     MROAM_COUNTER_ADD("greedy.synchronous_runs", 1);
     MROAM_COUNTER_ADD("greedy.assignments", assigned);
     MROAM_COUNTER_ADD("greedy.victims_released", victims);
+    FlushSelectorCounters(selector);
   };
 
   while (true) {
     bool assigned_any = false;
     for (AdvertiserId a = 0; a < n; ++a) {
       if (!active[a] || assignment->IsSatisfied(a)) continue;
-      BillboardId o = BestBillboardFor(*assignment, a);
+      BillboardId o = selector.BestBillboard(a);
       if (o == model::kInvalidBillboard) continue;
       assignment->Assign(o, a);
       assigned_any = true;

@@ -7,20 +7,34 @@ namespace mroam::core {
 
 /// Picks the free billboard maximizing the paper's greedy selection rule
 /// (R(S_a) - R(S_a ∪ {o})) / I({o}) for advertiser `a` (Algorithms 1 & 2,
-/// lines 1.5 / 2.6). Billboards with I({o}) = 0 can never change any
-/// advertiser's influence and are skipped. Ties are broken by higher
+/// lines 1.5 / 2.6). Billboards with I({o}) = 0 are always skipped.
+/// Under the set-union model (impression_threshold == 1) billboards with
+/// zero marginal gain w.r.t. S_a are skipped too: a fully-overlapped
+/// billboard can never raise the advertiser's influence again, and
+/// assigning it would burn the free pool on an advertiser that cannot be
+/// helped. Under the impression-count model (threshold m > 1) zero-gain
+/// billboards stay eligible — the first board meeting a trajectory has
+/// gain 0 yet is how coverage toward the threshold is bootstrapped.
+/// Ties are broken by higher
 /// marginal-influence-per-supplied-influence, then by lower id, so the
 /// selection is deterministic (and meaningful when gamma = 0 makes the
 /// regret ratio flat). Returns model::kInvalidBillboard when no eligible
 /// billboard exists.
+///
+/// This is the exhaustive O(|free| incidence walks) reference; the greedy
+/// drivers below use core::LazySelector, which returns the same billboard
+/// with CELF-style upper-bound pruning (lazy_selector.h).
 model::BillboardId BestBillboardFor(const Assignment& assignment,
                                     market::AdvertiserId a);
 
 /// Algorithm 1 — Budget-Effective Greedy ("G-Order"): serves advertisers
 /// in descending order of budget-effectiveness L_i/I_i, assigning each the
-/// best billboards until it is satisfied or billboards run out. Expects
-/// (but does not require) an empty assignment.
-void BudgetEffectiveGreedy(Assignment* assignment);
+/// best billboards until it is satisfied or no billboard can still raise
+/// its influence. Expects (but does not require) an empty assignment.
+/// `lazy_selection` = false replaces the lazy selector by the exhaustive
+/// scan (identical result, more incidence-list walks).
+void BudgetEffectiveGreedy(Assignment* assignment,
+                           bool lazy_selection = true);
 
 /// Algorithm 2 — Synchronous Greedy ("G-Global"): one billboard per
 /// unsatisfied advertiser per round. When no billboard can be handed out
@@ -32,8 +46,8 @@ void BudgetEffectiveGreedy(Assignment* assignment);
 ///
 /// Works from any starting assignment (the local-search framework and BLS
 /// move 4 call it with non-empty state, per Algorithm 3 line 3.8 and
-/// Algorithm 5 line 5.11).
-void SynchronousGreedy(Assignment* assignment);
+/// Algorithm 5 line 5.11). `lazy_selection` as in BudgetEffectiveGreedy.
+void SynchronousGreedy(Assignment* assignment, bool lazy_selection = true);
 
 }  // namespace mroam::core
 

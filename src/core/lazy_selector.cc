@@ -1,0 +1,227 @@
+#include "core/lazy_selector.h"
+
+#include <algorithm>
+
+#include "core/regret.h"
+
+namespace mroam::core {
+
+using market::AdvertiserId;
+using model::BillboardId;
+
+namespace {
+
+/// Upper bound on (R(S_a) - R(S_a ∪ {o})) / I({o}) given the advertiser's
+/// exact current influence and an upper bound `gain_ub` on o's marginal
+/// gain. The regret drop of adding g <= gain_ub trajectories is
+///   * 0 when the advertiser is already satisfied (influence only adds
+///     excess);
+///   * R(influence) when gain_ub can bridge the remaining demand — the
+///     drop is maximal at exact satisfaction, where the regret jumps to 0
+///     (and gamma * L * g / demand <= R(influence) for every smaller g
+///     since gamma <= 1);
+///   * gamma * L * gain_ub / demand otherwise (both states stay on the
+///     linear unsatisfied branch of Equation 1).
+double RatioUpperBound(const market::Advertiser& ad, int64_t influence,
+                       int64_t gain_ub, double supplied,
+                       const RegretParams& params) {
+  if (influence >= ad.demand) return 0.0;
+  double delta_ub;
+  if (gain_ub >= ad.demand - influence) {
+    delta_ub = Regret(ad, influence, params);
+  } else {
+    delta_ub = params.gamma * ad.payment * static_cast<double>(gain_ub) /
+               static_cast<double>(ad.demand);
+  }
+  return delta_ub / supplied;
+}
+
+}  // namespace
+
+LazySelector::LazySelector(const Assignment* assignment, bool lazy)
+    : assignment_(assignment),
+      // Gains are only monotone under the set-union measure; the
+      // impression-count model (threshold > 1) raises gains as counts
+      // climb toward the threshold, so cached bounds would be unsound.
+      lazy_active_(lazy && assignment->impression_threshold() == 1),
+      states_(assignment->num_advertisers()) {}
+
+BillboardId LazySelector::ExhaustiveBest(AdvertiserId a) {
+  const influence::InfluenceIndex& index = assignment_->index();
+  const market::Advertiser& ad = assignment_->advertiser(a);
+  const RegretParams& params = assignment_->params();
+  const int64_t influence = assignment_->InfluenceOf(a);
+  const double current_regret = Regret(ad, influence, params);
+  // Zero-gain candidates are only *permanently* useless under the
+  // set-union model; with an impression threshold m > 1 the first board
+  // meeting a trajectory has gain 0 yet bootstraps coverage (greedy.h).
+  const bool skip_zero_gain = assignment_->impression_threshold() == 1;
+  BillboardId best = model::kInvalidBillboard;
+  double best_ratio = 0.0;
+  double best_gain_ratio = 0.0;
+  for (BillboardId o : assignment_->FreeBillboards()) {
+    const double supplied = static_cast<double>(index.InfluenceOf(o));
+    if (supplied <= 0.0) continue;
+    const int64_t gain = assignment_->MarginalGain(a, o);
+    ++exact_evaluations_;
+    if (gain == 0 && skip_zero_gain) continue;  // can never help again
+    const double ratio =
+        (current_regret - Regret(ad, influence + gain, params)) / supplied;
+    const double gain_ratio = static_cast<double>(gain) / supplied;
+    if (best == model::kInvalidBillboard ||
+        SelectionBeats(ratio, gain_ratio, o, best_ratio, best_gain_ratio,
+                       best)) {
+      best = o;
+      best_ratio = ratio;
+      best_gain_ratio = gain_ratio;
+    }
+  }
+  return best;
+}
+
+void LazySelector::EnsureCoveringIndex() {
+  if (covering_built_) return;
+  const influence::InfluenceIndex& index = assignment_->index();
+  covering_.assign(static_cast<size_t>(index.num_trajectories()), {});
+  for (BillboardId o = 0; o < index.num_billboards(); ++o) {
+    for (model::TrajectoryId t : index.CoveredBy(o)) {
+      covering_[static_cast<size_t>(t)].push_back(o);
+    }
+  }
+  covering_built_ = true;
+}
+
+BillboardId LazySelector::BestBillboard(AdvertiserId a) {
+  if (!lazy_active_) return ExhaustiveBest(a);
+
+  AdvertiserState& state = states_[a];
+  const influence::CoverageCounter& counter = assignment_->CounterOf(a);
+  const influence::InfluenceIndex& index = assignment_->index();
+  const market::Advertiser& ad = assignment_->advertiser(a);
+  const RegretParams& params = assignment_->params();
+  const int64_t influence = assignment_->InfluenceOf(a);
+  const double current_regret = Regret(ad, influence, params);
+  const uint64_t epoch = counter.epoch();
+  const std::vector<BillboardId>& set = assignment_->BillboardsOf(a);
+  if (!state.initialized) {
+    state.cached_gain.assign(assignment_->num_billboards(), 0);
+    state.gain_stamp.assign(assignment_->num_billboards(), 0);
+    state.initialized = true;
+  }
+
+  // Freshness upgrade: when the counter has only grown since the last
+  // scan, the boards added since then are exactly set[seen_set_size..)
+  // (Assign appends), and a gain cached at the previous scan is still
+  // *exact* unless its billboard shares a trajectory with one of them.
+  const uint64_t prev_epoch = state.last_scan_epoch;
+  const bool grew_only = prev_epoch != 0 &&
+                         counter.last_shrink_epoch() <= prev_epoch &&
+                         state.seen_set_size <= set.size();
+  const bool diffing = grew_only && prev_epoch != epoch;
+  if (diffing) {
+    EnsureCoveringIndex();
+    touched_.assign(static_cast<size_t>(assignment_->num_billboards()), 0);
+    for (size_t k = state.seen_set_size; k < set.size(); ++k) {
+      for (model::TrajectoryId t : index.CoveredBy(set[k])) {
+        for (BillboardId o : covering_[static_cast<size_t>(t)]) {
+          touched_[static_cast<size_t>(o)] = 1;
+        }
+      }
+    }
+  }
+  // An empty set means every count is zero, so each candidate's gain is
+  // its full supply — exact without a walk (threshold 1 only, which
+  // lazy_active_ guarantees).
+  const bool empty_set = set.empty();
+
+  // One arithmetic pass over the live free pool: fresh candidates compete
+  // immediately from cache; stale ones are deferred under an upper bound.
+  BillboardId best = model::kInvalidBillboard;
+  double best_ratio = 0.0;
+  double best_gain_ratio = 0.0;
+  stale_.clear();
+  for (BillboardId o : assignment_->FreeBillboards()) {
+    const int64_t supplied = index.InfluenceOf(o);
+    if (supplied <= 0) continue;
+    uint64_t stamp = state.gain_stamp[o];
+    if (stamp != epoch) {
+      if (diffing && stamp == prev_epoch &&
+          touched_[static_cast<size_t>(o)] == 0) {
+        stamp = state.gain_stamp[o] = epoch;  // gain unchanged: exact
+      } else if (empty_set) {
+        state.cached_gain[o] = supplied;
+        stamp = state.gain_stamp[o] = epoch;
+      }
+    }
+    if (stamp == epoch) {
+      const int64_t gain = state.cached_gain[o];
+      if (gain == 0) continue;  // can never raise I(S_a)
+      ++lazy_hits_;
+      const double ratio =
+          (current_regret - Regret(ad, influence + gain, params)) /
+          static_cast<double>(supplied);
+      const double gain_ratio =
+          static_cast<double>(gain) / static_cast<double>(supplied);
+      if (best == model::kInvalidBillboard ||
+          SelectionBeats(ratio, gain_ratio, o, best_ratio, best_gain_ratio,
+                         best)) {
+        best = o;
+        best_ratio = ratio;
+        best_gain_ratio = gain_ratio;
+      }
+      continue;
+    }
+    // A cached gain is a valid upper bound as long as the counter has not
+    // shrunk since it was stamped (see CoverageCounter); otherwise fall
+    // back to the trivial bound I({o}).
+    const bool cached_valid =
+        stamp != 0 && stamp >= counter.last_shrink_epoch();
+    const int64_t gain_ub = cached_valid ? state.cached_gain[o] : supplied;
+    // Gains only shrink while the bound stays valid, so a zero bound
+    // stays exact until the next shrink invalidates the cache above.
+    if (gain_ub == 0) continue;
+    stale_.push_back(
+        {RatioUpperBound(ad, influence, gain_ub,
+                         static_cast<double>(supplied), params),
+         o});
+  }
+
+  // Drain the deferred candidates best-bound-first. Every key
+  // upper-bounds its entry's exact ratio, so once the top cannot reach
+  // the tie band of the best exact ratio, no remaining entry can win any
+  // tie-break: the best is the argmax.
+  std::make_heap(stale_.begin(), stale_.end(), HeapLess);
+  while (!stale_.empty()) {
+    const HeapEntry top = stale_.front();
+    if (best != model::kInvalidBillboard &&
+        top.key < best_ratio - kSelectionTieTolerance) {
+      break;
+    }
+    std::pop_heap(stale_.begin(), stale_.end(), HeapLess);
+    stale_.pop_back();
+    const BillboardId o = top.id;
+    const int64_t gain = counter.MarginalGain(o);
+    state.cached_gain[o] = gain;
+    state.gain_stamp[o] = epoch;
+    ++lazy_reevals_;
+    ++exact_evaluations_;
+    if (gain == 0) continue;
+    const double supplied = static_cast<double>(index.InfluenceOf(o));
+    const double ratio =
+        (current_regret - Regret(ad, influence + gain, params)) / supplied;
+    const double gain_ratio = static_cast<double>(gain) / supplied;
+    if (best == model::kInvalidBillboard ||
+        SelectionBeats(ratio, gain_ratio, o, best_ratio, best_gain_ratio,
+                       best)) {
+      best = o;
+      best_ratio = ratio;
+      best_gain_ratio = gain_ratio;
+    }
+  }
+
+  state.last_scan_epoch = epoch;
+  state.seen_set_size = set.size();
+  return best;
+}
+
+}  // namespace mroam::core

@@ -1,0 +1,160 @@
+#ifndef MROAM_CORE_LAZY_SELECTOR_H_
+#define MROAM_CORE_LAZY_SELECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assignment.h"
+
+namespace mroam::core {
+
+/// Comparison tolerance of the greedy selection rule: ratios within this
+/// band tie and fall through to the next tie-break key.
+inline constexpr double kSelectionTieTolerance = 1e-12;
+
+/// The greedy selection comparator shared by the exhaustive scan and the
+/// lazy selector (Algorithms 1 & 2, lines 1.5 / 2.6): a candidate beats
+/// the incumbent on a strictly higher regret-delta ratio; within the tie
+/// band it wins on a higher marginal-gain ratio, then on a smaller id.
+/// Keeping this in one place is what makes the two selection paths
+/// bit-identical.
+inline bool SelectionBeats(double ratio, double gain_ratio,
+                           model::BillboardId id, double best_ratio,
+                           double best_gain_ratio,
+                           model::BillboardId best_id) {
+  if (ratio > best_ratio + kSelectionTieTolerance) return true;
+  if (ratio > best_ratio - kSelectionTieTolerance) {
+    if (gain_ratio > best_gain_ratio + kSelectionTieTolerance) return true;
+    if (gain_ratio > best_gain_ratio - kSelectionTieTolerance &&
+        id < best_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// CELF-style lazy argmax for the greedy selection rule
+/// (R(S_a) - R(S_a ∪ {o})) / I({o}).
+///
+/// The expensive unit of the exhaustive scan is the incidence-list walk
+/// behind MarginalGain — one per free billboard per pick. The selector
+/// eliminates almost all of them by caching each candidate's marginal
+/// gain stamped with the advertiser's counter epoch
+/// (CoverageCounter::epoch()). Two facts make the cache sound
+/// (DESIGN.md §5.1):
+///
+///  1. With impression_threshold == 1, MarginalGain(a, o) is monotone
+///     non-increasing while S_a only grows, so a gain cached at counter
+///     epoch >= last_shrink_epoch() stays a valid *upper bound* on the
+///     current gain (CoverageCounter::last_shrink_epoch()).
+///  2. A gain changes only when a board added to S_a shares a trajectory
+///     with the candidate. While the counter has only grown, the boards
+///     added since the previous query are exactly the tail of
+///     BillboardsOf(a); walking just those and a reverse
+///     (trajectory -> billboards) index re-stamps every unaffected
+///     cached gain as *exact* at the current epoch.
+///
+/// Each BestBillboard call is then one O(|free|) arithmetic pass: fresh
+/// candidates (stamp == current epoch) resolve from cache with no walk
+/// and compete immediately under SelectionBeats; stale candidates are
+/// deferred into a small max-heap keyed by an O(1) upper bound on their
+/// ratio (satisfaction jump when the gain bound can bridge the remaining
+/// demand, the linear branch otherwise — the drop is not submodular, so
+/// textbook CELF's stale keys would be unsound). The heap is drained
+/// only while its top key can still reach the tie band of the best exact
+/// ratio seen; each drained entry pays the one walk and re-stamps its
+/// cache. The result is provably the argmax under SelectionBeats,
+/// bit-for-bit equal to the exhaustive scan whenever candidate ratios
+/// are either exactly tied or separated by more than the tie tolerance
+/// (true for every instance the equivalence suite draws). Exact ties —
+/// pervasive, since every candidate disjoint from S_a sits on the same
+/// gamma * L / D plateau — are broken from cache at O(1) each.
+///
+/// For impression_threshold > 1 fact 1 fails (counts climbing toward the
+/// threshold *raise* gains), so the selector detects it on construction
+/// and every query falls back to the exhaustive scan. The same happens
+/// when constructed with lazy = false (the solver knob).
+///
+/// The selector holds no Assignment state beyond epoch observations: it
+/// is built per greedy run, must not outlive `assignment`, and tolerates
+/// arbitrary interleaved mutations (epochs make stale caches harmless;
+/// the free pool is re-read on every call).
+class LazySelector {
+ public:
+  /// `assignment` must outlive the selector. `lazy` = false forces the
+  /// exhaustive scan (the comparison baseline and the solver knob's off
+  /// position).
+  explicit LazySelector(const Assignment* assignment, bool lazy = true);
+
+  /// The best free billboard for `a` under the selection rule;
+  /// model::kInvalidBillboard when no eligible candidate exists. Under
+  /// the set-union model zero-marginal-gain candidates are ineligible —
+  /// they can never raise I(S_a) again; with impression_threshold > 1
+  /// they stay eligible (see greedy.h on the bootstrap role they play).
+  model::BillboardId BestBillboard(market::AdvertiserId a);
+
+  /// True when CELF-style selection is active (lazy requested and
+  /// impression_threshold == 1).
+  bool lazy_active() const { return lazy_active_; }
+
+  // Effort counters over the selector's lifetime. The greedy drivers
+  // flush them into the obs registry once per run (never per pick).
+
+  /// Exact marginal-gain evaluations, i.e. incidence-list walks. The
+  /// exhaustive scan pays one per candidate per pick; the lazy path only
+  /// pays for re-evaluations.
+  int64_t exact_evaluations() const { return exact_evaluations_; }
+  /// Candidates resolved from a stamp-fresh cached gain (no list walk).
+  int64_t lazy_hits() const { return lazy_hits_; }
+  /// Stale candidates that had to recompute their gain (one list walk).
+  int64_t lazy_reevals() const { return lazy_reevals_; }
+
+ private:
+  struct HeapEntry {
+    double key = 0.0;  ///< upper bound on the candidate's regret-delta ratio
+    model::BillboardId id = model::kInvalidBillboard;
+  };
+
+  /// Max-heap order for std::*_heap: higher key first, then smaller id,
+  /// so the drain sequence is fully specified.
+  static bool HeapLess(const HeapEntry& x, const HeapEntry& y) {
+    if (x.key != y.key) return x.key < y.key;
+    return x.id > y.id;
+  }
+
+  struct AdvertiserState {
+    bool initialized = false;
+    std::vector<int64_t> cached_gain;  ///< by billboard
+    std::vector<uint64_t> gain_stamp;  ///< counter epoch; 0 = never cached
+    /// Counter epoch of the last BestBillboard scan (0 = never scanned).
+    uint64_t last_scan_epoch = 0;
+    /// |BillboardsOf(a)| at the last scan. While the counter only grows,
+    /// boards added since then are exactly the list's tail beyond this
+    /// size (Assignment appends on Assign) — the scan uses that to
+    /// upgrade unaffected cached gains to exact.
+    size_t seen_set_size = 0;
+  };
+
+  model::BillboardId ExhaustiveBest(market::AdvertiserId a);
+  /// Builds covering_ (trajectory -> billboards) on first use.
+  void EnsureCoveringIndex();
+
+  const Assignment* assignment_;
+  bool lazy_active_;
+  std::vector<AdvertiserState> states_;     // by advertiser, lazily built
+  /// Reverse incidence (trajectory -> billboards covering it), built once
+  /// per selector in O(total supply). Lets a scan identify exactly which
+  /// cached gains a newly assigned billboard invalidated: a gain changes
+  /// only when the candidate shares a trajectory with it.
+  std::vector<std::vector<model::BillboardId>> covering_;
+  bool covering_built_ = false;
+  std::vector<uint8_t> touched_;  // per-scan scratch, by billboard
+  std::vector<HeapEntry> stale_;  // per-scan scratch: deferred candidates
+  int64_t exact_evaluations_ = 0;
+  int64_t lazy_hits_ = 0;
+  int64_t lazy_reevals_ = 0;
+};
+
+}  // namespace mroam::core
+
+#endif  // MROAM_CORE_LAZY_SELECTOR_H_

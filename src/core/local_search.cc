@@ -241,7 +241,7 @@ LocalSearchStats BillboardDrivenLocalSearch(Assignment* assignment,
     if (!assignment->FreeBillboards().empty()) {
       MROAM_TRACE_SPAN("bls.move.complete");
       Assignment candidate = *assignment;
-      SynchronousGreedy(&candidate);
+      SynchronousGreedy(&candidate, config.lazy_selection);
       if (Accepts(candidate.TotalRegret() - assignment->TotalRegret(),
                   assignment->TotalRegret(), config.improvement_ratio)) {
         assignment->CopyDeploymentFrom(candidate);
@@ -317,7 +317,7 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
       // Line 3.1: incumbent from the deterministic synchronous greedy —
       // improved by the same local search as every restart, so it
       // competes on equal terms.
-      SynchronousGreedy(&plan);
+      SynchronousGreedy(&plan, config.lazy_selection);
     } else {
       // Lines 3.3-3.7: seed every advertiser with one random billboard.
       for (AdvertiserId a = 0;
@@ -327,7 +327,7 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
         plan.Assign(free[task_rng->UniformU64(free.size())], a);
       }
       // Line 3.8: complete the plan greedily.
-      SynchronousGreedy(&plan);
+      SynchronousGreedy(&plan, config.lazy_selection);
     }
     MROAM_HISTOGRAM_OBSERVE("rls.greedy_seconds",
                             phase_watch.ElapsedSeconds());
@@ -353,6 +353,12 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
   size_t winner = 0;
   LocalSearchStats total_stats;
   for (size_t t = 0; t < plans.size(); ++t) {
+    // A task that never populated its slot (a bug in the dispatch or an
+    // exception swallowed by the pool) must fail loudly here, not via
+    // undefined behaviour on an empty optional.
+    MROAM_CHECK(plans[t].has_value())
+        << "restart task " << t << " of " << plans.size()
+        << " never produced a plan";
     total_stats.moves_applied += task_stats[t].moves_applied;
     total_stats.deltas_evaluated += task_stats[t].deltas_evaluated;
     total_stats.sweeps += task_stats[t].sweeps;

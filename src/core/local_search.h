@@ -35,6 +35,18 @@ struct LocalSearchConfig {
   /// ablation bench measures whether the steeper descent pays off.
   bool best_improvement = false;
 
+  /// Selection engine for every greedy completion this config reaches:
+  /// the SynchronousGreedy seeding/completion of Algorithm 3's restarts
+  /// and the BLS move-4 completion (and, via SolverConfig, the standalone
+  /// G-Order / G-Global methods). true (default) = CELF-style lazy
+  /// selection with cached upper bounds (core::LazySelector); false =
+  /// exhaustive scan. Results are bit-identical either way — the lazy
+  /// engine only prunes candidates that provably cannot win — so this is
+  /// an escape hatch and A/B knob, not a semantic switch. With
+  /// impression_threshold > 1 the lazy engine falls back to the
+  /// exhaustive scan by itself (DESIGN.md §5.1).
+  bool lazy_selection = true;
+
   /// Worker threads for Algorithm 3's restarts (the restarts are
   /// independent, so they parallelize perfectly). 1 = serial (default);
   /// 0 = one thread per hardware core; n > 1 = exactly n threads. The

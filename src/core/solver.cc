@@ -42,10 +42,10 @@ SolveResult Solve(const influence::InfluenceIndex& index,
                         config.impression_threshold);
   switch (config.method) {
     case Method::kGOrder:
-      BudgetEffectiveGreedy(&assignment);
+      BudgetEffectiveGreedy(&assignment, config.local_search.lazy_selection);
       break;
     case Method::kGGlobal:
-      SynchronousGreedy(&assignment);
+      SynchronousGreedy(&assignment, config.local_search.lazy_selection);
       break;
     case Method::kAls:
       assignment = RandomizedLocalSearch(

@@ -45,6 +45,7 @@ class CoverageCounter {
       MROAM_DCHECK(counts_[t] < UINT16_MAX);
       if (++counts_[t] == threshold_) ++influence_;
     }
+    ++epoch_;
   }
 
   /// Removes billboard `o`'s coverage (must currently be counted).
@@ -53,6 +54,8 @@ class CoverageCounter {
       MROAM_DCHECK(counts_[t] > 0);
       if (counts_[t]-- == threshold_) --influence_;
     }
+    ++epoch_;
+    last_shrink_epoch_ = epoch_;
   }
 
   /// Influence gained if `o` were added: #trajectories in o's list one
@@ -94,10 +97,35 @@ class CoverageCounter {
   /// The impression threshold m (1 = the paper's set-union measure).
   uint16_t impression_threshold() const { return threshold_; }
 
+  /// Mutation stamp: advances on every Add/Remove/Clear (and on
+  /// MarkStructuralChange). A value cached against this counter at epoch e
+  /// describes the counter exactly iff epoch() still equals e.
+  uint64_t epoch() const { return epoch_; }
+
+  /// The epoch of the most recent *shrinking* mutation (Remove, Clear, or
+  /// MarkStructuralChange). While only Add() advances epoch() past a stamp
+  /// s >= last_shrink_epoch(), every count is non-decreasing, so with
+  /// impression_threshold == 1 MarginalGain(o) is non-increasing: a gain
+  /// cached at such a stamp remains a valid *upper bound*. This is the
+  /// invariant the lazy greedy selector rests on (DESIGN.md §5.1). For
+  /// thresholds > 1 gains are not monotone and no such bound holds.
+  uint64_t last_shrink_epoch() const { return last_shrink_epoch_; }
+
+  /// Invalidates every cached observation of this counter (advances the
+  /// epoch as a shrink). Assignment::SwapSets calls this after swapping
+  /// counter objects between advertisers, where "which advertiser this
+  /// counter describes" changes without any Add/Remove.
+  void MarkStructuralChange() {
+    ++epoch_;
+    last_shrink_epoch_ = epoch_;
+  }
+
   /// Resets to the empty set.
   void Clear() {
     std::fill(counts_.begin(), counts_.end(), 0);
     influence_ = 0;
+    ++epoch_;
+    last_shrink_epoch_ = epoch_;
   }
 
   const InfluenceIndex& index() const { return *index_; }
@@ -107,6 +135,8 @@ class CoverageCounter {
   uint16_t threshold_;
   std::vector<uint16_t> counts_;
   int64_t influence_ = 0;
+  uint64_t epoch_ = 1;              ///< 0 is reserved for "never stamped"
+  uint64_t last_shrink_epoch_ = 1;
 };
 
 }  // namespace mroam::influence

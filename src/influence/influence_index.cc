@@ -59,15 +59,28 @@ InfluenceIndex InfluenceIndex::Build(const model::Dataset& dataset,
 InfluenceIndex InfluenceIndex::FromIncidence(
     std::vector<std::vector<model::TrajectoryId>> covered,
     int32_t num_trajectories, double lambda) {
+  // This is a public entry point fed by the temporal extension and IO
+  // paths, so the preconditions are enforced in every build (MROAM_CHECK,
+  // not DCHECK), each naming the offending incidence list.
+  MROAM_CHECK(num_trajectories >= 0)
+      << "FromIncidence: num_trajectories = " << num_trajectories;
   InfluenceIndex index;
   index.lambda_ = lambda;
   index.num_trajectories_ = num_trajectories;
   index.covered_ = std::move(covered);
-  for (const auto& list : index.covered_) {
-    MROAM_CHECK(std::is_sorted(list.begin(), list.end()));
-    MROAM_CHECK(std::adjacent_find(list.begin(), list.end()) == list.end());
+  for (size_t o = 0; o < index.covered_.size(); ++o) {
+    const auto& list = index.covered_[o];
+    MROAM_CHECK(std::is_sorted(list.begin(), list.end()))
+        << "FromIncidence: incidence list of billboard " << o
+        << " is not sorted ascending";
+    MROAM_CHECK(std::adjacent_find(list.begin(), list.end()) == list.end())
+        << "FromIncidence: incidence list of billboard " << o
+        << " contains duplicate trajectory ids";
     if (!list.empty()) {
-      MROAM_CHECK(list.front() >= 0 && list.back() < num_trajectories);
+      MROAM_CHECK(list.front() >= 0 && list.back() < num_trajectories)
+          << "FromIncidence: incidence list of billboard " << o
+          << " references trajectory ids outside [0, " << num_trajectories
+          << ")";
     }
     index.total_supply_ += static_cast<int64_t>(list.size());
   }

@@ -65,5 +65,30 @@ TEST_F(AssignmentDeathTest, NonPositiveDemandCrashes) {
                "Check failed");
 }
 
+// FromIncidence is a public ingestion point, so its precondition checks
+// stay on in release builds and must name the offending incidence list.
+TEST(FromIncidenceDeathTest, UnsortedListCrashesNamingBillboard) {
+  EXPECT_DEATH(
+      influence::InfluenceIndex::FromIncidence({{0, 2}, {1, 0}}, 3, 1.0),
+      "incidence list of billboard 1 is not sorted");
+}
+
+TEST(FromIncidenceDeathTest, DuplicateIdsCrashNamingBillboard) {
+  EXPECT_DEATH(
+      influence::InfluenceIndex::FromIncidence({{}, {}, {1, 1}}, 3, 1.0),
+      "incidence list of billboard 2 contains duplicate");
+}
+
+TEST(FromIncidenceDeathTest, OutOfRangeIdsCrashNamingBillboard) {
+  EXPECT_DEATH(influence::InfluenceIndex::FromIncidence({{0, 3}}, 3, 1.0),
+               "incidence list of billboard 0 references trajectory ids "
+               "outside");
+}
+
+TEST(FromIncidenceDeathTest, NegativeTrajectoryCountCrashes) {
+  EXPECT_DEATH(influence::InfluenceIndex::FromIncidence({}, -1, 1.0),
+               "num_trajectories");
+}
+
 }  // namespace
 }  // namespace mroam::core

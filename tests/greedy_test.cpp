@@ -117,6 +117,34 @@ TEST(BudgetEffectiveGreedyTest, ServesHighBudgetEffectivenessFirst) {
   EXPECT_FALSE(s.IsSatisfied(0));
 }
 
+TEST(BudgetEffectiveGreedyTest, UnsatisfiableAdvertiserDoesNotDrainPool) {
+  // a0's demand (5) exceeds its reachable audience (4 trajectories in
+  // total), so after taking every billboard that still adds influence the
+  // remaining candidates have zero marginal gain for it. The selection
+  // must skip them — not hand them out with a flat regret ratio — so the
+  // `while (!IsSatisfied)` loop terminates and o1 stays free for a1.
+  model::Dataset d;
+  auto index = IndexFromIncidence({{0, 1}, {0}, {2}, {3}}, 4, &d);
+  Assignment s(&index, {Adv(0, 5, 100.0), Adv(1, 1, 1.0)},
+               RegretParams{0.5});
+  BudgetEffectiveGreedy(&s);
+  s.VerifyInvariants();
+  EXPECT_FALSE(s.IsSatisfied(0));
+  EXPECT_EQ(s.InfluenceOf(0), 4);  // o0, o2, o3 — never the redundant o1
+  EXPECT_EQ(s.OwnerOf(1), 1);      // the zero-gain leftover serves a1
+  EXPECT_TRUE(s.IsSatisfied(1));
+}
+
+TEST(BestBillboardTest, SkipsZeroMarginalGainCandidates) {
+  // o1's audience is a subset of o0's: once a0 owns o0, o1 can never
+  // change a0's influence and must not be offered.
+  model::Dataset d;
+  auto index = IndexFromIncidence({{0, 1}, {0}}, 2, &d);
+  Assignment s(&index, {Adv(0, 5, 10.0)}, RegretParams{0.5});
+  s.Assign(0, 0);
+  EXPECT_EQ(BestBillboardFor(s, 0), model::kInvalidBillboard);
+}
+
 TEST(BudgetEffectiveGreedyTest, StopsWhenBillboardsRunOut) {
   model::Dataset d;
   auto index = IndexFromIncidence({{0}, {1}}, 2, &d);
