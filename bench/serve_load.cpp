@@ -1,0 +1,222 @@
+// Closed-loop load generator for the market serving layer.
+//
+// Boots an in-process MarketServer over a generated city, then drives it
+// with N client threads issuing POST /contracts back to back over real
+// sockets (each submission blocks until its admission batch is replanned,
+// so a request's latency includes queueing + the batch's AdvanceDay).
+// Writes BENCH_serve.json: submission latency percentiles (p50/p95/p99),
+// throughput, and batch statistics.
+//
+//   serve_load [--submissions N] [--clients N] [--policy lock|reopt]
+//              [--batch-max N] [--batch-delay-ms F]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_report.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gen/city_generators.h"
+#include "influence/influence_index.h"
+#include "market/workload.h"
+#include "serve/http.h"
+#include "serve/market_server.h"
+
+namespace mroam::bench {
+namespace {
+
+struct LoadOptions {
+  int submissions = 1200;
+  int clients = 8;
+  std::string policy = "lock";
+  int batch_max = 64;
+  double batch_delay_ms = 5.0;
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  rank = std::min(rank, sorted.size() - 1);
+  return sorted[rank];
+}
+
+int Run(const LoadOptions& options) {
+  // A mid-size city: big enough that replanning does real work, small
+  // enough that the bench finishes on a laptop budget.
+  gen::NycLikeConfig city_config;
+  city_config.num_billboards = 300;
+  city_config.num_trajectories = 10000;
+  common::Rng rng(17);
+  model::Dataset dataset = gen::GenerateNycLike(city_config, &rng);
+  influence::InfluenceIndex index =
+      influence::InfluenceIndex::Build(dataset, 100.0);
+
+  serve::MarketServerConfig config;
+  config.port = 0;
+  config.num_threads = options.clients;
+  config.max_batch = options.batch_max;
+  config.max_batch_delay_seconds = options.batch_delay_ms / 1000.0;
+  config.market.policy = options.policy == "reopt"
+                             ? core::ReplanPolicy::kReoptimizeAll
+                             : core::ReplanPolicy::kLockExisting;
+  config.market.solver.method = core::Method::kGGlobal;
+  // Contracts churn: a short term keeps the active set (and thus replan
+  // cost) bounded as thousands of submissions stream through.
+  config.market.contract_duration_days = 25;
+
+  serve::MarketServer server(&index, config);
+  common::Status started = server.Start();
+  if (!started.ok()) {
+    MROAM_LOG(Error) << "server start failed: " << started.ToString();
+    return 1;
+  }
+  const int port = server.port();
+
+  // Per-submission demand/payment terms follow the paper's workload
+  // shape: small individual demands against the city's supply.
+  market::WorkloadConfig workload;
+  workload.avg_individual_demand_ratio = 0.01;
+  auto advertisers =
+      market::GenerateAdvertisers(index.TotalSupply(), workload, &rng);
+  if (!advertisers.ok()) {
+    MROAM_LOG(Error) << advertisers.status().ToString();
+    return 1;
+  }
+
+  std::atomic<int> next_submission{0};
+  std::atomic<int> ok_count{0};
+  std::atomic<int> error_count{0};
+  std::vector<std::vector<double>> latencies_ms(
+      static_cast<size_t>(options.clients));
+
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      latencies_ms[c].reserve(
+          static_cast<size_t>(options.submissions / options.clients + 1));
+      while (true) {
+        int seq = next_submission.fetch_add(1);
+        if (seq >= options.submissions) break;
+        const market::Advertiser& terms =
+            (*advertisers)[static_cast<size_t>(seq) % advertisers->size()];
+        std::string body =
+            "{\"demand\": " + std::to_string(terms.demand) +
+            ", \"payment\": " + common::FormatDouble(terms.payment, 3) +
+            "}";
+        auto t0 = std::chrono::steady_clock::now();
+        auto response =
+            serve::HttpFetch("127.0.0.1", port, "POST", "/contracts", body);
+        auto t1 = std::chrono::steady_clock::now();
+        if (response.ok() && response->status == 200) {
+          ok_count.fetch_add(1);
+          latencies_ms[c].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        } else {
+          error_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  server.Stop();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies_ms) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  double sum = 0.0;
+  for (double v : all) sum += v;
+
+  ReportWriter report("serve");
+  report.SetDataset(dataset, index);
+  report.AddNote("policy", options.policy);
+  report.AddNumber("clients", options.clients);
+  report.AddNumber("batch_max", options.batch_max);
+  report.AddNumber("batch_delay_ms", options.batch_delay_ms);
+  report.AddNumber("submissions", options.submissions);
+  report.AddNumber("submissions_ok", ok_count.load());
+  report.AddNumber("submissions_failed", error_count.load());
+  report.AddNumber("wall_seconds", wall_seconds);
+  report.AddNumber("throughput_per_second",
+                   static_cast<double>(ok_count.load()) / wall_seconds);
+  report.AddNumber("batches_flushed",
+                   static_cast<double>(server.batches_flushed()));
+  report.AddNumber("latency_ms_mean",
+                   all.empty() ? 0.0 : sum / static_cast<double>(all.size()));
+  report.AddNumber("latency_ms_p50", Percentile(all, 0.50));
+  report.AddNumber("latency_ms_p95", Percentile(all, 0.95));
+  report.AddNumber("latency_ms_p99", Percentile(all, 0.99));
+  report.AddNumber("latency_ms_max", all.empty() ? 0.0 : all.back());
+
+  std::printf(
+      "serve_load: %d ok / %d failed in %.2fs (%.0f/s), "
+      "p50 %.2fms p95 %.2fms p99 %.2fms over %lld batches\n",
+      ok_count.load(), error_count.load(), wall_seconds,
+      static_cast<double>(ok_count.load()) / wall_seconds,
+      Percentile(all, 0.50), Percentile(all, 0.95), Percentile(all, 0.99),
+      static_cast<long long>(server.batches_flushed()));
+  common::Status written = report.Write();
+  if (!written.ok()) {
+    MROAM_LOG(Error) << written.ToString();
+    return 1;
+  }
+  // Sanity floor: the acceptance bar is >= 1k completed submissions.
+  if (ok_count.load() < options.submissions) {
+    MROAM_LOG(Error) << "dropped submissions: only " << ok_count.load()
+                     << " of " << options.submissions << " succeeded";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mroam::bench
+
+int main(int argc, char** argv) {
+  mroam::bench::LoadOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--submissions") {
+      options.submissions = std::atoi(next());
+    } else if (arg == "--clients") {
+      options.clients = std::atoi(next());
+    } else if (arg == "--policy") {
+      options.policy = next();
+    } else if (arg == "--batch-max") {
+      options.batch_max = std::atoi(next());
+    } else if (arg == "--batch-delay-ms") {
+      options.batch_delay_ms = std::atof(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_load [--submissions N] [--clients N] "
+                   "[--policy lock|reopt] [--batch-max N] "
+                   "[--batch-delay-ms F]\n");
+      return 2;
+    }
+  }
+  if (options.submissions < 1 || options.clients < 1) {
+    std::fprintf(stderr, "submissions and clients must be positive\n");
+    return 2;
+  }
+  return mroam::bench::Run(options);
+}

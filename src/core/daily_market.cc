@@ -27,11 +27,24 @@ DailyMarket::DailyMarket(const influence::InfluenceIndex* index,
 void DailyMarket::RefreshCaches() {
   terms_cache_.clear();
   sets_cache_.clear();
+  tickets_cache_.clear();
   for (size_t i = 0; i < contracts_.size(); ++i) {
     contracts_[i].terms.id = static_cast<market::AdvertiserId>(i);
     terms_cache_.push_back(contracts_[i].terms);
     sets_cache_.push_back(contracts_[i].billboards);
+    tickets_cache_.push_back(contracts_[i].ticket);
   }
+}
+
+bool DailyMarket::Cancel(int64_t ticket) {
+  for (size_t i = 0; i < contracts_.size(); ++i) {
+    if (contracts_[i].ticket == ticket) {
+      contracts_.erase(contracts_.begin() + static_cast<ptrdiff_t>(i));
+      RefreshCaches();
+      return true;
+    }
+  }
+  return false;
 }
 
 DayResult DailyMarket::AdvanceDay(
@@ -57,7 +70,9 @@ DayResult DailyMarket::AdvanceDay(
   for (market::Advertiser& a : arrivals) {
     Contract c;
     c.terms = a;
+    c.ticket = next_ticket_++;
     c.expires_on = day_ + config_.contract_duration_days;
+    result.admitted_tickets.push_back(c.ticket);
     contracts_.push_back(std::move(c));
   }
   RefreshCaches();

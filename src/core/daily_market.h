@@ -38,6 +38,10 @@ struct DayResult {
   int32_t arrived = 0;
   int32_t expired = 0;
   double seconds = 0.0;
+  /// Stable tickets of today's arrivals, in arrival order (see
+  /// DailyMarket::AdvanceDay). The serving layer hands these to
+  /// advertisers as contract ids.
+  std::vector<int64_t> admitted_tickets;
   /// Telemetry of today's replan: under kReoptimizeAll this is the inner
   /// Solve's report; under kLockExisting it covers the greedy completion.
   obs::RunReport report;
@@ -55,8 +59,18 @@ class DailyMarket {
               DailyMarketConfig config);
 
   /// Advances one day: expires old contracts, admits `arrivals` (their
-  /// ids are reassigned internally), replans per the policy, and reports.
+  /// ids are reassigned internally; each receives a fresh monotone ticket,
+  /// reported in DayResult::admitted_tickets in arrival order), replans
+  /// per the policy, and reports.
   DayResult AdvanceDay(std::vector<market::Advertiser> arrivals);
+
+  /// Withdraws the contract holding `ticket` immediately (the serving
+  /// layer's DELETE /contracts/<id>). Its inventory is released at the
+  /// next replan — under kLockExisting the freed billboards go to
+  /// still-unsatisfied contracts, under kReoptimizeAll the whole market
+  /// re-solves anyway. Returns false when no active contract holds the
+  /// ticket (already expired, cancelled, or never issued).
+  bool Cancel(int64_t ticket);
 
   int32_t today() const { return day_; }
   int32_t active_contracts() const {
@@ -70,10 +84,15 @@ class DailyMarket {
   const std::vector<std::vector<model::BillboardId>>& ActiveSets() const {
     return sets_cache_;
   }
+  /// Tickets of the active contracts, aligned with ActiveTerms/ActiveSets.
+  const std::vector<int64_t>& ActiveTickets() const {
+    return tickets_cache_;
+  }
 
  private:
   struct Contract {
     market::Advertiser terms;  ///< id field is the current dense id
+    int64_t ticket = 0;        ///< stable external id (1, 2, ...)
     int32_t expires_on = 0;    ///< first day the contract is gone
     std::vector<model::BillboardId> billboards;
   };
@@ -83,9 +102,11 @@ class DailyMarket {
   const influence::InfluenceIndex* index_;
   DailyMarketConfig config_;
   int32_t day_ = 0;
+  int64_t next_ticket_ = 1;
   std::vector<Contract> contracts_;
   std::vector<market::Advertiser> terms_cache_;
   std::vector<std::vector<model::BillboardId>> sets_cache_;
+  std::vector<int64_t> tickets_cache_;
 };
 
 }  // namespace mroam::core

@@ -79,18 +79,6 @@ BillboardId LazySelector::ExhaustiveBest(AdvertiserId a) {
   return best;
 }
 
-void LazySelector::EnsureCoveringIndex() {
-  if (covering_built_) return;
-  const influence::InfluenceIndex& index = assignment_->index();
-  covering_.assign(static_cast<size_t>(index.num_trajectories()), {});
-  for (BillboardId o = 0; o < index.num_billboards(); ++o) {
-    for (model::TrajectoryId t : index.CoveredBy(o)) {
-      covering_[static_cast<size_t>(t)].push_back(o);
-    }
-  }
-  covering_built_ = true;
-}
-
 BillboardId LazySelector::BestBillboard(AdvertiserId a) {
   if (!lazy_active_) return ExhaustiveBest(a);
 
@@ -119,11 +107,10 @@ BillboardId LazySelector::BestBillboard(AdvertiserId a) {
                          state.seen_set_size <= set.size();
   const bool diffing = grew_only && prev_epoch != epoch;
   if (diffing) {
-    EnsureCoveringIndex();
     touched_.assign(static_cast<size_t>(assignment_->num_billboards()), 0);
     for (size_t k = state.seen_set_size; k < set.size(); ++k) {
       for (model::TrajectoryId t : index.CoveredBy(set[k])) {
-        for (BillboardId o : covering_[static_cast<size_t>(t)]) {
+        for (BillboardId o : index.CoveringOf(t)) {
           touched_[static_cast<size_t>(o)] = 1;
         }
       }

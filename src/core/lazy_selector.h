@@ -136,18 +136,10 @@ class LazySelector {
   };
 
   model::BillboardId ExhaustiveBest(market::AdvertiserId a);
-  /// Builds covering_ (trajectory -> billboards) on first use.
-  void EnsureCoveringIndex();
 
   const Assignment* assignment_;
   bool lazy_active_;
   std::vector<AdvertiserState> states_;     // by advertiser, lazily built
-  /// Reverse incidence (trajectory -> billboards covering it), built once
-  /// per selector in O(total supply). Lets a scan identify exactly which
-  /// cached gains a newly assigned billboard invalidated: a gain changes
-  /// only when the candidate shares a trajectory with it.
-  std::vector<std::vector<model::BillboardId>> covering_;
-  bool covering_built_ = false;
   std::vector<uint8_t> touched_;  // per-scan scratch, by billboard
   std::vector<HeapEntry> stale_;  // per-scan scratch: deferred candidates
   int64_t exact_evaluations_ = 0;

@@ -50,6 +50,7 @@ InfluenceIndex InfluenceIndex::Build(const model::Dataset& dataset,
     MROAM_DCHECK(std::is_sorted(list.begin(), list.end()));
     index.total_supply_ += static_cast<int64_t>(list.size());
   }
+  index.BuildReverseIndex();
   MROAM_COUNTER_ADD("influence.index_builds", 1);
   MROAM_HISTOGRAM_OBSERVE("influence.index_build_seconds",
                           watch.ElapsedSeconds());
@@ -84,7 +85,20 @@ InfluenceIndex InfluenceIndex::FromIncidence(
     }
     index.total_supply_ += static_cast<int64_t>(list.size());
   }
+  index.BuildReverseIndex();
   return index;
+}
+
+void InfluenceIndex::BuildReverseIndex() {
+  covering_.assign(static_cast<size_t>(num_trajectories_), {});
+  // Billboards are walked in ascending id order, so each covering list
+  // comes out sorted without an explicit sort.
+  for (size_t o = 0; o < covered_.size(); ++o) {
+    for (model::TrajectoryId t : covered_[o]) {
+      covering_[static_cast<size_t>(t)].push_back(
+          static_cast<model::BillboardId>(o));
+    }
+  }
 }
 
 int64_t InfluenceIndex::InfluenceOfSet(

@@ -43,6 +43,26 @@ class InfluenceIndex {
     return covered_[o];
   }
 
+  /// Billboards influencing trajectory `t`, sorted ascending — the reverse
+  /// of CoveredBy. Built once with the index (O(total supply)) and shared
+  /// by every consumer: the lazy greedy selector uses it to localize cache
+  /// invalidation instead of rebuilding the reverse map per run, and the
+  /// snapshot format persists it alongside the forward lists.
+  const std::vector<model::BillboardId>& CoveringOf(
+      model::TrajectoryId t) const {
+    return covering_[t];
+  }
+
+  /// The full reverse index, aligned with trajectory ids (snapshot IO).
+  const std::vector<std::vector<model::BillboardId>>& covering() const {
+    return covering_;
+  }
+
+  /// The full forward incidence, aligned with billboard ids (snapshot IO).
+  const std::vector<std::vector<model::TrajectoryId>>& covered() const {
+    return covered_;
+  }
+
   /// I({o}) — the number of trajectories billboard `o` influences.
   int64_t InfluenceOf(model::BillboardId o) const {
     return static_cast<int64_t>(covered_[o].size());
@@ -62,10 +82,17 @@ class InfluenceIndex {
   int64_t InfluenceOfSet(const std::vector<model::BillboardId>& set) const;
 
  private:
+  /// Derives covering_ from covered_ (called by Build/FromIncidence once
+  /// the forward lists are final).
+  void BuildReverseIndex();
+
   double lambda_ = 0.0;
   int32_t num_trajectories_ = 0;
   int64_t total_supply_ = 0;
   std::vector<std::vector<model::TrajectoryId>> covered_;
+  /// Reverse incidence: covering_[t] lists the billboards whose covered_
+  /// list contains t, ascending. Always sized num_trajectories_.
+  std::vector<std::vector<model::BillboardId>> covering_;
 };
 
 /// Reference implementation of the meet model by exhaustive distance

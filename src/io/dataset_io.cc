@@ -1,6 +1,8 @@
 #include "io/dataset_io.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <system_error>
 
 #include "common/csv.h"
 #include "common/strings.h"
@@ -144,6 +146,14 @@ Result<model::Dataset> LoadDataset(const std::string& dir,
 }
 
 Status SaveDataset(const std::string& dir, const model::Dataset& dataset) {
+  // Create the target directory (and any missing parents) instead of
+  // failing on the first file write with an opaque IO error.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create dataset directory " + dir + ": " +
+                           ec.message());
+  }
   MROAM_RETURN_IF_ERROR(
       SaveBillboardsCsv(dir + "/billboards.csv", dataset.billboards));
   return SaveTrajectoriesCsv(dir + "/trajectories.csv",

@@ -32,7 +32,9 @@ common::Status SaveTrajectoriesCsv(const std::string& path,
 common::Result<model::Dataset> LoadDataset(const std::string& dir,
                                            const std::string& name);
 
-/// Saves a full dataset into `<dir>` (which must already exist).
+/// Saves a full dataset into `<dir>`, creating the directory (and any
+/// missing parents) first. Fails with kIoError when creation is impossible
+/// (e.g. a path component is a regular file).
 common::Status SaveDataset(const std::string& dir,
                            const model::Dataset& dataset);
 

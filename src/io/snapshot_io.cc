@@ -1,0 +1,464 @@
+#include "io/snapshot_io.h"
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mroam::io {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// --- Little-endian primitive encoding --------------------------------------
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked reader over a loaded snapshot. Every Get* fails with
+/// kDataLoss once the cursor would pass the end, so a truncated file
+/// surfaces as a typed error no matter where the cut lands.
+class Cursor {
+ public:
+  Cursor(std::string_view data, std::string_view what)
+      : data_(data), what_(what) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+
+  Status Skip(size_t n) {
+    if (remaining() < n) return Truncated();
+    offset_ += n;
+    return Status::Ok();
+  }
+
+  Result<uint32_t> GetU32() {
+    if (remaining() < 4) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[offset_ + i]))
+           << (8 * i);
+    }
+    offset_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    if (remaining() < 8) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[offset_ + i]))
+           << (8 * i);
+    }
+    offset_ += 8;
+    return v;
+  }
+
+  Result<int32_t> GetI32() {
+    MROAM_ASSIGN_OR_RETURN(uint32_t v, GetU32());
+    return static_cast<int32_t>(v);
+  }
+
+  Result<double> GetF64() {
+    MROAM_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+    return std::bit_cast<double>(v);
+  }
+
+  Result<std::string> GetString() {
+    MROAM_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+    if (remaining() < len) return Truncated();
+    std::string s(data_.substr(offset_, len));
+    offset_ += len;
+    return s;
+  }
+
+  Result<std::string_view> GetBytes(size_t n) {
+    if (remaining() < n) return Truncated();
+    std::string_view view = data_.substr(offset_, n);
+    offset_ += n;
+    return view;
+  }
+
+ private:
+  Status Truncated() const {
+    return Status::DataLoss("snapshot truncated in " + std::string(what_) +
+                            " at offset " + std::to_string(offset_));
+  }
+
+  std::string_view data_;
+  std::string_view what_;
+  size_t offset_ = 0;
+};
+
+// --- Section payload encoders ----------------------------------------------
+
+std::string EncodeMeta(const model::Dataset& dataset,
+                       const influence::InfluenceIndex& index) {
+  std::string out;
+  PutString(&out, dataset.name);
+  PutF64(&out, index.lambda());
+  PutU32(&out, static_cast<uint32_t>(dataset.billboards.size()));
+  PutU32(&out, static_cast<uint32_t>(dataset.trajectories.size()));
+  return out;
+}
+
+std::string EncodeBillboards(const model::Dataset& dataset) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(dataset.billboards.size()));
+  for (const model::Billboard& b : dataset.billboards) {
+    PutF64(&out, b.location.x);
+    PutF64(&out, b.location.y);
+    PutF64(&out, b.cost);
+  }
+  return out;
+}
+
+std::string EncodeTrajectories(const model::Dataset& dataset) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(dataset.trajectories.size()));
+  for (const model::Trajectory& t : dataset.trajectories) {
+    PutF64(&out, t.start_time_seconds);
+    PutF64(&out, t.travel_time_seconds);
+    PutU32(&out, static_cast<uint32_t>(t.points.size()));
+    for (const geo::Point& p : t.points) {
+      PutF64(&out, p.x);
+      PutF64(&out, p.y);
+    }
+  }
+  return out;
+}
+
+template <typename IdT>
+std::string EncodeLists(const std::vector<std::vector<IdT>>& lists) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(lists.size()));
+  for (const std::vector<IdT>& list : lists) {
+    PutU32(&out, static_cast<uint32_t>(list.size()));
+    for (IdT id : list) PutI32(&out, static_cast<int32_t>(id));
+  }
+  return out;
+}
+
+void AppendSection(std::string* file, SnapshotSection id,
+                   const std::string& payload) {
+  PutU32(file, static_cast<uint32_t>(id));
+  PutU64(file, payload.size());
+  file->append(payload);
+  PutU32(file, common::Crc32(payload));
+}
+
+// --- Section payload decoders ----------------------------------------------
+
+struct MetaSection {
+  std::string name;
+  double lambda = 0.0;
+  uint32_t num_billboards = 0;
+  uint32_t num_trajectories = 0;
+};
+
+Result<MetaSection> DecodeMeta(std::string_view payload) {
+  Cursor cur(payload, "meta section");
+  MetaSection meta;
+  MROAM_ASSIGN_OR_RETURN(meta.name, cur.GetString());
+  MROAM_ASSIGN_OR_RETURN(meta.lambda, cur.GetF64());
+  MROAM_ASSIGN_OR_RETURN(meta.num_billboards, cur.GetU32());
+  MROAM_ASSIGN_OR_RETURN(meta.num_trajectories, cur.GetU32());
+  return meta;
+}
+
+Result<std::vector<model::Billboard>> DecodeBillboards(
+    std::string_view payload) {
+  Cursor cur(payload, "billboards section");
+  MROAM_ASSIGN_OR_RETURN(uint32_t count, cur.GetU32());
+  std::vector<model::Billboard> billboards(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    billboards[i].id = static_cast<model::BillboardId>(i);
+    MROAM_ASSIGN_OR_RETURN(billboards[i].location.x, cur.GetF64());
+    MROAM_ASSIGN_OR_RETURN(billboards[i].location.y, cur.GetF64());
+    MROAM_ASSIGN_OR_RETURN(billboards[i].cost, cur.GetF64());
+  }
+  return billboards;
+}
+
+Result<std::vector<model::Trajectory>> DecodeTrajectories(
+    std::string_view payload) {
+  Cursor cur(payload, "trajectories section");
+  MROAM_ASSIGN_OR_RETURN(uint32_t count, cur.GetU32());
+  std::vector<model::Trajectory> trajectories(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    model::Trajectory& t = trajectories[i];
+    t.id = static_cast<model::TrajectoryId>(i);
+    MROAM_ASSIGN_OR_RETURN(t.start_time_seconds, cur.GetF64());
+    MROAM_ASSIGN_OR_RETURN(t.travel_time_seconds, cur.GetF64());
+    MROAM_ASSIGN_OR_RETURN(uint32_t npoints, cur.GetU32());
+    t.points.resize(npoints);
+    for (uint32_t k = 0; k < npoints; ++k) {
+      MROAM_ASSIGN_OR_RETURN(t.points[k].x, cur.GetF64());
+      MROAM_ASSIGN_OR_RETURN(t.points[k].y, cur.GetF64());
+    }
+  }
+  return trajectories;
+}
+
+template <typename IdT>
+Result<std::vector<std::vector<IdT>>> DecodeLists(std::string_view payload,
+                                                  const char* what) {
+  Cursor cur(payload, what);
+  MROAM_ASSIGN_OR_RETURN(uint32_t count, cur.GetU32());
+  std::vector<std::vector<IdT>> lists(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    MROAM_ASSIGN_OR_RETURN(uint32_t len, cur.GetU32());
+    lists[i].resize(len);
+    for (uint32_t k = 0; k < len; ++k) {
+      MROAM_ASSIGN_OR_RETURN(int32_t id, cur.GetI32());
+      lists[i][k] = static_cast<IdT>(id);
+    }
+  }
+  return lists;
+}
+
+}  // namespace
+
+Status SaveIndexSnapshot(const std::string& path,
+                         const model::Dataset& dataset,
+                         const influence::InfluenceIndex& index) {
+  MROAM_TRACE_SPAN("io.snapshot_save");
+  common::Stopwatch watch;
+  if (dataset.billboards.empty() || dataset.trajectories.empty()) {
+    return Status::InvalidArgument(
+        "refusing to snapshot an empty dataset (" +
+        std::to_string(dataset.billboards.size()) + " billboards, " +
+        std::to_string(dataset.trajectories.size()) + " trajectories)");
+  }
+  if (index.num_billboards() !=
+          static_cast<int32_t>(dataset.billboards.size()) ||
+      index.num_trajectories() !=
+          static_cast<int32_t>(dataset.trajectories.size())) {
+    return Status::InvalidArgument(
+        "index does not match dataset: index has " +
+        std::to_string(index.num_billboards()) + "x" +
+        std::to_string(index.num_trajectories()) + ", dataset has " +
+        std::to_string(dataset.billboards.size()) + "x" +
+        std::to_string(dataset.trajectories.size()));
+  }
+  std::string problem = model::ValidateDataset(dataset);
+  if (!problem.empty()) {
+    return Status::InvalidArgument("refusing to snapshot an invalid dataset: " +
+                                   problem);
+  }
+
+  std::string file;
+  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&file, kSnapshotVersion);
+  AppendSection(&file, SnapshotSection::kMeta, EncodeMeta(dataset, index));
+  AppendSection(&file, SnapshotSection::kBillboards,
+                EncodeBillboards(dataset));
+  AppendSection(&file, SnapshotSection::kTrajectories,
+                EncodeTrajectories(dataset));
+  AppendSection(&file, SnapshotSection::kIncidence,
+                EncodeLists(index.covered()));
+  AppendSection(&file, SnapshotSection::kCovering,
+                EncodeLists(index.covering()));
+  AppendSection(&file, SnapshotSection::kEnd, "");
+
+  std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::IoError("cannot create snapshot directory " +
+                             target.parent_path().string() + ": " +
+                             ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open snapshot for writing: " + path);
+  }
+  out.write(file.data(), static_cast<std::streamsize>(file.size()));
+  out.flush();
+  if (!out) {
+    return Status::IoError("short write to snapshot: " + path);
+  }
+  MROAM_COUNTER_ADD("io.snapshot_saves", 1);
+  MROAM_HISTOGRAM_OBSERVE("io.snapshot_save_seconds",
+                          watch.ElapsedSeconds());
+  MROAM_LOG(Info) << "snapshot saved to " << path << " ("
+                  << file.size() << " bytes, "
+                  << dataset.billboards.size() << " billboards, "
+                  << dataset.trajectories.size() << " trajectories)";
+  return Status::Ok();
+}
+
+Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path) {
+  MROAM_TRACE_SPAN("io.snapshot_load");
+  common::Stopwatch watch;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("snapshot not found: " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IoError("read error on snapshot: " + path);
+  }
+
+  Cursor cur(data, "file header");
+  MROAM_ASSIGN_OR_RETURN(std::string_view magic,
+                         cur.GetBytes(sizeof(kSnapshotMagic)));
+  if (std::memcmp(magic.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    return Status::InvalidArgument("not a mroam index snapshot: " + path);
+  }
+  MROAM_ASSIGN_OR_RETURN(uint32_t version, cur.GetU32());
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+
+  // Walk the sections: each must appear exactly once, CRC-verified, with
+  // kEnd closing the file.
+  constexpr uint32_t kMaxSectionId =
+      static_cast<uint32_t>(SnapshotSection::kCovering);
+  std::vector<std::string_view> payloads(kMaxSectionId + 1);
+  std::vector<bool> seen(kMaxSectionId + 1, false);
+  bool ended = false;
+  while (!ended) {
+    MROAM_ASSIGN_OR_RETURN(uint32_t id, cur.GetU32());
+    MROAM_ASSIGN_OR_RETURN(uint64_t length, cur.GetU64());
+    if (id > kMaxSectionId) {
+      return Status::DataLoss("unknown snapshot section id " +
+                              std::to_string(id));
+    }
+    if (seen[id]) {
+      return Status::DataLoss("duplicate snapshot section id " +
+                              std::to_string(id));
+    }
+    seen[id] = true;
+    MROAM_ASSIGN_OR_RETURN(std::string_view payload,
+                           cur.GetBytes(static_cast<size_t>(length)));
+    MROAM_ASSIGN_OR_RETURN(uint32_t stored_crc, cur.GetU32());
+    const uint32_t actual_crc = common::Crc32(payload);
+    if (stored_crc != actual_crc) {
+      return Status::DataLoss("CRC mismatch in snapshot section " +
+                              std::to_string(id) + " (stored " +
+                              std::to_string(stored_crc) + ", computed " +
+                              std::to_string(actual_crc) + ")");
+    }
+    if (static_cast<SnapshotSection>(id) == SnapshotSection::kEnd) {
+      if (length != 0) {
+        return Status::DataLoss("snapshot end section carries a payload");
+      }
+      ended = true;
+    } else {
+      payloads[id] = payload;
+    }
+  }
+  if (cur.remaining() != 0) {
+    return Status::DataLoss("trailing bytes after snapshot end section");
+  }
+  for (uint32_t id = 0; id <= kMaxSectionId; ++id) {
+    if (!seen[id]) {
+      return Status::DataLoss("snapshot is missing section id " +
+                              std::to_string(id));
+    }
+  }
+
+  MROAM_ASSIGN_OR_RETURN(
+      MetaSection meta,
+      DecodeMeta(payloads[static_cast<uint32_t>(SnapshotSection::kMeta)]));
+  IndexSnapshot snapshot;
+  snapshot.dataset.name = meta.name;
+  MROAM_ASSIGN_OR_RETURN(
+      snapshot.dataset.billboards,
+      DecodeBillboards(
+          payloads[static_cast<uint32_t>(SnapshotSection::kBillboards)]));
+  MROAM_ASSIGN_OR_RETURN(
+      snapshot.dataset.trajectories,
+      DecodeTrajectories(
+          payloads[static_cast<uint32_t>(SnapshotSection::kTrajectories)]));
+  if (snapshot.dataset.billboards.size() != meta.num_billboards ||
+      snapshot.dataset.trajectories.size() != meta.num_trajectories) {
+    return Status::DataLoss(
+        "snapshot entity counts disagree with meta section");
+  }
+  std::string problem = model::ValidateDataset(snapshot.dataset);
+  if (!problem.empty()) {
+    return Status::DataLoss("snapshot dataset invalid: " + problem);
+  }
+
+  MROAM_ASSIGN_OR_RETURN(
+      std::vector<std::vector<model::TrajectoryId>> covered,
+      DecodeLists<model::TrajectoryId>(
+          payloads[static_cast<uint32_t>(SnapshotSection::kIncidence)],
+          "incidence section"));
+  if (covered.size() != meta.num_billboards) {
+    return Status::DataLoss("snapshot incidence list count disagrees with "
+                            "meta section");
+  }
+  MROAM_ASSIGN_OR_RETURN(
+      std::vector<std::vector<model::BillboardId>> covering,
+      DecodeLists<model::BillboardId>(
+          payloads[static_cast<uint32_t>(SnapshotSection::kCovering)],
+          "covering section"));
+
+  // FromIncidence re-validates the forward lists (sorted, duplicate-free,
+  // in-range — its standing preconditions) and rebuilds the reverse index;
+  // the stored copy must agree or the file is internally inconsistent.
+  snapshot.index = influence::InfluenceIndex::FromIncidence(
+      std::move(covered), static_cast<int32_t>(meta.num_trajectories),
+      meta.lambda);
+  if (snapshot.index.covering() != covering) {
+    return Status::DataLoss(
+        "snapshot covering section does not match the incidence lists");
+  }
+
+  MROAM_COUNTER_ADD("io.snapshot_loads", 1);
+  MROAM_HISTOGRAM_OBSERVE("io.snapshot_load_seconds",
+                          watch.ElapsedSeconds());
+  MROAM_LOG(Info) << "snapshot loaded from " << path << " ("
+                  << snapshot.dataset.billboards.size() << " billboards, "
+                  << snapshot.dataset.trajectories.size()
+                  << " trajectories, supply "
+                  << snapshot.index.TotalSupply() << ") in "
+                  << watch.ElapsedSeconds() << "s";
+  return snapshot;
+}
+
+}  // namespace mroam::io

@@ -1,0 +1,76 @@
+#ifndef MROAM_IO_SNAPSHOT_IO_H_
+#define MROAM_IO_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "influence/influence_index.h"
+#include "model/dataset.h"
+
+namespace mroam::io {
+
+// ---------------------------------------------------------------------------
+// Binary index snapshots (docs/snapshot_format.md).
+//
+// A snapshot persists a model::Dataset together with its fully built
+// influence::InfluenceIndex — forward incidence lists *and* the
+// trajectory -> billboards reverse index — so a serving process
+// (mroam_serve) cold-starts in milliseconds instead of re-parsing CSVs and
+// recomputing the O(|U| x |T|) meet model. The file is a fixed header
+// followed by length-prefixed sections, each closed by a CRC-32 of its
+// payload; every integer is little-endian, every double is its IEEE-754
+// bit pattern, so a round trip is bit-exact.
+// ---------------------------------------------------------------------------
+
+/// First 8 bytes of every snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'M', 'R', 'O', 'A',
+                                           'M', 'S', 'N', 'P'};
+
+/// Current (and only) format version. Readers reject anything else.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Section identifiers, in the order Save writes them. Each section
+/// appears exactly once; kEnd terminates the file.
+enum class SnapshotSection : uint32_t {
+  kEnd = 0,           ///< empty payload; must be last
+  kMeta = 1,          ///< dataset name, lambda, entity counts
+  kBillboards = 2,    ///< locations + costs, id = position
+  kTrajectories = 3,  ///< timing + points, id = position
+  kIncidence = 4,     ///< billboard -> trajectories lists
+  kCovering = 5,      ///< trajectory -> billboards reverse lists
+};
+
+/// Bytes of a section header: id (u32) + payload length (u64). The
+/// payload follows, then its CRC-32 (u32). Exposed for the format tests,
+/// which walk sections to tamper with specific payloads.
+inline constexpr size_t kSnapshotSectionHeaderBytes = 12;
+/// Bytes of the file header: magic (8) + version (u32).
+inline constexpr size_t kSnapshotFileHeaderBytes = 12;
+
+/// A loaded snapshot: the dataset and its prebuilt index.
+struct IndexSnapshot {
+  model::Dataset dataset;
+  influence::InfluenceIndex index;
+};
+
+/// Writes `dataset` + `index` to `path` (parent directories are created).
+/// Fails with kInvalidArgument on an empty dataset or when `index` does
+/// not match `dataset` (entity counts), kIoError on filesystem trouble.
+common::Status SaveIndexSnapshot(const std::string& path,
+                                 const model::Dataset& dataset,
+                                 const influence::InfluenceIndex& index);
+
+/// Reads a snapshot written by SaveIndexSnapshot. Corruption is caught in
+/// layers: framing damage (bad magic, unknown version, truncation, CRC
+/// mismatch, missing/duplicate sections) returns a typed error; payloads
+/// that pass their CRC are then re-validated through the existing
+/// InfluenceIndex::FromIncidence preconditions (sorted, duplicate-free,
+/// in-range lists — MROAM_CHECK, i.e. a forged file that re-signs garbage
+/// aborts rather than serving a corrupt market), and the stored reverse
+/// index must match the one rebuilt from the forward lists.
+common::Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path);
+
+}  // namespace mroam::io
+
+#endif  // MROAM_IO_SNAPSHOT_IO_H_

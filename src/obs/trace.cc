@@ -122,6 +122,15 @@ common::Status Tracer::Flush() {
     path = path_;
   }
   if (path.empty()) return common::Status::Ok();
+  // An empty flush must not clobber a file a previous flush wrote: a
+  // server's graceful Stop() flushes explicitly, and the process-exit
+  // flush that follows would otherwise truncate the trace to nothing.
+  const bool have_spans = SpanCount() > 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!have_spans && flushed_once_) return common::Status::Ok();
+    flushed_once_ = true;
+  }
   const std::string json = DumpJson();
   std::ofstream out(path, std::ios::trunc);
   if (!out) {

@@ -81,6 +81,10 @@ class Tracer {
   std::mutex mu_;           ///< guards buffers_ registration and path_
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::string path_;
+  /// Whether a flush already wrote path_; an empty follow-up flush (e.g.
+  /// the process-exit hook after a server's explicit Stop() flush) then
+  /// leaves the file alone instead of truncating it.
+  bool flushed_once_ = false;
 };
 
 /// RAII span: records [construction, destruction) under `name` when the

@@ -1,0 +1,310 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace mroam::serve {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// recv() until `marker` appears or a size/EOF limit trips. Appends to
+/// *buffer; returns the offset just past the marker.
+Result<size_t> ReadUntil(int fd, std::string* buffer,
+                         std::string_view marker, size_t max_bytes) {
+  while (true) {
+    size_t pos = buffer->find(marker);
+    if (pos != std::string::npos) return pos + marker.size();
+    if (buffer->size() > max_bytes) {
+      return Status::InvalidArgument("HTTP head exceeds " +
+                                     std::to_string(max_bytes) + " bytes");
+    }
+    char chunk[4096];
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IoError("connection closed before full HTTP head");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status ReadExact(int fd, std::string* buffer, size_t total) {
+  while (buffer->size() < total) {
+    char chunk[4096];
+    size_t want = std::min(sizeof(chunk), total - buffer->size());
+    ssize_t n = recv(fd, chunk, want, 0);
+    if (n == 0) {
+      return Status::IoError("connection closed before full HTTP body");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view HttpRequest::HeaderOr(std::string_view name,
+                                       std::string_view fallback) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    HttpStatusReason(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+Result<HttpRequest> ParseRequestHead(std::string_view head) {
+  HttpRequest request;
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    return Status::InvalidArgument("malformed HTTP request line: '" +
+                                   std::string(request_line) + "'");
+  }
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target =
+      std::string(common::StripWhitespace(request_line.substr(
+          sp1 + 1, sp2 - sp1 - 1)));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (request.method.empty() || request.target.empty() ||
+      request.version.rfind("HTTP/", 0) != 0) {
+    return Status::InvalidArgument("malformed HTTP request line: '" +
+                                   std::string(request_line) + "'");
+  }
+
+  std::string_view rest = line_end == std::string_view::npos
+                              ? std::string_view()
+                              : head.substr(line_end + 2);
+  for (std::string_view line : common::Split(rest, '\n')) {
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed HTTP header line: '" +
+                                     std::string(line) + "'");
+    }
+    request.headers.emplace_back(
+        ToLower(common::StripWhitespace(line.substr(0, colon))),
+        std::string(common::StripWhitespace(line.substr(colon + 1))));
+  }
+  return request;
+}
+
+Result<HttpRequest> ReadHttpRequest(int fd) {
+  std::string buffer;
+  MROAM_ASSIGN_OR_RETURN(size_t body_start,
+                         ReadUntil(fd, &buffer, "\r\n\r\n",
+                                   kMaxHttpHeadBytes));
+  MROAM_ASSIGN_OR_RETURN(
+      HttpRequest request,
+      ParseRequestHead(std::string_view(buffer).substr(0, body_start - 4)));
+
+  std::string_view length_text = request.HeaderOr("content-length", "0");
+  char* end = nullptr;
+  std::string length_str(length_text);
+  unsigned long long length = std::strtoull(length_str.c_str(), &end, 10);
+  if (end == length_str.c_str() || *end != '\0' ||
+      length > kMaxHttpBodyBytes) {
+    return Status::InvalidArgument("bad Content-Length: '" + length_str +
+                                   "'");
+  }
+  request.body = buffer.substr(body_start);
+  if (request.body.size() > length) {
+    return Status::InvalidArgument("request body longer than Content-Length");
+  }
+  MROAM_RETURN_IF_ERROR(ReadExact(fd, &request.body,
+                                  static_cast<size_t>(length)));
+  return request;
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+#ifdef MSG_NOSIGNAL
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent,
+                     MSG_NOSIGNAL);
+#else
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<HttpResponse> HttpFetch(const std::string& host, int port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  // The serving layer's requests are small and latency-bound.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("HttpFetch needs a numeric IPv4 host, "
+                                   "got '" + host + "'");
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status(common::StatusCode::kIoError,
+                  "connect to " + host + ":" + std::to_string(port) +
+                      " failed: " + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n" +
+                        "Host: " + host + "\r\n" +
+                        "Content-Length: " + std::to_string(body.size()) +
+                        "\r\n" + "Connection: close\r\n\r\n" + body;
+  Status write_status = WriteAll(fd, request);
+  if (!write_status.ok()) {
+    close(fd);
+    return write_status;
+  }
+
+  // The server closes after one response, so read to EOF and parse.
+  std::string raw;
+  while (true) {
+    char chunk[4096];
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status(common::StatusCode::kIoError,
+                    std::string("recv failed: ") + std::strerror(errno));
+      close(fd);
+      return status;
+    }
+    raw.append(chunk, static_cast<size_t>(n));
+    if (raw.size() > kMaxHttpHeadBytes + kMaxHttpBodyBytes) {
+      close(fd);
+      return Status::InvalidArgument("HTTP response too large");
+    }
+  }
+  close(fd);
+
+  size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::IoError("malformed HTTP response (no header terminator)");
+  }
+  std::string_view head = std::string_view(raw).substr(0, head_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos) {
+    return Status::IoError("malformed HTTP status line: '" +
+                           std::string(status_line) + "'");
+  }
+  MROAM_ASSIGN_OR_RETURN(
+      int64_t code,
+      common::ParseInt64(status_line.substr(sp + 1, 3)));
+
+  HttpResponse response;
+  response.status = static_cast<int>(code);
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+Result<double> ExtractJsonNumber(std::string_view json,
+                                 std::string_view key) {
+  std::string quoted;
+  quoted.reserve(key.size() + 2);
+  quoted.push_back('"');
+  quoted.append(key);
+  quoted.push_back('"');
+  size_t pos = json.find(quoted);
+  if (pos == std::string_view::npos) {
+    return Status::InvalidArgument("missing JSON field '" +
+                                   std::string(key) + "'");
+  }
+  pos += quoted.size();
+  while (pos < json.size() &&
+         (json[pos] == ' ' || json[pos] == '\t' || json[pos] == ':')) {
+    ++pos;
+  }
+  size_t end = pos;
+  while (end < json.size() &&
+         (std::isdigit(static_cast<unsigned char>(json[end])) ||
+          json[end] == '-' || json[end] == '+' || json[end] == '.' ||
+          json[end] == 'e' || json[end] == 'E')) {
+    ++end;
+  }
+  if (end == pos) {
+    return Status::InvalidArgument("JSON field '" + std::string(key) +
+                                   "' is not a number");
+  }
+  return common::ParseDouble(json.substr(pos, end - pos));
+}
+
+}  // namespace mroam::serve

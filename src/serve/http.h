@@ -1,0 +1,83 @@
+#ifndef MROAM_SERVE_HTTP_H_
+#define MROAM_SERVE_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mroam::serve {
+
+// ---------------------------------------------------------------------------
+// Minimal dependency-free HTTP/1.1 plumbing over POSIX sockets: just enough
+// protocol for the market serving layer (MarketServer) and its load
+// generator / test clients. One request per connection; every response
+// carries Content-Length and Connection: close. No TLS, no chunked
+// encoding, no keep-alive — the serving layer's clients are command-line
+// tools and benches on the same host.
+// ---------------------------------------------------------------------------
+
+/// Upper bound on request head (request line + headers) accepted by the
+/// reader; larger requests fail with kInvalidArgument.
+inline constexpr size_t kMaxHttpHeadBytes = 64 * 1024;
+/// Upper bound on a request/response body.
+inline constexpr size_t kMaxHttpBodyBytes = 16 * 1024 * 1024;
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (uppercase as sent)
+  std::string target;   ///< request target, e.g. "/contracts/12"
+  std::string version;  ///< "HTTP/1.1"
+  /// Header (name, value) pairs; names are lowercased by the parser.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Value of the named header (lowercase), or "" when absent.
+  std::string_view HeaderOr(std::string_view name,
+                            std::string_view fallback = "") const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  /// Full HTTP/1.1 wire form with Content-Length and Connection: close.
+  std::string Serialize() const;
+};
+
+/// Canonical reason phrase for the status codes the server emits
+/// ("OK", "Bad Request", ...); "Unknown" otherwise.
+const char* HttpStatusReason(int status);
+
+/// Parses a request head (everything before the blank line, excluding the
+/// final CRLF CRLF) into method/target/version/headers. The body is NOT
+/// consumed here — callers read it per Content-Length.
+common::Result<HttpRequest> ParseRequestHead(std::string_view head);
+
+/// Reads one full request (head + Content-Length body) from a connected
+/// socket. Blocking; fails with kInvalidArgument on malformed input,
+/// kIoError on socket errors or EOF mid-request.
+common::Result<HttpRequest> ReadHttpRequest(int fd);
+
+/// Writes all of `data` to `fd` (retrying short writes, ignoring SIGPIPE).
+common::Status WriteAll(int fd, std::string_view data);
+
+/// Blocking single-request HTTP client for benches and tests: connects to
+/// host:port, sends `method target` with `body`, returns the parsed
+/// response. The connection is closed afterwards.
+common::Result<HttpResponse> HttpFetch(const std::string& host, int port,
+                                       const std::string& method,
+                                       const std::string& target,
+                                       const std::string& body = "");
+
+/// Extracts a top-level numeric JSON field (e.g. `"demand": 120`) from a
+/// flat JSON object without a full parser. Fails with kInvalidArgument
+/// when the key is missing or its value is not a number.
+common::Result<double> ExtractJsonNumber(std::string_view json,
+                                         std::string_view key);
+
+}  // namespace mroam::serve
+
+#endif  // MROAM_SERVE_HTTP_H_

@@ -1,0 +1,443 @@
+#include "serve/market_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mroam::serve {
+
+using common::Status;
+
+namespace {
+
+HttpResponse JsonError(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":";
+  obs::internal::AppendJsonString(&response.body, message);
+  response.body += "}";
+  MROAM_COUNTER_ADD("serve.http_errors", 1);
+  return response;
+}
+
+void AppendBreakdownJson(std::string* out,
+                         const core::RegretBreakdown& breakdown) {
+  *out += "{\"total\":" + obs::internal::JsonDouble(breakdown.total) +
+          ",\"excessive\":" +
+          obs::internal::JsonDouble(breakdown.excessive) +
+          ",\"unsatisfied_penalty\":" +
+          obs::internal::JsonDouble(breakdown.unsatisfied_penalty) +
+          ",\"satisfied_count\":" +
+          std::to_string(breakdown.satisfied_count) +
+          ",\"advertiser_count\":" +
+          std::to_string(breakdown.advertiser_count) + "}";
+}
+
+}  // namespace
+
+MarketServer::MarketServer(const influence::InfluenceIndex* index,
+                           MarketServerConfig config)
+    : index_(index),
+      config_(std::move(config)),
+      market_(index, config_.market) {
+  MROAM_CHECK(config_.max_batch >= 1);
+  MROAM_CHECK(config_.max_batch_delay_seconds >= 0.0);
+  MROAM_CHECK(config_.num_threads >= 1);
+}
+
+MarketServer::~MarketServer() { Stop(); }
+
+Status MarketServer::Start() {
+  MROAM_CHECK(!running_.load());
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IoError(
+        "cannot bind port " + std::to_string(config_.port) + ": " +
+        std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    Status status = Status::IoError(std::string("getsockname failed: ") +
+                                    std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, 128) != 0) {
+    Status status = Status::IoError(std::string("listen failed: ") +
+                                    std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  draining_.store(false);
+  stopping_.store(false);
+  pool_ = std::make_unique<common::ThreadPool>(config_.num_threads);
+  flush_thread_ = std::thread([this] { FlushLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  running_.store(true, std::memory_order_release);
+  MROAM_LOG(Info) << "mroam market server listening on port " << port_
+                  << " (" << config_.num_threads << " workers, batch "
+                  << config_.max_batch << "/"
+                  << config_.max_batch_delay_seconds * 1e3 << "ms, policy "
+                  << core::ReplanPolicyName(config_.market.policy) << ")";
+  return Status::Ok();
+}
+
+void MarketServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+
+  // 1. Stop accepting: new connections are refused, in-flight ones keep
+  //    their worker. The batcher switches to immediate flush so queued
+  //    arrivals (and any that in-flight requests still add) drain fast.
+  draining_.store(true);
+  batch_cv_.notify_all();
+  // shutdown() wakes the blocked accept(); the fd is closed only after
+  // the accept thread is gone so it cannot race a reused descriptor.
+  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Drain workers: ThreadPool's destructor runs every queued task to
+  //    completion; each blocked POST is released by the flush loop, which
+  //    is still running in immediate mode.
+  pool_.reset();
+
+  // 3. Now nothing can enqueue: let the flush loop drain the tail and
+  //    exit, then persist whatever MROAM_TRACE collected.
+  stopping_.store(true);
+  batch_cv_.notify_all();
+  if (flush_thread_.joinable()) flush_thread_.join();
+  running_.store(false, std::memory_order_release);
+
+  common::Status flushed = obs::Tracer::Global().Flush();
+  if (!flushed.ok()) {
+    MROAM_LOG(Warning) << "trace flush failed: " << flushed;
+  }
+  MROAM_LOG(Info) << "mroam market server drained and stopped after "
+                  << batches_flushed_.load() << " batches, day "
+                  << market_.today();
+}
+
+void MarketServer::AcceptLoop() {
+  while (true) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Closed by Stop() (or a fatal error): stop accepting either way.
+      break;
+    }
+    if (draining_.load()) {
+      close(fd);
+      break;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void MarketServer::HandleConnection(int fd) {
+  MROAM_TRACE_SPAN("serve.request");
+  common::Stopwatch watch;
+  MROAM_COUNTER_ADD("serve.http_requests", 1);
+  common::Result<HttpRequest> request = ReadHttpRequest(fd);
+  HttpResponse response;
+  if (!request.ok()) {
+    response = JsonError(400, request.status().message());
+  } else {
+    response = Handle(*request);
+  }
+  Status written = WriteAll(fd, response.Serialize());
+  if (!written.ok()) {
+    MROAM_LOG(Debug) << "response write failed: " << written;
+  }
+  close(fd);
+  MROAM_HISTOGRAM_OBSERVE("serve.request_seconds", watch.ElapsedSeconds());
+}
+
+HttpResponse MarketServer::Handle(const HttpRequest& request) {
+  const std::string& target = request.target;
+  if (target == "/contracts") {
+    if (request.method != "POST") {
+      return JsonError(405, "use POST to submit a contract");
+    }
+    return HandleSubmit(request);
+  }
+  if (common::StartsWith(target, "/contracts/")) {
+    if (request.method != "DELETE") {
+      return JsonError(405, "use DELETE to withdraw a contract");
+    }
+    return HandleCancel(request);
+  }
+  if (request.method != "GET") {
+    return JsonError(405, "unsupported method " + request.method);
+  }
+  if (target == "/assignment") return HandleAssignment();
+  if (target == "/report") return HandleReport();
+  if (target == "/healthz") return HandleHealth();
+  if (target == "/metrics") {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4";
+    response.body =
+        obs::MetricsRegistry::Global().Snapshot().ToPrometheus();
+    return response;
+  }
+  return JsonError(404, "no such endpoint: " + target);
+}
+
+HttpResponse MarketServer::HandleSubmit(const HttpRequest& request) {
+  common::Result<double> demand = ExtractJsonNumber(request.body, "demand");
+  common::Result<double> payment =
+      ExtractJsonNumber(request.body, "payment");
+  if (!demand.ok()) return JsonError(400, demand.status().message());
+  if (!payment.ok()) return JsonError(400, payment.status().message());
+  if (*demand < 1.0 || *demand > 9e15 ||
+      *demand != static_cast<double>(static_cast<int64_t>(*demand))) {
+    return JsonError(400, "demand must be a positive integer");
+  }
+  if (*payment <= 0.0) {
+    return JsonError(400, "payment must be positive");
+  }
+  if (stopping_.load() || draining_.load()) {
+    return JsonError(503, "server is draining");
+  }
+
+  market::Advertiser terms;
+  terms.demand = static_cast<int64_t>(*demand);
+  terms.payment = *payment;
+
+  std::future<HttpResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    PendingArrival pending;
+    pending.terms = terms;
+    pending.enqueued = std::chrono::steady_clock::now();
+    future = pending.response.get_future();
+    queue_.push_back(std::move(pending));
+    MROAM_GAUGE_SET("serve.queue_depth",
+                    static_cast<int64_t>(queue_.size()));
+  }
+  batch_cv_.notify_all();
+  // Group commit: the response is the contract's post-replan outcome.
+  return future.get();
+}
+
+HttpResponse MarketServer::HandleCancel(const HttpRequest& request) {
+  std::string_view id_text =
+      std::string_view(request.target).substr(strlen("/contracts/"));
+  common::Result<int64_t> ticket = common::ParseInt64(id_text);
+  if (!ticket.ok()) {
+    return JsonError(400, "bad contract id '" + std::string(id_text) + "'");
+  }
+  bool cancelled;
+  int32_t active;
+  {
+    std::lock_guard<std::mutex> lock(market_mu_);
+    cancelled = market_.Cancel(*ticket);
+    active = market_.active_contracts();
+  }
+  if (!cancelled) {
+    return JsonError(404,
+                     "no active contract " + std::to_string(*ticket));
+  }
+  MROAM_COUNTER_ADD("serve.contracts_cancelled", 1);
+  MROAM_GAUGE_SET("serve.active_contracts", active);
+  HttpResponse response;
+  response.body = "{\"cancelled\":" + std::to_string(*ticket) +
+                  ",\"active_contracts\":" + std::to_string(active) + "}";
+  return response;
+}
+
+HttpResponse MarketServer::HandleAssignment() {
+  HttpResponse response;
+  std::lock_guard<std::mutex> lock(market_mu_);
+  const auto& terms = market_.ActiveTerms();
+  const auto& sets = market_.ActiveSets();
+  const auto& tickets = market_.ActiveTickets();
+  response.body = "{\"day\":" + std::to_string(market_.today()) +
+                  ",\"contracts\":[";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) response.body += ",";
+    std::vector<model::BillboardId> sorted = sets[i];
+    std::sort(sorted.begin(), sorted.end());
+    response.body += "{\"ticket\":" + std::to_string(tickets[i]) +
+                     ",\"demand\":" + std::to_string(terms[i].demand) +
+                     ",\"payment\":" +
+                     obs::internal::JsonDouble(terms[i].payment) +
+                     ",\"influence\":" +
+                     std::to_string(index_->InfluenceOfSet(sorted)) +
+                     ",\"billboards\":[";
+    for (size_t k = 0; k < sorted.size(); ++k) {
+      if (k > 0) response.body += ",";
+      response.body += std::to_string(sorted[k]);
+    }
+    response.body += "]}";
+  }
+  response.body += "]}";
+  return response;
+}
+
+HttpResponse MarketServer::HandleReport() {
+  HttpResponse response;
+  size_t queued;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    queued = queue_.size();
+  }
+  std::lock_guard<std::mutex> lock(market_mu_);
+  response.body =
+      "{\"day\":" + std::to_string(market_.today()) +
+      ",\"policy\":";
+  obs::internal::AppendJsonString(
+      &response.body, core::ReplanPolicyName(config_.market.policy));
+  response.body +=
+      ",\"active_contracts\":" + std::to_string(market_.active_contracts()) +
+      ",\"batches_flushed\":" + std::to_string(batches_flushed_.load()) +
+      ",\"queue_depth\":" + std::to_string(queued) +
+      ",\"last_day\":{\"arrived\":" + std::to_string(last_day_.arrived) +
+      ",\"expired\":" + std::to_string(last_day_.expired) +
+      ",\"seconds\":" + obs::internal::JsonDouble(last_day_.seconds) +
+      ",\"breakdown\":";
+  AppendBreakdownJson(&response.body, last_day_.breakdown);
+  response.body += "}}";
+  return response;
+}
+
+HttpResponse MarketServer::HandleHealth() {
+  HttpResponse response;
+  std::lock_guard<std::mutex> lock(market_mu_);
+  response.body =
+      "{\"status\":\"ok\",\"day\":" + std::to_string(market_.today()) +
+      ",\"active_contracts\":" + std::to_string(market_.active_contracts()) +
+      "}";
+  return response;
+}
+
+void MarketServer::FlushLoop() {
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  while (true) {
+    batch_cv_.wait(lock, [this] {
+      return stopping_.load() || !queue_.empty();
+    });
+    if (queue_.empty()) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    if (!draining_.load()) {
+      // Admission batching: hold the batch open until it is full or the
+      // oldest arrival has waited out the delay budget.
+      const auto deadline =
+          queue_.front().enqueued +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(
+                  config_.max_batch_delay_seconds));
+      batch_cv_.wait_until(lock, deadline, [this] {
+        return stopping_.load() || draining_.load() ||
+               static_cast<int>(queue_.size()) >= config_.max_batch;
+      });
+    }
+    lock.unlock();
+    FlushBatch();
+    lock.lock();
+  }
+}
+
+void MarketServer::FlushBatch() {
+  MROAM_TRACE_SPAN("serve.flush_batch");
+  std::vector<PendingArrival> batch;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch.swap(queue_);
+    MROAM_GAUGE_SET("serve.queue_depth", 0);
+  }
+  if (batch.empty()) return;
+
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<market::Advertiser> arrivals;
+  arrivals.reserve(batch.size());
+  for (const PendingArrival& pending : batch) {
+    arrivals.push_back(pending.terms);
+    MROAM_HISTOGRAM_OBSERVE(
+        "serve.admission_wait_seconds",
+        std::chrono::duration<double>(now - pending.enqueued).count());
+  }
+
+  common::Stopwatch watch;
+  core::DayResult day;
+  std::vector<std::string> outcomes(batch.size());
+  {
+    std::lock_guard<std::mutex> lock(market_mu_);
+    day = market_.AdvanceDay(std::move(arrivals));
+
+    // Per-arrival outcome: admitted_tickets aligns with the batch order;
+    // look each ticket up in the replanned deployment.
+    std::unordered_map<int64_t, size_t> position;
+    const auto& tickets = market_.ActiveTickets();
+    for (size_t i = 0; i < tickets.size(); ++i) position[tickets[i]] = i;
+    const auto& sets = market_.ActiveSets();
+    const auto& terms = market_.ActiveTerms();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const int64_t ticket = day.admitted_tickets[i];
+      auto it = position.find(ticket);
+      MROAM_CHECK(it != position.end());
+      const int64_t influence = index_->InfluenceOfSet(sets[it->second]);
+      const bool satisfied = influence >= terms[it->second].demand;
+      outcomes[i] = "{\"ticket\":" + std::to_string(ticket) +
+                    ",\"day\":" + std::to_string(day.day) +
+                    ",\"satisfied\":" + (satisfied ? "true" : "false") +
+                    ",\"influence\":" + std::to_string(influence) +
+                    ",\"active_contracts\":" +
+                    std::to_string(day.active_contracts) + "}";
+    }
+    last_day_ = std::move(day);
+    MROAM_GAUGE_SET("serve.active_contracts", market_.active_contracts());
+  }
+  MROAM_HISTOGRAM_OBSERVE("serve.replan_seconds", watch.ElapsedSeconds());
+  MROAM_COUNTER_ADD("serve.batches", 1);
+  MROAM_COUNTER_ADD("serve.contracts_admitted",
+                    static_cast<int64_t>(batch.size()));
+  batches_flushed_.fetch_add(1, std::memory_order_relaxed);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    HttpResponse response;
+    response.body = std::move(outcomes[i]);
+    batch[i].response.set_value(std::move(response));
+  }
+}
+
+}  // namespace mroam::serve

@@ -1,0 +1,138 @@
+#ifndef MROAM_SERVE_MARKET_SERVER_H_
+#define MROAM_SERVE_MARKET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/daily_market.h"
+#include "serve/http.h"
+
+namespace mroam::serve {
+
+/// Configuration of the long-running market host.
+struct MarketServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (tests/benches read
+  /// it back via MarketServer::port()).
+  int port = 8080;
+  /// Connection-handling workers (reuses common::ThreadPool). Each worker
+  /// owns one request end to end, so this bounds in-flight requests.
+  int num_threads = 4;
+  /// Admission batching: a queued contract waits until either the batch
+  /// reaches `max_batch` arrivals or the oldest has waited
+  /// `max_batch_delay_seconds`, then the whole batch replans as one
+  /// market "day" (core::DailyMarket::AdvanceDay).
+  int max_batch = 64;
+  double max_batch_delay_seconds = 0.05;
+  /// Day-loop configuration: replan policy (either ReplanPolicy works),
+  /// solver, contract duration in days — where one "day" is one admission
+  /// batch flush.
+  core::DailyMarketConfig market;
+};
+
+/// The always-on host process the paper's operational setting assumes
+/// (§1): advertisers submit contracts over HTTP, an admission batcher
+/// groups arrivals, and every flush replans the market through
+/// core::DailyMarket. Endpoints:
+///
+///   POST   /contracts       {"demand": I_i, "payment": L_i} -> ticket;
+///                           the response is sent after the contract's
+///                           batch has been replanned, so it reports the
+///                           achieved influence and satisfaction.
+///   DELETE /contracts/<id>  withdraw a contract by ticket.
+///   GET    /assignment      active contracts with their billboard sets.
+///   GET    /report          last replan's regret breakdown + server stats.
+///   GET    /metrics         Prometheus exposition of the obs registry.
+///   GET    /healthz         liveness probe.
+///
+/// Stop() (also run by the destructor) performs a graceful drain: the
+/// listener closes first, in-flight requests finish, every queued
+/// arrival is flushed through a final replan, and MROAM_TRACE output is
+/// flushed to disk.
+class MarketServer {
+ public:
+  /// `index` must outlive the server.
+  MarketServer(const influence::InfluenceIndex* index,
+               MarketServerConfig config);
+  ~MarketServer();
+
+  MarketServer(const MarketServer&) = delete;
+  MarketServer& operator=(const MarketServer&) = delete;
+
+  /// Binds, listens, and starts the accept/flush/worker threads. Fails
+  /// with kIoError when the port cannot be bound.
+  common::Status Start();
+
+  /// Graceful shutdown (idempotent): stop accepting, drain in-flight
+  /// requests and queued batches, join all threads, flush traces.
+  void Stop();
+
+  /// The bound TCP port (after Start()).
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Batches flushed so far (tests/report).
+  int64_t batches_flushed() const {
+    return batches_flushed_.load(std::memory_order_relaxed);
+  }
+
+  /// Routes one parsed request to its handler — the testable core of the
+  /// server loop (no sockets involved).
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  /// One queued contract arrival waiting for its batch to flush.
+  struct PendingArrival {
+    market::Advertiser terms;
+    std::promise<HttpResponse> response;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void AcceptLoop();
+  void FlushLoop();
+  void HandleConnection(int fd);
+  /// Drains the current queue through one DailyMarket::AdvanceDay and
+  /// fulfils each arrival's promise. Called with batch_mu_ NOT held.
+  void FlushBatch();
+
+  HttpResponse HandleSubmit(const HttpRequest& request);
+  HttpResponse HandleCancel(const HttpRequest& request);
+  HttpResponse HandleAssignment();
+  HttpResponse HandleReport();
+  HttpResponse HandleHealth();
+
+  const influence::InfluenceIndex* index_;
+  MarketServerConfig config_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};  ///< flush immediately, no delay wait
+  std::atomic<bool> stopping_{false};  ///< flush loop may exit once empty
+  std::atomic<int64_t> batches_flushed_{0};
+
+  std::thread accept_thread_;
+  std::thread flush_thread_;
+  std::unique_ptr<common::ThreadPool> pool_;
+
+  std::mutex batch_mu_;  ///< guards queue_
+  std::condition_variable batch_cv_;
+  std::vector<PendingArrival> queue_;
+
+  std::mutex market_mu_;  ///< guards market_ and last_day_
+  core::DailyMarket market_;
+  core::DayResult last_day_;
+};
+
+}  // namespace mroam::serve
+
+#endif  // MROAM_SERVE_MARKET_SERVER_H_

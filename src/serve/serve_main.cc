@@ -1,0 +1,291 @@
+// mroam_serve: the long-running market host (README "Serving").
+//
+// Boot paths:
+//   --snapshot PATH   cold-start from a binary index snapshot: no CSV
+//                     parsing, no O(|U| x |T|) index build — the obs
+//                     report shows io.snapshot_load_seconds and no
+//                     influence.index_build_seconds entry.
+//   --gen nyc|sg      generate a synthetic city and build the index
+//                     in-process (slow path; useful with --save-snapshot
+//                     to produce the snapshot for later cold starts).
+//
+// The process serves until SIGTERM/SIGINT, then drains: in-flight
+// requests finish, queued arrivals are flushed through a final replan,
+// and MROAM_TRACE output (if enabled) reaches disk.
+
+#include <signal.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "gen/city_generators.h"
+#include "influence/influence_index.h"
+#include "io/snapshot_io.h"
+#include "obs/metrics.h"
+#include "serve/market_server.h"
+
+namespace {
+
+using mroam::common::ParseDouble;
+using mroam::common::ParseInt64;
+using mroam::common::Status;
+
+struct Options {
+  std::string snapshot;       // load path ("" = none)
+  std::string save_snapshot;  // save path ("" = none)
+  std::string gen;            // "nyc" | "sg" | ""
+  int32_t gen_billboards = 400;
+  int32_t gen_trajectories = 20000;
+  double lambda = 100.0;
+  uint64_t seed = 42;
+  int port = 8080;
+  int threads = 4;
+  int batch_max = 64;
+  double batch_delay_ms = 50.0;
+  std::string policy = "lock";  // "lock" | "reopt"
+  std::string method = "gglobal";
+  int32_t duration_days = 7;
+  bool once = false;  // start, print, stop — for smoke tests
+};
+
+void PrintUsage() {
+  std::fprintf(stderr, R"(usage: mroam_serve [options]
+
+boot (exactly one of):
+  --snapshot PATH        cold-start from a binary index snapshot
+  --gen nyc|sg           generate a synthetic city and build the index
+
+options:
+  --save-snapshot PATH   write the booted index as a snapshot, then serve
+  --billboards N         with --gen: billboard count (default 400)
+  --trajectories N       with --gen: trajectory count (default 20000)
+  --lambda METERS        with --gen: influence radius (default 100)
+  --seed N               with --gen: generator seed (default 42)
+  --port N               TCP port; 0 = ephemeral (default 8080)
+  --threads N            connection workers (default 4)
+  --batch-max N          admission batch size (default 64)
+  --batch-delay-ms F     max admission delay before flush (default 50)
+  --policy lock|reopt    replan policy (default lock)
+  --method gorder|gglobal|als|bls
+                         solver for --policy reopt (default gglobal)
+  --duration-days N      contract term in batch-days (default 7)
+  --once                 start, print the port, shut down (smoke test)
+)");
+}
+
+bool ParseFlag(int argc, char** argv, int* i, std::string_view name,
+               std::string* out) {
+  if (argv[*i] != std::string("--") + std::string(name)) return false;
+  if (*i + 1 >= argc) {
+    MROAM_LOG(Error) << "flag --" << name << " needs a value";
+    std::exit(2);
+  }
+  *out = argv[++*i];
+  return true;
+}
+
+Status ParseOptions(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (arg == "--once") {
+      options->once = true;
+    } else if (ParseFlag(argc, argv, &i, "snapshot", &options->snapshot) ||
+               ParseFlag(argc, argv, &i, "save-snapshot",
+                         &options->save_snapshot) ||
+               ParseFlag(argc, argv, &i, "gen", &options->gen) ||
+               ParseFlag(argc, argv, &i, "policy", &options->policy) ||
+               ParseFlag(argc, argv, &i, "method", &options->method)) {
+      // handled
+    } else if (ParseFlag(argc, argv, &i, "billboards", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->gen_billboards = static_cast<int32_t>(n);
+    } else if (ParseFlag(argc, argv, &i, "trajectories", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->gen_trajectories = static_cast<int32_t>(n);
+    } else if (ParseFlag(argc, argv, &i, "lambda", &value)) {
+      MROAM_ASSIGN_OR_RETURN(options->lambda, ParseDouble(value));
+    } else if (ParseFlag(argc, argv, &i, "seed", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->seed = static_cast<uint64_t>(n);
+    } else if (ParseFlag(argc, argv, &i, "port", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->port = static_cast<int>(n);
+    } else if (ParseFlag(argc, argv, &i, "threads", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->threads = static_cast<int>(n);
+    } else if (ParseFlag(argc, argv, &i, "batch-max", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->batch_max = static_cast<int>(n);
+    } else if (ParseFlag(argc, argv, &i, "batch-delay-ms", &value)) {
+      MROAM_ASSIGN_OR_RETURN(options->batch_delay_ms, ParseDouble(value));
+    } else if (ParseFlag(argc, argv, &i, "duration-days", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->duration_days = static_cast<int32_t>(n);
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  if (options->snapshot.empty() == options->gen.empty()) {
+    return Status::InvalidArgument(
+        "exactly one of --snapshot and --gen is required");
+  }
+  if (!options->gen.empty() && options->gen != "nyc" &&
+      options->gen != "sg") {
+    return Status::InvalidArgument("--gen must be nyc or sg, got '" +
+                                   options->gen + "'");
+  }
+  if (options->policy != "lock" && options->policy != "reopt") {
+    return Status::InvalidArgument("--policy must be lock or reopt, got '" +
+                                   options->policy + "'");
+  }
+  return Status::Ok();
+}
+
+mroam::common::Result<mroam::core::Method> MethodFromName(
+    const std::string& name) {
+  using mroam::core::Method;
+  if (name == "gorder") return Method::kGOrder;
+  if (name == "gglobal") return Method::kGGlobal;
+  if (name == "als") return Method::kAls;
+  if (name == "bls") return Method::kBls;
+  return Status::InvalidArgument("unknown --method '" + name + "'");
+}
+
+/// Boots the dataset + index per the chosen path. On the snapshot path no
+/// index build runs — that is the tentpole's cold-start guarantee.
+Status Boot(const Options& options, mroam::io::IndexSnapshot* booted) {
+  mroam::common::Stopwatch watch;
+  if (!options.snapshot.empty()) {
+    MROAM_ASSIGN_OR_RETURN(*booted,
+                           mroam::io::LoadIndexSnapshot(options.snapshot));
+    MROAM_LOG(Info) << "cold start from " << options.snapshot << ": "
+                    << booted->index.num_billboards() << " billboards, "
+                    << booted->index.num_trajectories()
+                    << " trajectories, supply "
+                    << booted->index.TotalSupply() << " in "
+                    << watch.ElapsedSeconds() << "s (no index build)";
+    return Status::Ok();
+  }
+
+  mroam::common::Rng rng(options.seed);
+  if (options.gen == "nyc") {
+    mroam::gen::NycLikeConfig config;
+    config.num_billboards = options.gen_billboards;
+    config.num_trajectories = options.gen_trajectories;
+    booted->dataset = mroam::gen::GenerateNycLike(config, &rng);
+  } else {
+    mroam::gen::SgLikeConfig config;
+    config.num_billboards = options.gen_billboards;
+    config.num_trajectories = options.gen_trajectories;
+    booted->dataset = mroam::gen::GenerateSgLike(config, &rng);
+  }
+  booted->index = mroam::influence::InfluenceIndex::Build(booted->dataset,
+                                                          options.lambda);
+  MROAM_LOG(Info) << "generated " << booted->dataset.name << " and built "
+                  << "the index in " << watch.ElapsedSeconds() << "s";
+  return Status::Ok();
+}
+
+int Run(const Options& options) {
+  mroam::io::IndexSnapshot booted;
+  Status status = Boot(options, &booted);
+  if (!status.ok()) {
+    MROAM_LOG(Error) << "boot failed: " << status.ToString();
+    return 1;
+  }
+
+  if (!options.save_snapshot.empty()) {
+    status = mroam::io::SaveIndexSnapshot(options.save_snapshot,
+                                          booted.dataset, booted.index);
+    if (!status.ok()) {
+      MROAM_LOG(Error) << "snapshot save failed: " << status.ToString();
+      return 1;
+    }
+  }
+
+  mroam::serve::MarketServerConfig config;
+  config.port = options.port;
+  config.num_threads = options.threads;
+  config.max_batch = options.batch_max;
+  config.max_batch_delay_seconds = options.batch_delay_ms / 1000.0;
+  config.market.contract_duration_days = options.duration_days;
+  config.market.policy = options.policy == "reopt"
+                             ? mroam::core::ReplanPolicy::kReoptimizeAll
+                             : mroam::core::ReplanPolicy::kLockExisting;
+  auto method = MethodFromName(options.method);
+  if (!method.ok()) {
+    MROAM_LOG(Error) << method.status().ToString();
+    return 2;
+  }
+  config.market.solver.method = *method;
+  config.market.solver.seed = options.seed;
+
+  mroam::serve::MarketServer server(&booted.index, config);
+  status = server.Start();
+  if (!status.ok()) {
+    MROAM_LOG(Error) << "server start failed: " << status.ToString();
+    return 1;
+  }
+  // The line tools grep for ("listening on ...").
+  std::printf("mroam_serve listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  if (!options.once) {
+    // Block signals in every thread the server spawns from here on would
+    // inherit the mask anyway; we blocked before Start() in main(), so a
+    // plain sigwait here owns delivery of SIGTERM/SIGINT.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGTERM);
+    sigaddset(&set, SIGINT);
+    int sig = 0;
+    sigwait(&set, &sig);
+    MROAM_LOG(Info) << "received " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                    << ", draining";
+  }
+
+  server.Stop();
+  MROAM_LOG(Info) << "drained after " << server.batches_flushed()
+                  << " admission batches; metrics snapshot:\n"
+                  << mroam::obs::MetricsRegistry::Global()
+                         .Snapshot()
+                         .ToPrometheus();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Block SIGTERM/SIGINT before any thread exists so every thread
+  // inherits the mask and sigwait in Run() is the sole consumer. SIGPIPE
+  // is ignored outright: a client hanging up mid-response must not kill
+  // the server (WriteAll also passes MSG_NOSIGNAL, this is belt and
+  // braces for the non-send paths).
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  Options options;
+  Status status = ParseOptions(argc, argv, &options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "mroam_serve: %s\n",
+                 std::string(status.message()).c_str());
+    PrintUsage();
+    return 2;
+  }
+  return Run(options);
+}

@@ -91,6 +91,24 @@ TEST_F(DatasetIoTest, FullDatasetRoundTrip) {
   EXPECT_EQ(model::ValidateDataset(*back), "");
 }
 
+TEST_F(DatasetIoTest, SaveCreatesMissingDirectoriesRecursively) {
+  model::Dataset d = SampleDataset();
+  std::string deep = PathFor("brand/new/deep/dir");
+  ASSERT_FALSE(std::filesystem::exists(deep));
+  ASSERT_TRUE(SaveDataset(deep, d).ok());
+  auto back = LoadDataset(deep, "deep");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->billboards.size(), 3u);
+}
+
+TEST_F(DatasetIoTest, SaveReportsIoErrorWhenDirectoryIsAFile) {
+  model::Dataset d = SampleDataset();
+  WriteFile("blocker", "i am a file, not a directory");
+  common::Status status = SaveDataset(PathFor("blocker/sub"), d);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kIoError);
+}
+
 TEST_F(DatasetIoTest, LoadAcceptsShuffledIds) {
   WriteFile("b.csv", "2,20,0\n0,0,0\n1,10,0\n");
   auto back = LoadBillboardsCsv(PathFor("b.csv"));

@@ -1,0 +1,358 @@
+#include "io/snapshot_io.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/solver.h"
+#include "gen/city_generators.h"
+#include "test_util.h"
+
+namespace mroam::io {
+namespace {
+
+using common::StatusCode;
+
+class SnapshotIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mroam_snapshot_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  /// A small generated city: nontrivial doubles (times, jittered
+  /// coordinates) so bit-exactness is actually exercised.
+  IndexSnapshot MakeCity() {
+    IndexSnapshot made;
+    gen::NycLikeConfig config;
+    config.num_billboards = 80;
+    config.num_trajectories = 1500;
+    common::Rng rng(7);
+    made.dataset = gen::GenerateNycLike(config, &rng);
+    made.index = influence::InfluenceIndex::Build(made.dataset, 150.0);
+    return made;
+  }
+
+  std::string SavedCityPath() {
+    IndexSnapshot city = MakeCity();
+    std::string path = PathFor("city.snap");
+    EXPECT_TRUE(SaveIndexSnapshot(path, city.dataset, city.index).ok());
+    return path;
+  }
+
+  static std::string ReadBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void WriteBytes(const std::string& path, const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  static uint32_t ReadU32(const std::string& data, size_t offset) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data[offset + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  static uint64_t ReadU64(const std::string& data, size_t offset) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data[offset + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  static void StoreU32(std::string* data, size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      (*data)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+    }
+  }
+
+  struct SectionSpan {
+    size_t payload_offset = 0;
+    size_t payload_length = 0;
+    size_t crc_offset = 0;
+  };
+
+  /// Walks the section framing to locate one section's payload — the
+  /// format knowledge the tamper tests rely on lives in the public
+  /// constants, not in copied magic numbers.
+  static SectionSpan FindSection(const std::string& data,
+                                 SnapshotSection wanted) {
+    size_t offset = kSnapshotFileHeaderBytes;
+    while (offset + kSnapshotSectionHeaderBytes <= data.size()) {
+      uint32_t id = ReadU32(data, offset);
+      uint64_t length = ReadU64(data, offset + 4);
+      SectionSpan span;
+      span.payload_offset = offset + kSnapshotSectionHeaderBytes;
+      span.payload_length = static_cast<size_t>(length);
+      span.crc_offset = span.payload_offset + span.payload_length;
+      if (id == static_cast<uint32_t>(wanted)) return span;
+      offset = span.crc_offset + 4;
+    }
+    ADD_FAILURE() << "section " << static_cast<uint32_t>(wanted)
+                  << " not found";
+    return {};
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SnapshotIoTest, RoundTripIsBitExact) {
+  IndexSnapshot city = MakeCity();
+  std::string path = PathFor("roundtrip.snap");
+  ASSERT_TRUE(SaveIndexSnapshot(path, city.dataset, city.index).ok());
+
+  auto loaded = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->dataset.name, city.dataset.name);
+  ASSERT_EQ(loaded->dataset.billboards.size(),
+            city.dataset.billboards.size());
+  for (size_t i = 0; i < city.dataset.billboards.size(); ++i) {
+    const model::Billboard& a = city.dataset.billboards[i];
+    const model::Billboard& b = loaded->dataset.billboards[i];
+    EXPECT_EQ(b.id, a.id);
+    // Bit-exact, not approximately-equal: the format stores IEEE-754
+    // bit patterns.
+    EXPECT_EQ(std::bit_cast<uint64_t>(b.location.x),
+              std::bit_cast<uint64_t>(a.location.x));
+    EXPECT_EQ(std::bit_cast<uint64_t>(b.location.y),
+              std::bit_cast<uint64_t>(a.location.y));
+    EXPECT_EQ(std::bit_cast<uint64_t>(b.cost),
+              std::bit_cast<uint64_t>(a.cost));
+  }
+  ASSERT_EQ(loaded->dataset.trajectories.size(),
+            city.dataset.trajectories.size());
+  for (size_t t = 0; t < city.dataset.trajectories.size(); ++t) {
+    const model::Trajectory& a = city.dataset.trajectories[t];
+    const model::Trajectory& b = loaded->dataset.trajectories[t];
+    EXPECT_EQ(b.id, a.id);
+    EXPECT_EQ(std::bit_cast<uint64_t>(b.start_time_seconds),
+              std::bit_cast<uint64_t>(a.start_time_seconds));
+    EXPECT_EQ(std::bit_cast<uint64_t>(b.travel_time_seconds),
+              std::bit_cast<uint64_t>(a.travel_time_seconds));
+    ASSERT_EQ(b.points.size(), a.points.size());
+    for (size_t k = 0; k < a.points.size(); ++k) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(b.points[k].x),
+                std::bit_cast<uint64_t>(a.points[k].x));
+      EXPECT_EQ(std::bit_cast<uint64_t>(b.points[k].y),
+                std::bit_cast<uint64_t>(a.points[k].y));
+    }
+  }
+
+  EXPECT_EQ(loaded->index.num_billboards(), city.index.num_billboards());
+  EXPECT_EQ(loaded->index.num_trajectories(),
+            city.index.num_trajectories());
+  EXPECT_DOUBLE_EQ(loaded->index.lambda(), city.index.lambda());
+  EXPECT_EQ(loaded->index.TotalSupply(), city.index.TotalSupply());
+  EXPECT_EQ(loaded->index.covered(), city.index.covered());
+  EXPECT_EQ(loaded->index.covering(), city.index.covering());
+}
+
+TEST_F(SnapshotIoTest, LoadedIndexReproducesSolverOutputExactly) {
+  IndexSnapshot city = MakeCity();
+  std::string path = PathFor("solver.snap");
+  ASSERT_TRUE(SaveIndexSnapshot(path, city.dataset, city.index).ok());
+  auto loaded = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  std::vector<market::Advertiser> advertisers;
+  for (int i = 0; i < 12; ++i) {
+    advertisers.push_back(
+        testing::Adv(i, 40 + 17 * i, 5.0 + 1.5 * static_cast<double>(i)));
+  }
+  core::SolverConfig config;
+  config.method = core::Method::kBls;
+  config.local_search.restarts = 2;
+  config.seed = 99;
+
+  core::SolveResult original = Solve(city.index, advertisers, config);
+  core::SolveResult replayed = Solve(loaded->index, advertisers, config);
+  EXPECT_EQ(replayed.sets, original.sets);
+  EXPECT_DOUBLE_EQ(replayed.breakdown.total, original.breakdown.total);
+}
+
+TEST_F(SnapshotIoTest, SaveRefusesEmptyDataset) {
+  model::Dataset empty;
+  influence::InfluenceIndex index;
+  common::Status status =
+      SaveIndexSnapshot(PathFor("empty.snap"), empty, index);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotIoTest, SaveRefusesMismatchedIndex) {
+  IndexSnapshot city = MakeCity();
+  model::Dataset other = testing::DatasetFromIncidence({{0}, {1}}, 2);
+  common::Status status =
+      SaveIndexSnapshot(PathFor("mismatch.snap"), other, city.index);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotIoTest, SaveCreatesParentDirectories) {
+  IndexSnapshot city = MakeCity();
+  std::string path = PathFor("deep/nested/dirs/city.snap");
+  ASSERT_TRUE(SaveIndexSnapshot(path, city.dataset, city.index).ok());
+  EXPECT_TRUE(LoadIndexSnapshot(path).ok());
+}
+
+TEST_F(SnapshotIoTest, LoadMissingFileIsNotFound) {
+  auto loaded = LoadIndexSnapshot(PathFor("nope.snap"));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotIoTest, LoadRejectsForeignFile) {
+  std::string path = PathFor("foreign.snap");
+  WriteBytes(path, "id,x,y\n0,1,2\n this is clearly a CSV not a snapshot");
+  auto loaded = LoadIndexSnapshot(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("not a mroam index snapshot"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotIoTest, LoadRejectsUnsupportedVersion) {
+  std::string path = SavedCityPath();
+  std::string data = ReadBytes(path);
+  // The version lives right after the magic, uncovered by any CRC.
+  StoreU32(&data, sizeof(kSnapshotMagic), kSnapshotVersion + 1);
+  WriteBytes(path, data);
+  auto loaded = LoadIndexSnapshot(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("unsupported snapshot version"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotIoTest, LoadRejectsTruncationAnywhere) {
+  std::string path = SavedCityPath();
+  const std::string data = ReadBytes(path);
+  // Cut the file at a spread of prefix lengths: inside the file header,
+  // inside a section header, mid-payload, and just before the end
+  // marker. Every cut must surface as a typed error, never a crash.
+  const size_t cuts[] = {0,
+                         4,
+                         kSnapshotFileHeaderBytes - 1,
+                         kSnapshotFileHeaderBytes + 5,
+                         data.size() / 3,
+                         data.size() / 2,
+                         data.size() - 5,
+                         data.size() - 1};
+  for (size_t cut : cuts) {
+    WriteBytes(path, data.substr(0, cut));
+    auto loaded = LoadIndexSnapshot(path);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut << " loaded fine";
+    EXPECT_TRUE(loaded.status().code() == StatusCode::kDataLoss ||
+                loaded.status().code() == StatusCode::kInvalidArgument)
+        << "cut at " << cut << ": " << loaded.status().ToString();
+  }
+}
+
+TEST_F(SnapshotIoTest, LoadRejectsFlippedPayloadByte) {
+  std::string path = SavedCityPath();
+  std::string data = ReadBytes(path);
+  SectionSpan span = FindSection(data, SnapshotSection::kTrajectories);
+  ASSERT_GT(span.payload_length, 10u);
+  data[span.payload_offset + span.payload_length / 2] ^= 0x40;
+  WriteBytes(path, data);
+  auto loaded = LoadIndexSnapshot(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("CRC mismatch"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotIoTest, LoadRejectsMismatchedCoveringSection) {
+  std::string path = SavedCityPath();
+  std::string data = ReadBytes(path);
+  // Forge the reverse index: truncate the first non-empty covering list
+  // by one entry (keeping the encoding well-formed) and re-sign the CRC.
+  // The framing is now pristine, so only the cross-check against the
+  // forward lists can catch it.
+  SectionSpan span = FindSection(data, SnapshotSection::kCovering);
+  size_t offset = span.payload_offset + 4;  // skip the list count
+  const size_t payload_end = span.payload_offset + span.payload_length;
+  bool forged = false;
+  while (offset + 4 <= payload_end) {
+    uint32_t len = ReadU32(data, offset);
+    if (len > 0) {
+      StoreU32(&data, offset, len - 1);
+      data.erase(offset + 4, 4);  // drop the list's first id
+      forged = true;
+      break;
+    }
+    offset += 4;
+  }
+  ASSERT_TRUE(forged);
+  // Re-frame: the payload shrank by 4 bytes and needs a fresh CRC.
+  size_t length_offset = span.payload_offset - 8;
+  uint64_t new_length = span.payload_length - 4;
+  for (int i = 0; i < 8; ++i) {
+    data[length_offset + i] =
+        static_cast<char>((new_length >> (8 * i)) & 0xFFu);
+  }
+  std::string_view payload(data.data() + span.payload_offset,
+                           static_cast<size_t>(new_length));
+  StoreU32(&data, span.payload_offset + static_cast<size_t>(new_length),
+           common::Crc32(payload));
+  WriteBytes(path, data);
+
+  auto loaded = LoadIndexSnapshot(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("covering section"),
+            std::string::npos);
+}
+
+using SnapshotIoDeathTest = SnapshotIoTest;
+
+TEST_F(SnapshotIoDeathTest, ForgedIncidenceListAborts) {
+  std::string path = SavedCityPath();
+  std::string data = ReadBytes(path);
+  // Corrupt an incidence id to an out-of-range value and re-sign the
+  // CRC: the framing layer now passes, and the forgery must die on
+  // FromIncidence's MROAM_CHECK preconditions instead of serving a
+  // corrupt market.
+  SectionSpan span = FindSection(data, SnapshotSection::kIncidence);
+  size_t offset = span.payload_offset + 4;
+  const size_t payload_end = span.payload_offset + span.payload_length;
+  bool forged = false;
+  while (offset + 4 <= payload_end) {
+    uint32_t len = ReadU32(data, offset);
+    offset += 4;
+    if (len > 0) {
+      StoreU32(&data, offset, 0x7FFFFFF0u);  // way out of range
+      forged = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(forged);
+  std::string_view payload(data.data() + span.payload_offset,
+                           span.payload_length);
+  StoreU32(&data, span.crc_offset, common::Crc32(payload));
+  WriteBytes(path, data);
+
+  EXPECT_DEATH(LoadIndexSnapshot(path).ok(), "Check failed");
+}
+
+}  // namespace
+}  // namespace mroam::io

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Gate on algorithmic-work regressions in the greedy micro-benchmarks.
+
+Compares a google-benchmark JSON file (BENCH_micro_algorithms.json,
+produced by the `micro_algorithms_bench` ctest entry) against a committed
+baseline of per-iteration work counters. The default counter,
+`greedy.deltas`, counts marginal-gain recomputations: it is seeded and
+workload-deterministic, so any increase beyond the tolerance means the
+lazy selection path got algorithmically worse (e.g. cache invalidation
+broke), not that the machine was noisy.
+
+Exit codes: 0 ok, 1 regression or malformed input, 2 usage error.
+
+Refreshing the baseline after an intentional change:
+    python3 tools/check_bench_regression.py \
+        --current build/bench/BENCH_micro_algorithms.json \
+        --baseline bench/baselines/micro_algorithms_counters.json \
+        --update
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_counters(path, counter):
+    """Returns {benchmark name: counter value} from google-benchmark JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench_regression: cannot read {path}: {err}")
+        sys.exit(1)
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        print(f"check_bench_regression: {path} has no 'benchmarks' array")
+        sys.exit(1)
+    counters = {}
+    for entry in benchmarks:
+        name = entry.get("name")
+        if name is not None and counter in entry:
+            counters[name] = float(entry[counter])
+    return counters
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when a benchmark work counter regresses past "
+        "its committed baseline.")
+    parser.add_argument("--current", required=True,
+                        help="google-benchmark JSON produced by this run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON "
+                        "({name: value} map, or --update to write it)")
+    parser.add_argument("--counter", default="greedy.deltas",
+                        help="counter field to compare "
+                        "(default: greedy.deltas)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative increase (default: 0.10)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from --current instead "
+                        "of checking")
+    args = parser.parse_args()
+
+    current = load_counters(args.current, args.counter)
+    if not current:
+        print(f"check_bench_regression: no '{args.counter}' counters in "
+              f"{args.current}")
+        sys.exit(1)
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump({"counter": args.counter, "values": current}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"check_bench_regression: baseline {args.baseline} updated "
+              f"with {len(current)} entries")
+        return
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline_doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench_regression: cannot read {args.baseline}: {err}")
+        sys.exit(1)
+    if baseline_doc.get("counter") != args.counter:
+        print(f"check_bench_regression: baseline tracks "
+              f"'{baseline_doc.get('counter')}', not '{args.counter}'")
+        sys.exit(1)
+    baseline = {k: float(v) for k, v in baseline_doc["values"].items()}
+
+    failures = []
+    for name, expected in sorted(baseline.items()):
+        actual = current.get(name)
+        if actual is None:
+            failures.append(f"{name}: missing from {args.current}")
+            continue
+        allowed = expected * (1.0 + args.tolerance)
+        verdict = "ok"
+        if actual > allowed:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {args.counter} {actual:.0f} exceeds baseline "
+                f"{expected:.0f} by more than {args.tolerance:.0%}")
+        elif expected > 0 and actual < expected * (1.0 - args.tolerance):
+            verdict = "improved (consider --update)"
+        print(f"  {name}: {actual:.0f} vs baseline {expected:.0f} "
+              f"[{verdict}]")
+
+    if failures:
+        print("check_bench_regression: FAILED")
+        for failure in failures:
+            print(f"  {failure}")
+        sys.exit(1)
+    print(f"check_bench_regression: {len(baseline)} benchmarks within "
+          f"{args.tolerance:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()
