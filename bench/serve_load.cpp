@@ -7,7 +7,15 @@
 // Writes BENCH_serve.json: submission latency percentiles (p50/p95/p99),
 // throughput, and batch statistics.
 //
-//   serve_load [--submissions N] [--clients N] [--policy lock|reopt]
+// Also runs a deterministic in-process replan comparison (no sockets, no
+// timing-dependent batching): the same churn schedule driven through a
+// kReoptimizeAll and a kIncremental DailyMarket, reporting seconds/day,
+// final regret, fallback count, and boards touched for both — the
+// apples-to-apples numbers behind the incremental replanner's acceptance
+// criterion.
+//
+//   serve_load [--submissions N] [--clients N]
+//              [--policy lock|reopt|incremental]
 //              [--batch-max N] [--batch-delay-ms F]
 #include <algorithm>
 #include <atomic>
@@ -24,6 +32,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "core/daily_market.h"
 #include "gen/city_generators.h"
 #include "influence/influence_index.h"
 #include "market/workload.h"
@@ -48,6 +57,52 @@ double Percentile(std::vector<double> sorted, double q) {
   return sorted[rank];
 }
 
+struct ReplanCompareOutcome {
+  double seconds_per_day = 0.0;
+  double boards_touched_per_day = 0.0;
+  double final_regret = 0.0;
+  int fallbacks = 0;
+};
+
+/// Drives one DailyMarket through a deterministic churn schedule: each day
+/// admits a fixed slice of `arrivals` and cancels one early ticket, so the
+/// two policies see byte-identical inputs and the timing difference is
+/// purely the replanner's.
+ReplanCompareOutcome DriveReplanSchedule(
+    const influence::InfluenceIndex& index, core::ReplanPolicy policy,
+    const std::vector<market::Advertiser>& arrivals, int days,
+    int per_day) {
+  core::DailyMarketConfig config;
+  // Full solves run the quality solver a production host would replan
+  // with (kGGlobal would understate what the warm start saves).
+  config.solver.method = core::Method::kBls;
+  config.contract_duration_days = 10;
+  config.policy = policy;
+  core::DailyMarket market(&index, config);
+
+  ReplanCompareOutcome outcome;
+  size_t next = 0;
+  for (int day = 1; day <= days; ++day) {
+    if (day >= 4 && day % 3 == 1) {
+      // Cancel an early still-active ticket; a miss is a harmless no-op.
+      market.Cancel(static_cast<int64_t>(day) - 3);
+    }
+    std::vector<market::Advertiser> batch;
+    for (int k = 0; k < per_day && next < arrivals.size(); ++k) {
+      batch.push_back(arrivals[next++]);
+    }
+    core::DayResult result = market.AdvanceDay(std::move(batch));
+    outcome.seconds_per_day += result.seconds;
+    outcome.boards_touched_per_day +=
+        static_cast<double>(result.boards_touched);
+    outcome.final_regret = result.breakdown.total;
+    if (result.full_solve_fallback) ++outcome.fallbacks;
+  }
+  outcome.seconds_per_day /= static_cast<double>(days);
+  outcome.boards_touched_per_day /= static_cast<double>(days);
+  return outcome;
+}
+
 int Run(const LoadOptions& options) {
   // A mid-size city: big enough that replanning does real work, small
   // enough that the bench finishes on a laptop budget.
@@ -64,9 +119,13 @@ int Run(const LoadOptions& options) {
   config.num_threads = options.clients;
   config.max_batch = options.batch_max;
   config.max_batch_delay_seconds = options.batch_delay_ms / 1000.0;
-  config.market.policy = options.policy == "reopt"
-                             ? core::ReplanPolicy::kReoptimizeAll
-                             : core::ReplanPolicy::kLockExisting;
+  if (options.policy == "reopt") {
+    config.market.policy = core::ReplanPolicy::kReoptimizeAll;
+  } else if (options.policy == "incremental") {
+    config.market.policy = core::ReplanPolicy::kIncremental;
+  } else {
+    config.market.policy = core::ReplanPolicy::kLockExisting;
+  }
   config.market.solver.method = core::Method::kGGlobal;
   // Contracts churn: a short term keeps the active set (and thus replan
   // cost) bounded as thousands of submissions stream through.
@@ -161,6 +220,58 @@ int Run(const LoadOptions& options) {
   report.AddNumber("latency_ms_p99", Percentile(all, 0.99));
   report.AddNumber("latency_ms_max", all.empty() ? 0.0 : all.back());
 
+  // Deterministic replan comparison over a shared churn schedule.
+  const int compare_days = 30;
+  const int compare_per_day = 4;
+  common::Rng compare_rng(23);
+  market::WorkloadConfig compare_workload;
+  compare_workload.avg_individual_demand_ratio = 0.01;
+  // |A| = alpha / p: sized to cover the whole schedule.
+  compare_workload.alpha =
+      compare_workload.avg_individual_demand_ratio *
+      static_cast<double>(compare_days * compare_per_day);
+  auto compare_arrivals = market::GenerateAdvertisers(
+      index.TotalSupply(), compare_workload, &compare_rng);
+  if (!compare_arrivals.ok()) {
+    MROAM_LOG(Error) << compare_arrivals.status().ToString();
+    return 1;
+  }
+  ReplanCompareOutcome full = DriveReplanSchedule(
+      index, core::ReplanPolicy::kReoptimizeAll, *compare_arrivals,
+      compare_days, compare_per_day);
+  ReplanCompareOutcome incremental = DriveReplanSchedule(
+      index, core::ReplanPolicy::kIncremental, *compare_arrivals,
+      compare_days, compare_per_day);
+  report.AddNumber("replan_compare_days", compare_days);
+  report.AddNumber("replan_compare_full_seconds_per_day",
+                   full.seconds_per_day);
+  report.AddNumber("replan_compare_incremental_seconds_per_day",
+                   incremental.seconds_per_day);
+  report.AddNumber("replan_compare_speedup",
+                   incremental.seconds_per_day > 0.0
+                       ? full.seconds_per_day / incremental.seconds_per_day
+                       : 0.0);
+  report.AddNumber("replan_compare_full_final_regret", full.final_regret);
+  report.AddNumber("replan_compare_incremental_final_regret",
+                   incremental.final_regret);
+  report.AddNumber("replan_compare_incremental_fallbacks",
+                   incremental.fallbacks);
+  report.AddNumber("replan_compare_full_boards_touched_per_day",
+                   full.boards_touched_per_day);
+  report.AddNumber("replan_compare_incremental_boards_touched_per_day",
+                   incremental.boards_touched_per_day);
+  std::printf(
+      "replan_compare: full %.4fs/day (%.1f boards), incremental %.4fs/day "
+      "(%.1f boards, %d fallbacks), speedup %.2fx, final regret "
+      "%.1f vs %.1f\n",
+      full.seconds_per_day, full.boards_touched_per_day,
+      incremental.seconds_per_day, incremental.boards_touched_per_day,
+      incremental.fallbacks,
+      incremental.seconds_per_day > 0.0
+          ? full.seconds_per_day / incremental.seconds_per_day
+          : 0.0,
+      full.final_regret, incremental.final_regret);
+
   std::printf(
       "serve_load: %d ok / %d failed in %.2fs (%.0f/s), "
       "p50 %.2fms p95 %.2fms p99 %.2fms over %lld batches\n",
@@ -209,7 +320,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: serve_load [--submissions N] [--clients N] "
-                   "[--policy lock|reopt] [--batch-max N] "
+                   "[--policy lock|reopt|incremental] [--batch-max N] "
                    "[--batch-delay-ms F]\n");
       return 2;
     }

@@ -209,6 +209,37 @@ void Assignment::CopyDeploymentFrom(const Assignment& other) {
   ++free_add_epoch_;
 }
 
+void Assignment::RestoreDeployment(
+    const std::vector<std::vector<BillboardId>>& sets) {
+  MROAM_CHECK(sets.size() <= advertisers_.size())
+      << "restore has " << sets.size() << " sets for "
+      << advertisers_.size() << " advertisers";
+  for (size_t a = 0; a < sets.size(); ++a) {
+    for (BillboardId o : sets[a]) {
+      Assign(o, static_cast<AdvertiserId>(a));
+    }
+  }
+}
+
+int64_t CountDeploymentDiff(
+    const std::vector<std::vector<BillboardId>>& before,
+    const std::vector<std::vector<BillboardId>>& after,
+    int32_t num_billboards) {
+  std::vector<AdvertiserId> owner_before(num_billboards, kNoAdvertiser);
+  std::vector<AdvertiserId> owner_after(num_billboards, kNoAdvertiser);
+  for (size_t a = 0; a < before.size(); ++a) {
+    for (BillboardId o : before[a]) owner_before[o] = static_cast<AdvertiserId>(a);
+  }
+  for (size_t a = 0; a < after.size(); ++a) {
+    for (BillboardId o : after[a]) owner_after[o] = static_cast<AdvertiserId>(a);
+  }
+  int64_t touched = 0;
+  for (int32_t o = 0; o < num_billboards; ++o) {
+    if (owner_before[o] != owner_after[o]) ++touched;
+  }
+  return touched;
+}
+
 void Assignment::VerifyInvariants() const {
   // Ownership structure.
   std::vector<int> seen(index_->num_billboards(), 0);

@@ -169,6 +169,15 @@ class Assignment {
   /// required) — cheaper to reason about than operator= for solver code.
   void CopyDeploymentFrom(const Assignment& other);
 
+  /// Warm-starts this (fresh) assignment from an incumbent deployment:
+  /// advertiser i receives sets[i] (entries past the advertiser count are
+  /// not allowed; a shorter vector leaves the tail unassigned). Every
+  /// listed billboard must currently be free, so the sets must be
+  /// disjoint. The day-by-day market loop uses this to restore yesterday's
+  /// plan over today's contract roster before replanning incrementally.
+  void RestoreDeployment(
+      const std::vector<std::vector<model::BillboardId>>& sets);
+
   // --- Debugging -----------------------------------------------------------
 
   /// Recomputes all influences and regrets from scratch and MROAM_CHECKs
@@ -192,6 +201,17 @@ class Assignment {
   double total_regret_ = 0.0;
   uint64_t free_add_epoch_ = 1;  // 0 reserved for "never observed"
 };
+
+/// Number of billboards whose owner differs between two deployments over
+/// the same billboard universe (`before` / `after` are per-advertiser
+/// billboard sets; a board absent from every set is free). Advertisers are
+/// matched by position. This is the "boards touched" measure the
+/// incremental replanner reports per day: 0 means the plan survived the
+/// churn untouched.
+int64_t CountDeploymentDiff(
+    const std::vector<std::vector<model::BillboardId>>& before,
+    const std::vector<std::vector<model::BillboardId>>& after,
+    int32_t num_billboards);
 
 }  // namespace mroam::core
 

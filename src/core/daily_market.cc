@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/greedy.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace mroam::core {
@@ -14,6 +16,22 @@ const char* ReplanPolicyName(ReplanPolicy policy) {
       return "reoptimize-all";
     case ReplanPolicy::kLockExisting:
       return "lock-existing";
+    case ReplanPolicy::kIncremental:
+      return "incremental";
+  }
+  return "?";
+}
+
+const char* ReplanModeName(ReplanMode mode) {
+  switch (mode) {
+    case ReplanMode::kNone:
+      return "none";
+    case ReplanMode::kFull:
+      return "full";
+    case ReplanMode::kIncremental:
+      return "incremental";
+    case ReplanMode::kGreedy:
+      return "greedy";
   }
   return "?";
 }
@@ -28,23 +46,166 @@ void DailyMarket::RefreshCaches() {
   terms_cache_.clear();
   sets_cache_.clear();
   tickets_cache_.clear();
+  ticket_index_.clear();
   for (size_t i = 0; i < contracts_.size(); ++i) {
     contracts_[i].terms.id = static_cast<market::AdvertiserId>(i);
     terms_cache_.push_back(contracts_[i].terms);
     sets_cache_.push_back(contracts_[i].billboards);
     tickets_cache_.push_back(contracts_[i].ticket);
+    ticket_index_[contracts_[i].ticket] = i;
   }
 }
 
 bool DailyMarket::Cancel(int64_t ticket) {
+  auto it = ticket_index_.find(ticket);
+  if (it == ticket_index_.end()) return false;
+  const size_t i = it->second;
+  // The withdrawn inventory joins the churn pool: the next incremental
+  // replan re-optimizes its blast radius.
+  churn_released_.insert(churn_released_.end(),
+                         contracts_[i].billboards.begin(),
+                         contracts_[i].billboards.end());
+  ++cancelled_since_last_day_;
+  ticket_index_.erase(it);
+  contracts_.erase(contracts_.begin() + static_cast<ptrdiff_t>(i));
+  terms_cache_.erase(terms_cache_.begin() + static_cast<ptrdiff_t>(i));
+  sets_cache_.erase(sets_cache_.begin() + static_cast<ptrdiff_t>(i));
+  tickets_cache_.erase(tickets_cache_.begin() + static_cast<ptrdiff_t>(i));
+  // Re-number the shifted tail: dense ids and map entries move down one.
+  for (size_t j = i; j < contracts_.size(); ++j) {
+    contracts_[j].terms.id = static_cast<market::AdvertiserId>(j);
+    terms_cache_[j].id = static_cast<market::AdvertiserId>(j);
+    ticket_index_[contracts_[j].ticket] = j;
+  }
+  return true;
+}
+
+void DailyMarket::ReplanFull(DayResult* result) {
+  SolveResult solve = Solve(*index_, terms_cache_, config_.solver);
   for (size_t i = 0; i < contracts_.size(); ++i) {
-    if (contracts_[i].ticket == ticket) {
-      contracts_.erase(contracts_.begin() + static_cast<ptrdiff_t>(i));
-      RefreshCaches();
-      return true;
+    contracts_[i].billboards = solve.sets[i];
+  }
+  result->breakdown = solve.breakdown;
+  result->report = std::move(solve.report);
+  result->mode = ReplanMode::kFull;
+  last_full_regret_ = solve.breakdown.total;
+  have_full_solve_ = true;
+}
+
+void DailyMarket::ReplanIncremental(
+    size_t first_new, const std::vector<model::BillboardId>& churn,
+    DayResult* result) {
+  MROAM_TRACE_SPAN("market.replan_incremental");
+  // Without a drift anchor there is nothing to warm-start against; a
+  // negative drift bound is the documented "always do the full solve"
+  // switch. Both paths run the same Solve as kReoptimizeAll.
+  if (!have_full_solve_ || config_.incremental.max_regret_drift < 0.0) {
+    result->full_solve_fallback = true;
+    MROAM_COUNTER_ADD("market.replan_full_fallback", 1);
+    ReplanFull(result);
+    return;
+  }
+
+  // Restore yesterday's deployment over today's roster (survivors keep
+  // their boards; arrivals start empty).
+  Assignment state(index_, terms_cache_, config_.solver.regret,
+                   config_.solver.impression_threshold);
+  state.RestoreDeployment(sets_cache_);
+
+  // Blast radius of the churn: every billboard sharing a trajectory with
+  // the released inventory can now gain or lose marginal value.
+  std::vector<bool> radius(static_cast<size_t>(index_->num_billboards()),
+                           false);
+  for (model::BillboardId o : churn) {
+    radius[static_cast<size_t>(o)] = true;
+    for (model::TrajectoryId t : index_->CoveredBy(o)) {
+      for (model::BillboardId b : index_->CoveringOf(t)) {
+        radius[static_cast<size_t>(b)] = true;
+      }
     }
   }
-  return false;
+
+  // Affected advertisers: today's arrivals, anyone still unsatisfied
+  // (freed churn inventory may serve them), and the owners of
+  // blast-radius billboards.
+  const int32_t n = state.num_advertisers();
+  std::vector<bool> affected(static_cast<size_t>(n), false);
+  for (size_t a = first_new; a < static_cast<size_t>(n); ++a) {
+    affected[a] = true;
+  }
+  for (int32_t a = 0; a < n; ++a) {
+    if (!state.IsSatisfied(a)) affected[static_cast<size_t>(a)] = true;
+  }
+  for (int32_t o = 0; o < index_->num_billboards(); ++o) {
+    if (!radius[static_cast<size_t>(o)]) continue;
+    market::AdvertiserId owner = state.OwnerOf(o);
+    if (owner != market::kNoAdvertiser) {
+      affected[static_cast<size_t>(owner)] = true;
+    }
+  }
+  std::vector<market::AdvertiserId> targets;
+  for (int32_t a = 0; a < n; ++a) {
+    if (affected[static_cast<size_t>(a)]) targets.push_back(a);
+  }
+  result->reoptimized_advertisers = static_cast<int32_t>(targets.size());
+
+  const double incumbent_regret = state.TotalRegret();
+
+  // Re-optimize the affected set: release its inventory, re-run the
+  // restricted greedy, then a bounded restricted local-search polish.
+  common::Stopwatch greedy_watch;
+  if (!targets.empty()) {
+    for (market::AdvertiserId a : targets) state.ReleaseAll(a);
+    SynchronousGreedyOver(&state, targets,
+                          config_.solver.local_search.lazy_selection);
+  }
+  result->report.AddPhase("greedy", greedy_watch.ElapsedSeconds());
+  if (!targets.empty() && config_.incremental.local_search_sweeps > 0) {
+    common::Stopwatch search_watch;
+    LocalSearchConfig search = config_.solver.local_search;
+    search.max_sweeps = config_.incremental.local_search_sweeps;
+    // A per-day stream keeps sampled candidate scans reproducible without
+    // coupling consecutive days.
+    common::Rng rng(config_.solver.seed ^
+                    (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(day_)));
+    BillboardDrivenLocalSearchOver(&state, targets, search, &rng);
+    result->report.AddPhase("local_search", search_watch.ElapsedSeconds());
+  }
+
+  // Never-worse guard: re-optimizing a released blast radius can lose
+  // ground (greedy is not monotone in its starting point); keep the
+  // restored incumbent if it was better.
+  if (state.TotalRegret() > incumbent_regret + 1e-9) {
+    Assignment revert(index_, terms_cache_, config_.solver.regret,
+                      config_.solver.impression_threshold);
+    revert.RestoreDeployment(sets_cache_);
+    state = std::move(revert);
+  }
+
+  // Drift bound: keep the warm-started plan only while its regret stays
+  // within the configured margin of the last full solve, measured in
+  // payment units so the bound survives zero-regret anchors.
+  double payment_scale = 0.0;
+  for (const market::Advertiser& a : terms_cache_) {
+    payment_scale += a.payment;
+  }
+  const double bound = last_full_regret_ +
+                       config_.incremental.max_regret_drift * payment_scale;
+  if (state.TotalRegret() > bound + 1e-9) {
+    result->full_solve_fallback = true;
+    MROAM_COUNTER_ADD("market.replan_full_fallback", 1);
+    ReplanFull(result);
+    return;
+  }
+
+  for (size_t i = 0; i < contracts_.size(); ++i) {
+    contracts_[i].billboards =
+        state.BillboardsOf(static_cast<market::AdvertiserId>(i));
+  }
+  result->breakdown = state.Breakdown();
+  result->mode = ReplanMode::kIncremental;
+  result->report.label = "incremental";
+  MROAM_COUNTER_ADD("market.replan_incremental", 1);
 }
 
 DayResult DailyMarket::AdvanceDay(
@@ -53,9 +214,18 @@ DayResult DailyMarket::AdvanceDay(
   common::Stopwatch watch;
   DayResult result;
   result.day = ++day_;
+  result.cancelled = cancelled_since_last_day_;
+  cancelled_since_last_day_ = 0;
 
-  // Expire: contracts whose term is over release their inventory.
+  // Expire: contracts whose term is over release their inventory into the
+  // churn pool.
   size_t before = contracts_.size();
+  for (const Contract& c : contracts_) {
+    if (c.expires_on <= day_) {
+      churn_released_.insert(churn_released_.end(), c.billboards.begin(),
+                             c.billboards.end());
+    }
+  }
   contracts_.erase(
       std::remove_if(contracts_.begin(), contracts_.end(),
                      [this](const Contract& c) {
@@ -78,18 +248,26 @@ DayResult DailyMarket::AdvanceDay(
   RefreshCaches();
   result.active_contracts = static_cast<int32_t>(contracts_.size());
 
+  const std::vector<model::BillboardId> churn = std::move(churn_released_);
+  churn_released_.clear();
+  result.churn_boards = static_cast<int32_t>(churn.size());
+
   if (contracts_.empty()) {
+    // An empty book is a (trivially optimal) full solve: re-anchor drift.
+    last_full_regret_ = 0.0;
+    have_full_solve_ = true;
     result.seconds = watch.ElapsedSeconds();
     return result;
   }
 
+  // Snapshot the restored incumbent so the day can report how many boards
+  // the replan actually moved.
+  const std::vector<std::vector<model::BillboardId>> incumbent = sets_cache_;
+
   if (config_.policy == ReplanPolicy::kReoptimizeAll) {
-    SolveResult solve = Solve(*index_, terms_cache_, config_.solver);
-    for (size_t i = 0; i < contracts_.size(); ++i) {
-      contracts_[i].billboards = solve.sets[i];
-    }
-    result.breakdown = solve.breakdown;
-    result.report = std::move(solve.report);
+    ReplanFull(&result);
+  } else if (config_.policy == ReplanPolicy::kIncremental) {
+    ReplanIncremental(first_new, churn, &result);
   } else {
     // Lock-existing: restore yesterday's deployment, then hand remaining
     // inventory to the (new or still-unsatisfied) contracts greedily.
@@ -107,10 +285,15 @@ DayResult DailyMarket::AdvanceDay(
           state.BillboardsOf(static_cast<market::AdvertiserId>(i));
     }
     result.breakdown = state.Breakdown();
+    result.mode = ReplanMode::kGreedy;
     result.report.label = ReplanPolicyName(config_.policy);
     result.report.AddPhase("greedy", greedy_watch.ElapsedSeconds());
   }
   RefreshCaches();
+  result.boards_touched =
+      CountDeploymentDiff(incumbent, sets_cache_, index_->num_billboards());
+  MROAM_COUNTER_ADD("market.boards_touched", result.boards_touched);
+  MROAM_COUNTER_ADD("market.churn_boards", result.churn_boards);
   result.seconds = watch.ElapsedSeconds();
   result.report.AddPhase("day_total", result.seconds);
   return result;

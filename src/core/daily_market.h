@@ -2,6 +2,7 @@
 #define MROAM_CORE_DAILY_MARKET_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/solver.h"
@@ -19,16 +20,54 @@ enum class ReplanPolicy {
   /// synchronous greedy. Stable for customers, cheaper to run, worse
   /// regret.
   kLockExisting,
+  /// Warm-start from yesterday's deployment and re-optimize only the
+  /// advertisers inside the churn's blast radius (arrivals, unsatisfied
+  /// incumbents, and owners of billboards sharing trajectories with the
+  /// inventory released by expiry/cancellation). Falls back to a full
+  /// kReoptimizeAll-style solve whenever the warm-started plan's regret
+  /// drifts past IncrementalReplanConfig::max_regret_drift relative to the
+  /// last full solve. Near-kReoptimizeAll regret at a fraction of the
+  /// per-day cost when daily churn is small.
+  kIncremental,
 };
 
 const char* ReplanPolicyName(ReplanPolicy policy);
 
+/// Knobs of ReplanPolicy::kIncremental.
+struct IncrementalReplanConfig {
+  /// Allowed regret drift before falling back to a full solve: the
+  /// incremental plan is kept only while its total regret stays within
+  /// `last full solve's regret + max_regret_drift * (sum of active
+  /// payments)`. The payment sum is the scale because regret is measured
+  /// in payment units and the bound must stay meaningful when the full
+  /// solve reaches zero regret. Negative forces a full solve every day
+  /// (kIncremental then matches kReoptimizeAll bit for bit — the
+  /// equivalence tests rely on this); a huge value never falls back.
+  double max_regret_drift = 0.1;
+
+  /// Sweep cap for the restricted billboard-driven local search run over
+  /// the affected advertisers after the restricted greedy. 0 skips the
+  /// local-search polish entirely.
+  int32_t local_search_sweeps = 2;
+};
+
 /// Configuration of the rolling market simulation.
 struct DailyMarketConfig {
-  SolverConfig solver;                  ///< used by kReoptimizeAll
+  SolverConfig solver;                  ///< used by full solves
   int32_t contract_duration_days = 7;   ///< arrivals stay this many days
   ReplanPolicy policy = ReplanPolicy::kReoptimizeAll;
+  IncrementalReplanConfig incremental;  ///< used by kIncremental
 };
+
+/// How a day's plan was produced (DayResult::mode).
+enum class ReplanMode {
+  kNone,         ///< empty book: nothing to plan
+  kFull,         ///< full Solve (kReoptimizeAll, or incremental fallback)
+  kIncremental,  ///< warm-started restricted re-optimization
+  kGreedy,       ///< kLockExisting's greedy completion
+};
+
+const char* ReplanModeName(ReplanMode mode);
 
 /// One day's outcome.
 struct DayResult {
@@ -37,13 +76,32 @@ struct DayResult {
   int32_t active_contracts = 0;
   int32_t arrived = 0;
   int32_t expired = 0;
+  /// Contracts cancelled (DailyMarket::Cancel) since the previous day.
+  int32_t cancelled = 0;
   double seconds = 0.0;
+  /// Billboards released by expiry/cancellation since the previous day —
+  /// the churn whose blast radius the incremental replanner re-optimizes.
+  int32_t churn_boards = 0;
+  /// Billboards whose owner changed between the restored incumbent plan
+  /// and today's final plan (CountDeploymentDiff). Under kReoptimizeAll
+  /// this measures the day-to-day plan stability the paper's §1 motivates
+  /// against; under kIncremental it is the replan's write set.
+  int64_t boards_touched = 0;
+  /// Advertisers handed to the restricted re-optimization (kIncremental
+  /// only; 0 under the other policies).
+  int32_t reoptimized_advertisers = 0;
+  /// True when kIncremental abandoned the warm start and ran a full solve
+  /// (drift bound exceeded, or no prior full solve to drift from).
+  bool full_solve_fallback = false;
+  /// How this day's plan was produced.
+  ReplanMode mode = ReplanMode::kNone;
   /// Stable tickets of today's arrivals, in arrival order (see
   /// DailyMarket::AdvanceDay). The serving layer hands these to
   /// advertisers as contract ids.
   std::vector<int64_t> admitted_tickets;
   /// Telemetry of today's replan: under kReoptimizeAll this is the inner
-  /// Solve's report; under kLockExisting it covers the greedy completion.
+  /// Solve's report; under kLockExisting it covers the greedy completion;
+  /// under kIncremental the restricted greedy + local-search phases.
   obs::RunReport report;
 };
 
@@ -67,9 +125,12 @@ class DailyMarket {
   /// Withdraws the contract holding `ticket` immediately (the serving
   /// layer's DELETE /contracts/<id>). Its inventory is released at the
   /// next replan — under kLockExisting the freed billboards go to
-  /// still-unsatisfied contracts, under kReoptimizeAll the whole market
-  /// re-solves anyway. Returns false when no active contract holds the
-  /// ticket (already expired, cancelled, or never issued).
+  /// still-unsatisfied contracts, under kIncremental they seed the blast
+  /// radius, under kReoptimizeAll the whole market re-solves anyway.
+  /// O(1) ticket lookup via an internal ticket->index map, so
+  /// cancellation-heavy churn does not scan the book. Returns false when
+  /// no active contract holds the ticket (already expired, cancelled, or
+  /// never issued).
   bool Cancel(int64_t ticket);
 
   int32_t today() const { return day_; }
@@ -99,6 +160,18 @@ class DailyMarket {
 
   void RefreshCaches();
 
+  /// Runs the kIncremental replan for the current roster. `first_new` is
+  /// the dense index of the first of today's arrivals; `churn` holds the
+  /// billboards released since the last replan. Fills the plan/telemetry
+  /// fields of `result`.
+  void ReplanIncremental(size_t first_new,
+                         const std::vector<model::BillboardId>& churn,
+                         DayResult* result);
+
+  /// Full Solve over the active roster (the kReoptimizeAll day and the
+  /// incremental fallback share it so both are bit-identical).
+  void ReplanFull(DayResult* result);
+
   const influence::InfluenceIndex* index_;
   DailyMarketConfig config_;
   int32_t day_ = 0;
@@ -107,6 +180,15 @@ class DailyMarket {
   std::vector<market::Advertiser> terms_cache_;
   std::vector<std::vector<model::BillboardId>> sets_cache_;
   std::vector<int64_t> tickets_cache_;
+  /// ticket -> index in contracts_, kept in sync by RefreshCaches and
+  /// Cancel so cancellations resolve without scanning the book.
+  std::unordered_map<int64_t, size_t> ticket_index_;
+  /// Billboards released by expiry/cancellation since the last replan.
+  std::vector<model::BillboardId> churn_released_;
+  int32_t cancelled_since_last_day_ = 0;
+  /// Total regret of the last full solve — the drift anchor.
+  double last_full_regret_ = 0.0;
+  bool have_full_solve_ = false;
 };
 
 }  // namespace mroam::core

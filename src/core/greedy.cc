@@ -59,16 +59,28 @@ void BudgetEffectiveGreedy(Assignment* assignment, bool lazy_selection) {
 }
 
 void SynchronousGreedy(Assignment* assignment, bool lazy_selection) {
+  std::vector<AdvertiserId> all(assignment->num_advertisers());
+  for (int32_t a = 0; a < assignment->num_advertisers(); ++a) all[a] = a;
+  SynchronousGreedyOver(assignment, all, lazy_selection);
+}
+
+void SynchronousGreedyOver(Assignment* assignment,
+                           const std::vector<AdvertiserId>& targets,
+                           bool lazy_selection) {
   MROAM_TRACE_SPAN("greedy.synchronous");
   LazySelector selector(assignment, lazy_selection);
   int64_t assigned = 0;
   int64_t victims = 0;
   const int32_t n = assignment->num_advertisers();
-  std::vector<bool> active(n, true);
+  std::vector<bool> active(n, false);
+  for (AdvertiserId a : targets) {
+    MROAM_DCHECK(a >= 0 && a < n);
+    active[a] = true;
+  }
 
   auto unsatisfied_active = [&]() {
     std::vector<AdvertiserId> out;
-    for (AdvertiserId a = 0; a < n; ++a) {
+    for (AdvertiserId a : targets) {
       if (active[a] && !assignment->IsSatisfied(a)) out.push_back(a);
     }
     return out;
@@ -84,7 +96,7 @@ void SynchronousGreedy(Assignment* assignment, bool lazy_selection) {
 
   while (true) {
     bool assigned_any = false;
-    for (AdvertiserId a = 0; a < n; ++a) {
+    for (AdvertiserId a : targets) {
       if (!active[a] || assignment->IsSatisfied(a)) continue;
       BillboardId o = selector.BestBillboard(a);
       if (o == model::kInvalidBillboard) continue;

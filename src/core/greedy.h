@@ -49,6 +49,16 @@ void BudgetEffectiveGreedy(Assignment* assignment,
 /// Algorithm 5 line 5.11). `lazy_selection` as in BudgetEffectiveGreedy.
 void SynchronousGreedy(Assignment* assignment, bool lazy_selection = true);
 
+/// Restricted Synchronous Greedy: identical round structure, but only the
+/// advertisers listed in `targets` compete for inventory (and only they
+/// can be released as victims); everyone else's deployment is untouched.
+/// With `targets` = {0, ..., n-1} this is bit-identical to
+/// SynchronousGreedy. The incremental replanner hands it the blast radius
+/// of a day's churn so the rest of the book stays stable.
+void SynchronousGreedyOver(Assignment* assignment,
+                           const std::vector<market::AdvertiserId>& targets,
+                           bool lazy_selection = true);
+
 }  // namespace mroam::core
 
 #endif  // MROAM_CORE_GREEDY_H_

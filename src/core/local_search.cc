@@ -214,17 +214,28 @@ bool TryReleases(Assignment* assignment, AdvertiserId i,
 LocalSearchStats BillboardDrivenLocalSearch(Assignment* assignment,
                                             const LocalSearchConfig& config,
                                             common::Rng* rng) {
+  std::vector<AdvertiserId> all(
+      static_cast<size_t>(assignment->num_advertisers()));
+  for (int32_t a = 0; a < assignment->num_advertisers(); ++a) all[a] = a;
+  return BillboardDrivenLocalSearchOver(assignment, all, config, rng);
+}
+
+LocalSearchStats BillboardDrivenLocalSearchOver(
+    Assignment* assignment, const std::vector<AdvertiserId>& targets,
+    const LocalSearchConfig& config, common::Rng* rng) {
   MROAM_TRACE_SPAN("bls.search");
   LocalSearchStats stats;
-  const int32_t n = assignment->num_advertisers();
+  const size_t t = targets.size();
   bool improved = true;
   while (improved && stats.sweeps < config.max_sweeps) {
     MROAM_TRACE_SPAN_ID("bls.sweep", stats.sweeps);
     improved = false;
     ++stats.sweeps;
-    for (AdvertiserId i = 0; i < n; ++i) {
+    for (size_t x = 0; x < t; ++x) {
+      AdvertiserId i = targets[x];
       // The cross exchange is symmetric, so unordered pairs suffice.
-      for (AdvertiserId j = i + 1; j < n; ++j) {
+      for (size_t y = x + 1; y < t; ++y) {
+        AdvertiserId j = targets[y];
         if (TryExchangeAcrossPair(assignment, i, j, config, rng, &stats)) {
           improved = true;
         }
@@ -236,12 +247,14 @@ LocalSearchStats BillboardDrivenLocalSearch(Assignment* assignment,
         improved = true;
       }
     }
-    // Move 4 (lines 5.11-5.13): hand the free pool to SynchronousGreedy;
-    // keep the completed plan only if it is strictly better.
+    // Move 4 (lines 5.11-5.13): hand the free pool to the (restricted)
+    // SynchronousGreedy; keep the completed plan only if it is strictly
+    // better. Restricting the completion keeps untargeted advertisers'
+    // deployments untouched, as the contract promises.
     if (!assignment->FreeBillboards().empty()) {
       MROAM_TRACE_SPAN("bls.move.complete");
       Assignment candidate = *assignment;
-      SynchronousGreedy(&candidate, config.lazy_selection);
+      SynchronousGreedyOver(&candidate, targets, config.lazy_selection);
       if (Accepts(candidate.TotalRegret() - assignment->TotalRegret(),
                   assignment->TotalRegret(), config.improvement_ratio)) {
         assignment->CopyDeploymentFrom(candidate);

@@ -81,6 +81,18 @@ LocalSearchStats BillboardDrivenLocalSearch(Assignment* assignment,
                                             const LocalSearchConfig& config,
                                             common::Rng* rng);
 
+/// Restricted Billboard-driven Local Search: the same four move classes,
+/// but every move endpoint is limited to the advertisers in `targets`
+/// (exchanges consider target pairs only; replace/release scan targets;
+/// the completion move re-runs the restricted greedy). Advertisers outside
+/// `targets` keep their deployment bit-for-bit. With `targets` =
+/// {0, ..., n-1} this is exactly BillboardDrivenLocalSearch. The
+/// incremental replanner runs it with a small `config.max_sweeps` over the
+/// churn's blast radius.
+LocalSearchStats BillboardDrivenLocalSearchOver(
+    Assignment* assignment, const std::vector<market::AdvertiserId>& targets,
+    const LocalSearchConfig& config, common::Rng* rng);
+
 /// The neighborhood strategy plugged into the randomized framework.
 enum class SearchStrategy {
   kAdvertiserDriven,  ///< ALS (Algorithm 4)

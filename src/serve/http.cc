@@ -9,7 +9,6 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
-#include <cstdlib>
 #include <cstring>
 
 #include "common/strings.h"
@@ -33,13 +32,21 @@ std::string ToLower(std::string_view s) {
 /// *buffer; returns the offset just past the marker.
 Result<size_t> ReadUntil(int fd, std::string* buffer,
                          std::string_view marker, size_t max_bytes) {
+  // Resume each scan where the previous one could not yet have matched: a
+  // marker absent from the first `size` bytes can only start within the
+  // last marker.size()-1 of them. Without this the scan restarts at
+  // offset 0 after every recv — O(head²) on dribbled input.
+  size_t search_from = 0;
   while (true) {
-    size_t pos = buffer->find(marker);
+    size_t pos = buffer->find(marker, search_from);
     if (pos != std::string::npos) return pos + marker.size();
     if (buffer->size() > max_bytes) {
       return Status::InvalidArgument("HTTP head exceeds " +
                                      std::to_string(max_bytes) + " bytes");
     }
+    search_from = buffer->size() >= marker.size() - 1
+                      ? buffer->size() - (marker.size() - 1)
+                      : 0;
     char chunk[4096];
     ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
     if (n == 0) {
@@ -146,6 +153,30 @@ Result<HttpRequest> ParseRequestHead(std::string_view head) {
   return request;
 }
 
+Result<size_t> ParseContentLength(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("bad Content-Length: ''");
+  }
+  size_t length = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad Content-Length: '" +
+                                     std::string(text) + "'");
+    }
+    size_t digit = static_cast<size_t>(c - '0');
+    if (length > (kMaxHttpBodyBytes - digit) / 10) {
+      return Status::InvalidArgument("Content-Length exceeds body limit: '" +
+                                     std::string(text) + "'");
+    }
+    length = length * 10 + digit;
+  }
+  if (length > kMaxHttpBodyBytes) {
+    return Status::InvalidArgument("Content-Length exceeds body limit: '" +
+                                   std::string(text) + "'");
+  }
+  return length;
+}
+
 Result<HttpRequest> ReadHttpRequest(int fd) {
   std::string buffer;
   MROAM_ASSIGN_OR_RETURN(size_t body_start,
@@ -155,21 +186,26 @@ Result<HttpRequest> ReadHttpRequest(int fd) {
       HttpRequest request,
       ParseRequestHead(std::string_view(buffer).substr(0, body_start - 4)));
 
-  std::string_view length_text = request.HeaderOr("content-length", "0");
-  char* end = nullptr;
-  std::string length_str(length_text);
-  unsigned long long length = std::strtoull(length_str.c_str(), &end, 10);
-  if (end == length_str.c_str() || *end != '\0' ||
-      length > kMaxHttpBodyBytes) {
-    return Status::InvalidArgument("bad Content-Length: '" + length_str +
-                                   "'");
+  // Every Content-Length header must parse strictly and agree: duplicate
+  // headers with conflicting values are a request-smuggling staple, so
+  // they are rejected rather than resolved by first- or last-wins.
+  size_t length = 0;
+  bool have_length = false;
+  for (const auto& [key, value] : request.headers) {
+    if (key != "content-length") continue;
+    MROAM_ASSIGN_OR_RETURN(size_t parsed, ParseContentLength(value));
+    if (have_length && parsed != length) {
+      return Status::InvalidArgument(
+          "conflicting duplicate Content-Length headers");
+    }
+    length = parsed;
+    have_length = true;
   }
   request.body = buffer.substr(body_start);
   if (request.body.size() > length) {
     return Status::InvalidArgument("request body longer than Content-Length");
   }
-  MROAM_RETURN_IF_ERROR(ReadExact(fd, &request.body,
-                                  static_cast<size_t>(length)));
+  MROAM_RETURN_IF_ERROR(ReadExact(fd, &request.body, length));
   return request;
 }
 

@@ -56,6 +56,14 @@ const char* HttpStatusReason(int status);
 /// consumed here — callers read it per Content-Length.
 common::Result<HttpRequest> ParseRequestHead(std::string_view head);
 
+/// Strict Content-Length parse: ASCII digits only — no sign, whitespace,
+/// 0x prefix, or trailing junk (all of which strtoull-style parsing would
+/// quietly accept, a classic request-smuggling vector) — rejecting empty
+/// input and values above kMaxHttpBodyBytes. Exposed for tests;
+/// ReadHttpRequest applies it to every Content-Length header and rejects
+/// duplicates with conflicting values.
+common::Result<size_t> ParseContentLength(std::string_view text);
+
 /// Reads one full request (head + Content-Length body) from a connected
 /// socket. Blocking; fails with kInvalidArgument on malformed input,
 /// kIoError on socket errors or EOF mid-request.

@@ -331,6 +331,14 @@ HttpResponse MarketServer::HandleReport() {
       ",\"queue_depth\":" + std::to_string(queued) +
       ",\"last_day\":{\"arrived\":" + std::to_string(last_day_.arrived) +
       ",\"expired\":" + std::to_string(last_day_.expired) +
+      ",\"cancelled\":" + std::to_string(last_day_.cancelled) +
+      ",\"churn_boards\":" + std::to_string(last_day_.churn_boards) +
+      ",\"boards_touched\":" + std::to_string(last_day_.boards_touched) +
+      ",\"reoptimized_advertisers\":" +
+      std::to_string(last_day_.reoptimized_advertisers) +
+      ",\"mode\":\"" + core::ReplanModeName(last_day_.mode) + "\"" +
+      ",\"full_solve_fallback\":" +
+      (last_day_.full_solve_fallback ? "true" : "false") +
       ",\"seconds\":" + obs::internal::JsonDouble(last_day_.seconds) +
       ",\"breakdown\":";
   AppendBreakdownJson(&response.body, last_day_.breakdown);
@@ -431,6 +439,22 @@ void MarketServer::FlushBatch() {
   MROAM_COUNTER_ADD("serve.batches", 1);
   MROAM_COUNTER_ADD("serve.contracts_admitted",
                     static_cast<int64_t>(batch.size()));
+  // Per-flush churn and replan telemetry (last_day_ holds today's result
+  // under market_mu_; these are the aggregate views).
+  MROAM_COUNTER_ADD("serve.churn_arrived", last_day_.arrived);
+  MROAM_COUNTER_ADD("serve.churn_expired", last_day_.expired);
+  MROAM_COUNTER_ADD("serve.churn_cancelled", last_day_.cancelled);
+  MROAM_HISTOGRAM_OBSERVE("serve.boards_touched",
+                          static_cast<double>(last_day_.boards_touched));
+  if (last_day_.mode == core::ReplanMode::kIncremental) {
+    MROAM_COUNTER_ADD("serve.replan_incremental", 1);
+    MROAM_HISTOGRAM_OBSERVE(
+        "serve.reoptimized_advertisers",
+        static_cast<double>(last_day_.reoptimized_advertisers));
+  }
+  if (last_day_.full_solve_fallback) {
+    MROAM_COUNTER_ADD("serve.replan_full_fallback", 1);
+  }
   batches_flushed_.fetch_add(1, std::memory_order_relaxed);
 
   for (size_t i = 0; i < batch.size(); ++i) {

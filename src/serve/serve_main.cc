@@ -49,8 +49,9 @@ struct Options {
   int threads = 4;
   int batch_max = 64;
   double batch_delay_ms = 50.0;
-  std::string policy = "lock";  // "lock" | "reopt"
+  std::string policy = "lock";  // "lock" | "reopt" | "incremental"
   std::string method = "gglobal";
+  double replan_drift = 0.1;  // --policy incremental: fallback bound
   int32_t duration_days = 7;
   bool once = false;  // start, print, stop — for smoke tests
 };
@@ -72,9 +73,14 @@ options:
   --threads N            connection workers (default 4)
   --batch-max N          admission batch size (default 64)
   --batch-delay-ms F     max admission delay before flush (default 50)
-  --policy lock|reopt    replan policy (default lock)
+  --policy lock|reopt|incremental
+                         replan policy (default lock)
+  --replan-drift F       with --policy incremental: regret drift allowed
+                         before a full-solve fallback, as a fraction of
+                         the active payment volume; negative forces a
+                         full solve every day (default 0.1)
   --method gorder|gglobal|als|bls
-                         solver for --policy reopt (default gglobal)
+                         solver for full solves (default gglobal)
   --duration-days N      contract term in batch-days (default 7)
   --once                 start, print the port, shut down (smoke test)
 )");
@@ -129,6 +135,8 @@ Status ParseOptions(int argc, char** argv, Options* options) {
       options->batch_max = static_cast<int>(n);
     } else if (ParseFlag(argc, argv, &i, "batch-delay-ms", &value)) {
       MROAM_ASSIGN_OR_RETURN(options->batch_delay_ms, ParseDouble(value));
+    } else if (ParseFlag(argc, argv, &i, "replan-drift", &value)) {
+      MROAM_ASSIGN_OR_RETURN(options->replan_drift, ParseDouble(value));
     } else if (ParseFlag(argc, argv, &i, "duration-days", &value)) {
       MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
       options->duration_days = static_cast<int32_t>(n);
@@ -145,9 +153,11 @@ Status ParseOptions(int argc, char** argv, Options* options) {
     return Status::InvalidArgument("--gen must be nyc or sg, got '" +
                                    options->gen + "'");
   }
-  if (options->policy != "lock" && options->policy != "reopt") {
-    return Status::InvalidArgument("--policy must be lock or reopt, got '" +
-                                   options->policy + "'");
+  if (options->policy != "lock" && options->policy != "reopt" &&
+      options->policy != "incremental") {
+    return Status::InvalidArgument(
+        "--policy must be lock, reopt, or incremental, got '" +
+        options->policy + "'");
   }
   return Status::Ok();
 }
@@ -220,9 +230,14 @@ int Run(const Options& options) {
   config.max_batch = options.batch_max;
   config.max_batch_delay_seconds = options.batch_delay_ms / 1000.0;
   config.market.contract_duration_days = options.duration_days;
-  config.market.policy = options.policy == "reopt"
-                             ? mroam::core::ReplanPolicy::kReoptimizeAll
-                             : mroam::core::ReplanPolicy::kLockExisting;
+  if (options.policy == "reopt") {
+    config.market.policy = mroam::core::ReplanPolicy::kReoptimizeAll;
+  } else if (options.policy == "incremental") {
+    config.market.policy = mroam::core::ReplanPolicy::kIncremental;
+  } else {
+    config.market.policy = mroam::core::ReplanPolicy::kLockExisting;
+  }
+  config.market.incremental.max_regret_drift = options.replan_drift;
   auto method = MethodFromName(options.method);
   if (!method.ok()) {
     MROAM_LOG(Error) << method.status().ToString();

@@ -1,0 +1,338 @@
+// Equivalence and churn-handling suite for ReplanPolicy::kIncremental:
+// the warm-started replanner must match the full re-solve bit for bit
+// when its drift bound forces a daily fallback, stay within the bound on
+// mixed churn schedules, fall back when a day's churn makes the warm
+// start drift too far, and keep the market's ticket bookkeeping intact
+// under cancellation-heavy churn.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/daily_market.h"
+#include "test_util.h"
+
+namespace mroam::core {
+namespace {
+
+using mroam::testing::Adv;
+using mroam::testing::IndexFromIncidence;
+
+/// Random incidence lists: `boards` billboards each covering 1-5 of
+/// `trajectories` trajectories. Deterministic per seed.
+std::vector<std::vector<model::TrajectoryId>> RandomIncidence(
+    common::Rng* rng, int32_t boards, int32_t trajectories) {
+  std::vector<std::vector<model::TrajectoryId>> covered(
+      static_cast<size_t>(boards));
+  for (int32_t o = 0; o < boards; ++o) {
+    const int32_t k = 1 + static_cast<int32_t>(rng->UniformU64(5));
+    for (int32_t j = 0; j < k; ++j) {
+      covered[static_cast<size_t>(o)].push_back(
+          static_cast<model::TrajectoryId>(
+              rng->UniformU64(static_cast<uint64_t>(trajectories))));
+    }
+  }
+  return covered;
+}
+
+/// Random arrival schedule: `days` days of 0-3 arrivals with demands 1-6
+/// and payments 1-10. Deterministic per seed.
+std::vector<std::vector<market::Advertiser>> RandomSchedule(
+    common::Rng* rng, int days) {
+  std::vector<std::vector<market::Advertiser>> schedule(
+      static_cast<size_t>(days));
+  for (auto& day : schedule) {
+    const int arrivals = static_cast<int>(rng->UniformU64(4));
+    for (int a = 0; a < arrivals; ++a) {
+      day.push_back(Adv(0, 1 + static_cast<int64_t>(rng->UniformU64(6)),
+                        1.0 + rng->UniformDouble(0.0, 9.0)));
+    }
+  }
+  return schedule;
+}
+
+/// Drives one market through `schedule`, cancelling an early ticket every
+/// third day (identically for every policy, since tickets are monotone
+/// and roster-driven). Returns the per-day results; `final_payment_sum`
+/// (optional) receives the payment volume of the final active book.
+std::vector<DayResult> Drive(
+    const influence::InfluenceIndex& index, DailyMarketConfig config,
+    const std::vector<std::vector<market::Advertiser>>& schedule,
+    double* final_payment_sum = nullptr) {
+  DailyMarket market(&index, config);
+  std::vector<DayResult> days;
+  for (size_t d = 0; d < schedule.size(); ++d) {
+    const int32_t day = static_cast<int32_t>(d) + 1;
+    if (day >= 3 && day % 3 == 0) {
+      market.Cancel(day - 2);  // a miss is a harmless no-op
+    }
+    days.push_back(market.AdvanceDay(schedule[d]));
+  }
+  if (final_payment_sum != nullptr) {
+    *final_payment_sum = 0.0;
+    for (const market::Advertiser& a : market.ActiveTerms()) {
+      *final_payment_sum += a.payment;
+    }
+  }
+  return days;
+}
+
+DailyMarketConfig BaseConfig(ReplanPolicy policy,
+                             uint16_t impression_threshold) {
+  DailyMarketConfig config;
+  config.policy = policy;
+  config.contract_duration_days = 3;
+  config.solver.method = Method::kGGlobal;
+  config.solver.impression_threshold = impression_threshold;
+  return config;
+}
+
+TEST(IncrementalReplanTest, NamesCoverNewPolicyAndModes) {
+  EXPECT_STREQ(ReplanPolicyName(ReplanPolicy::kIncremental), "incremental");
+  EXPECT_STREQ(ReplanModeName(ReplanMode::kNone), "none");
+  EXPECT_STREQ(ReplanModeName(ReplanMode::kFull), "full");
+  EXPECT_STREQ(ReplanModeName(ReplanMode::kIncremental), "incremental");
+  EXPECT_STREQ(ReplanModeName(ReplanMode::kGreedy), "greedy");
+}
+
+// With a negative drift bound the incremental policy must run the same
+// full Solve as kReoptimizeAll every day, so every day's regret (and the
+// final deployment) is bit-identical across randomized churn schedules
+// under both influence models.
+TEST(IncrementalReplanTest, NegativeDriftMatchesReoptimizeAllExactly) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (uint16_t threshold : {uint16_t{1}, uint16_t{3}}) {
+      common::Rng gen_rng(seed);
+      model::Dataset dataset;
+      auto index = IndexFromIncidence(RandomIncidence(&gen_rng, 20, 60), 60,
+                                      &dataset);
+      common::Rng schedule_rng(seed + 100);
+      auto schedule = RandomSchedule(&schedule_rng, 8);
+
+      auto reopt = Drive(index,
+                         BaseConfig(ReplanPolicy::kReoptimizeAll, threshold),
+                         schedule);
+      DailyMarketConfig config =
+          BaseConfig(ReplanPolicy::kIncremental, threshold);
+      config.incremental.max_regret_drift = -1.0;
+      auto incremental = Drive(index, config, schedule);
+
+      ASSERT_EQ(reopt.size(), incremental.size());
+      for (size_t d = 0; d < reopt.size(); ++d) {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " threshold " +
+                     std::to_string(threshold) + " day " +
+                     std::to_string(d + 1));
+        EXPECT_DOUBLE_EQ(incremental[d].breakdown.total,
+                         reopt[d].breakdown.total);
+        if (incremental[d].active_contracts > 0) {
+          EXPECT_TRUE(incremental[d].full_solve_fallback);
+          EXPECT_EQ(incremental[d].mode, ReplanMode::kFull);
+        }
+      }
+    }
+  }
+}
+
+// With a finite drift bound the incremental plan may diverge from the
+// full re-solve, but only within the bound: final regret stays within
+// max_regret_drift * (active payment volume) of kReoptimizeAll's, and at
+// least one day actually replans incrementally (the policy is not just
+// falling back every day).
+TEST(IncrementalReplanTest, DriftBoundHoldsAcrossRandomizedSchedules) {
+  const double drift = 0.3;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (uint16_t threshold : {uint16_t{1}, uint16_t{3}}) {
+      common::Rng gen_rng(seed);
+      model::Dataset dataset;
+      auto index = IndexFromIncidence(RandomIncidence(&gen_rng, 20, 60), 60,
+                                      &dataset);
+      common::Rng schedule_rng(seed + 100);
+      auto schedule = RandomSchedule(&schedule_rng, 8);
+
+      auto reopt = Drive(index,
+                         BaseConfig(ReplanPolicy::kReoptimizeAll, threshold),
+                         schedule);
+      DailyMarketConfig config =
+          BaseConfig(ReplanPolicy::kIncremental, threshold);
+      config.incremental.max_regret_drift = drift;
+      double payment_sum = 0.0;
+      auto incremental = Drive(index, config, schedule, &payment_sum);
+
+      SCOPED_TRACE("seed " + std::to_string(seed) + " threshold " +
+                   std::to_string(threshold));
+      ASSERT_EQ(reopt.size(), incremental.size());
+      EXPECT_LE(incremental.back().breakdown.total,
+                reopt.back().breakdown.total + drift * payment_sum + 1e-6);
+      int incremental_days = 0;
+      for (const DayResult& day : incremental) {
+        if (day.mode == ReplanMode::kIncremental) ++incremental_days;
+      }
+      EXPECT_GE(incremental_days, 1);
+    }
+  }
+}
+
+class IncrementalReplanFixtureTest : public ::testing::Test {
+ protected:
+  // Six disjoint unit-influence billboards.
+  IncrementalReplanFixtureTest()
+      : index_(IndexFromIncidence({{0}, {1}, {2}, {3}, {4}, {5}}, 6,
+                                  &dataset_)) {}
+
+  DailyMarketConfig Config(double drift) {
+    DailyMarketConfig config;
+    config.policy = ReplanPolicy::kIncremental;
+    config.contract_duration_days = 7;
+    config.solver.method = Method::kGGlobal;
+    config.incremental.max_regret_drift = drift;
+    return config;
+  }
+
+  model::Dataset dataset_;
+  influence::InfluenceIndex index_;
+};
+
+// The first non-empty day has no drift anchor, so it must fall back to a
+// full solve; once anchored, a churn-free day replans incrementally.
+TEST_F(IncrementalReplanFixtureTest, FirstDayFallsBackToEstablishAnchor) {
+  DailyMarket market(&index_, Config(0.1));
+  DayResult day1 = market.AdvanceDay({Adv(0, 2, 4.0)});
+  EXPECT_TRUE(day1.full_solve_fallback);
+  EXPECT_EQ(day1.mode, ReplanMode::kFull);
+  DayResult day2 = market.AdvanceDay({Adv(0, 1, 2.0)});
+  EXPECT_FALSE(day2.full_solve_fallback);
+  EXPECT_EQ(day2.mode, ReplanMode::kIncremental);
+  EXPECT_EQ(day2.breakdown.satisfied_count, 2);
+}
+
+// A zero drift bound tolerates no regret above the anchor: when a new
+// arrival cannot be satisfied from the warm start, the day must re-solve
+// in full (and still end at the same regret, since no plan can help).
+TEST_F(IncrementalReplanFixtureTest, DriftBreachForcesFullSolve) {
+  DailyMarket market(&index_, Config(0.0));
+  DayResult day1 = market.AdvanceDay({Adv(0, 6, 12.0)});  // takes all six
+  EXPECT_DOUBLE_EQ(day1.breakdown.total, 0.0);  // anchor at zero regret
+  DayResult day2 = market.AdvanceDay({Adv(0, 2, 4.0)});
+  EXPECT_TRUE(day2.full_solve_fallback);
+  EXPECT_EQ(day2.mode, ReplanMode::kFull);
+  EXPECT_GT(day2.breakdown.total, 0.0);
+
+  // A permissive bound keeps the warm start on the identical schedule.
+  DailyMarket loose(&index_, Config(100.0));
+  loose.AdvanceDay({Adv(0, 6, 12.0)});
+  DayResult loose_day2 = loose.AdvanceDay({Adv(0, 2, 4.0)});
+  EXPECT_FALSE(loose_day2.full_solve_fallback);
+  EXPECT_EQ(loose_day2.mode, ReplanMode::kIncremental);
+}
+
+// A quiet day (no arrivals, expiries, or cancellations) with a satisfied
+// book must not move a single billboard under the incremental policy.
+TEST_F(IncrementalReplanFixtureTest, QuietDayTouchesNoBoards) {
+  DailyMarket market(&index_, Config(0.1));
+  market.AdvanceDay({Adv(0, 2, 4.0), Adv(0, 3, 6.0)});
+  std::vector<std::vector<model::BillboardId>> before = market.ActiveSets();
+  for (auto& set : before) std::sort(set.begin(), set.end());
+
+  DayResult quiet = market.AdvanceDay({});
+  EXPECT_EQ(quiet.mode, ReplanMode::kIncremental);
+  EXPECT_EQ(quiet.churn_boards, 0);
+  EXPECT_EQ(quiet.boards_touched, 0);
+  EXPECT_EQ(quiet.reoptimized_advertisers, 0);
+
+  std::vector<std::vector<model::BillboardId>> after = market.ActiveSets();
+  for (auto& set : after) std::sort(set.begin(), set.end());
+  EXPECT_EQ(after, before);
+}
+
+// Cancellation churn: the withdrawn contract's inventory is inside the
+// next day's blast radius, so a same-sized newcomer is served from it
+// without disturbing the other incumbent.
+TEST_F(IncrementalReplanFixtureTest, CancelChurnServesNewcomer) {
+  DailyMarket market(&index_, Config(0.1));
+  DayResult day1 = market.AdvanceDay({Adv(0, 3, 6.0), Adv(0, 3, 9.0)});
+  EXPECT_EQ(day1.breakdown.satisfied_count, 2);
+  const int64_t first_ticket = day1.admitted_tickets[0];
+  std::vector<model::BillboardId> keeper = market.ActiveSets()[1];
+  std::sort(keeper.begin(), keeper.end());
+
+  ASSERT_TRUE(market.Cancel(first_ticket));
+  DayResult day2 = market.AdvanceDay({Adv(0, 3, 6.0)});
+  EXPECT_EQ(day2.cancelled, 1);
+  EXPECT_EQ(day2.churn_boards, 3);
+  EXPECT_EQ(day2.mode, ReplanMode::kIncremental);
+  EXPECT_EQ(day2.breakdown.satisfied_count, 2);
+  EXPECT_DOUBLE_EQ(day2.breakdown.total, 0.0);
+
+  std::vector<model::BillboardId> kept = market.ActiveSets()[0];
+  std::sort(kept.begin(), kept.end());
+  EXPECT_EQ(kept, keeper);  // survivor's deployment untouched
+}
+
+// Cancel-heavy bookkeeping: after a middle contract is withdrawn, every
+// later ticket still resolves (the ticket->index map is re-synced), the
+// dense caches stay aligned, and double-cancel reports false.
+TEST_F(IncrementalReplanFixtureTest, CancelKeepsTicketBookkeepingInSync) {
+  DailyMarket market(&index_, Config(0.1));
+  DayResult day1 = market.AdvanceDay(
+      {Adv(0, 1, 2.0), Adv(0, 1, 3.0), Adv(0, 1, 4.0), Adv(0, 1, 5.0)});
+  ASSERT_EQ(day1.admitted_tickets.size(), 4u);
+
+  ASSERT_TRUE(market.Cancel(2));
+  EXPECT_FALSE(market.Cancel(2));
+  EXPECT_EQ(market.ActiveTickets(), (std::vector<int64_t>{1, 3, 4}));
+  // Dense ids and terms stay aligned with the shifted roster.
+  for (size_t i = 0; i < market.ActiveTerms().size(); ++i) {
+    EXPECT_EQ(market.ActiveTerms()[i].id,
+              static_cast<market::AdvertiserId>(i));
+  }
+  // Tickets behind the erased slot still cancel in O(1).
+  ASSERT_TRUE(market.Cancel(4));
+  ASSERT_TRUE(market.Cancel(1));
+  EXPECT_EQ(market.ActiveTickets(), (std::vector<int64_t>{3}));
+
+  DayResult day2 = market.AdvanceDay({});
+  EXPECT_EQ(day2.cancelled, 3);
+  EXPECT_EQ(day2.active_contracts, 1);
+  EXPECT_EQ(day2.breakdown.satisfied_count, 1);
+}
+
+// A long cancellation-heavy run: admit/cancel waves with expiries mixed
+// in; the roster and regret must stay consistent every day (satisfied
+// count equals active contracts on this disjoint fixture whenever supply
+// suffices).
+TEST_F(IncrementalReplanFixtureTest, CancelHeavyChurnStress) {
+  DailyMarketConfig config = Config(0.5);
+  config.contract_duration_days = 2;
+  DailyMarket market(&index_, config);
+  common::Rng rng(9);
+  int64_t last_ticket = 0;
+  for (int day = 1; day <= 15; ++day) {
+    // Cancel up to two random live tickets.
+    for (int c = 0; c < 2; ++c) {
+      if (last_ticket > 0) {
+        market.Cancel(static_cast<int64_t>(
+            rng.UniformU64(static_cast<uint64_t>(last_ticket)) + 1));
+      }
+    }
+    std::vector<market::Advertiser> arrivals;
+    const int n = static_cast<int>(rng.UniformU64(3));
+    for (int a = 0; a < n; ++a) {
+      arrivals.push_back(Adv(0, 1 + static_cast<int64_t>(rng.UniformU64(2)),
+                             2.0 + rng.UniformDouble()));
+    }
+    DayResult result = market.AdvanceDay(arrivals);
+    if (!result.admitted_tickets.empty()) {
+      last_ticket = result.admitted_tickets.back();
+    }
+    // The dense caches must stay mutually aligned after every churn mix.
+    ASSERT_EQ(market.ActiveTerms().size(), market.ActiveSets().size());
+    ASSERT_EQ(market.ActiveTerms().size(), market.ActiveTickets().size());
+    ASSERT_EQ(static_cast<int32_t>(market.ActiveTerms().size()),
+              result.active_contracts);
+  }
+}
+
+}  // namespace
+}  // namespace mroam::core

@@ -3,6 +3,9 @@
 // `serve` + `concurrency`; runs under the tsan preset).
 #include "serve/http.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <set>
 #include <string>
@@ -76,6 +79,99 @@ TEST(HttpParseTest, ExtractJsonNumberFindsFields) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(HttpParseTest, ContentLengthAcceptsOnlyPlainDigits) {
+  EXPECT_EQ(*ParseContentLength("0"), 0u);
+  EXPECT_EQ(*ParseContentLength("123"), 123u);
+  EXPECT_EQ(*ParseContentLength("007"), 7u);
+  // Everything strtoull would quietly accept must be rejected.
+  for (const char* bad :
+       {"", "+5", "-5", " 5", "5 ", "0x10", "1e3", "12a", "five"}) {
+    EXPECT_EQ(ParseContentLength(bad).status().code(),
+              StatusCode::kInvalidArgument)
+        << "input '" << bad << "'";
+  }
+  // The body cap is enforced during parsing, overflow-safely.
+  EXPECT_EQ(*ParseContentLength(std::to_string(kMaxHttpBodyBytes)),
+            kMaxHttpBodyBytes);
+  EXPECT_EQ(ParseContentLength(std::to_string(kMaxHttpBodyBytes + 1))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseContentLength("99999999999999999999").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Feeds raw wire bytes through a socketpair into ReadHttpRequest, the
+// same path MarketServer uses for real connections.
+common::Result<HttpRequest> ReadRequestFromWire(const std::string& wire) {
+  int fds[2] = {-1, -1};
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return common::Status::IoError("socketpair failed");
+  }
+  common::Status written = WriteAll(fds[1], wire);
+  close(fds[1]);  // EOF afterwards, so truncated input fails cleanly
+  if (!written.ok()) {
+    close(fds[0]);
+    return written;
+  }
+  auto parsed = ReadHttpRequest(fds[0]);
+  close(fds[0]);
+  return parsed;
+}
+
+TEST(HttpReadRequestTest, ReadsBodyPerContentLength) {
+  auto parsed = ReadRequestFromWire(
+      "POST /contracts HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->body, "hello");
+  // No Content-Length means no body.
+  auto bare = ReadRequestFromWire("GET / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  EXPECT_EQ(bare->body, "");
+}
+
+TEST(HttpReadRequestTest, RejectsConflictingDuplicateContentLength) {
+  auto parsed = ReadRequestFromWire(
+      "POST / HTTP/1.1\r\n"
+      "Content-Length: 5\r\n"
+      "Content-Length: 6\r\n\r\nhello!");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HttpReadRequestTest, AcceptsRepeatedIdenticalContentLength) {
+  auto parsed = ReadRequestFromWire(
+      "POST / HTTP/1.1\r\n"
+      "Content-Length: 5\r\n"
+      "Content-Length: 5\r\n\r\nhello");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->body, "hello");
+}
+
+TEST(HttpReadRequestTest, RejectsMalformedContentLengthOnTheWire) {
+  for (const char* bad : {"+5", "5x", "0x10", "1e2"}) {
+    auto parsed = ReadRequestFromWire(
+        std::string("POST / HTTP/1.1\r\nContent-Length: ") + bad +
+        "\r\n\r\n12345");
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+        << "Content-Length '" << bad << "'";
+  }
+}
+
+TEST(HttpReadRequestTest, HeadStraddlingRecvChunksStillParses) {
+  // Pad the head so the \r\n\r\n terminator straddles ReadUntil's
+  // 4096-byte recv boundary — the resumed scan must still find it.
+  std::string head = "POST /pad HTTP/1.1\r\nContent-Length: 3\r\nx-pad: ";
+  const size_t marker_start = 4094;
+  ASSERT_LT(head.size(), marker_start);
+  const size_t pad = marker_start - head.size();
+  head += std::string(pad, 'a');
+  head += "\r\n\r\n";
+  auto parsed = ReadRequestFromWire(head + "abc");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->body, "abc");
+  EXPECT_EQ(parsed->HeaderOr("x-pad").size(), pad);
 }
 
 // --- MarketServer ----------------------------------------------------------

@@ -1,20 +1,32 @@
 #!/usr/bin/env python3
-"""Gate on algorithmic-work regressions in the greedy micro-benchmarks.
+"""Gate on algorithmic-work regressions in the micro-benchmarks.
 
-Compares a google-benchmark JSON file (BENCH_micro_algorithms.json,
-produced by the `micro_algorithms_bench` ctest entry) against a committed
-baseline of per-iteration work counters. The default counter,
-`greedy.deltas`, counts marginal-gain recomputations: it is seeded and
-workload-deterministic, so any increase beyond the tolerance means the
-lazy selection path got algorithmically worse (e.g. cache invalidation
-broke), not that the machine was noisy.
+Compares a google-benchmark JSON file (e.g. BENCH_micro_algorithms.json,
+produced by the `micro_algorithms_bench` ctest entry, or
+BENCH_micro_replan.json from `micro_replan_bench`) against a committed
+baseline of per-iteration work counters. The counters are seeded and
+workload-deterministic — greedy.deltas counts marginal-gain
+recomputations, the replan.* family measures the incremental replanner's
+churn response — so any increase beyond the tolerance means the algorithm
+got worse (e.g. cache invalidation broke, the blast radius exploded), not
+that the machine was noisy.
+
+Baseline schemas (both accepted when checking):
+  legacy, one counter:   {"counter": "greedy.deltas",
+                          "values": {bench: value}}
+  multi-counter:         {"counters": ["a", "b"],
+                          "values": {bench: {"a": value, "b": value}}}
 
 Exit codes: 0 ok, 1 regression or malformed input, 2 usage error.
 
-Refreshing the baseline after an intentional change:
+Refreshing a baseline after an intentional change (repeat --counter for a
+multi-counter baseline):
     python3 tools/check_bench_regression.py \
-        --current build/bench/BENCH_micro_algorithms.json \
-        --baseline bench/baselines/micro_algorithms_counters.json \
+        --current build/bench/BENCH_micro_replan.json \
+        --baseline bench/baselines/micro_replan_counters.json \
+        --counter replan.boards_touched_per_day \
+        --counter replan.fallback_rate \
+        --counter replan.reoptimized_per_day \
         --update
 """
 
@@ -22,9 +34,13 @@ import argparse
 import json
 import sys
 
+# Near-zero baselines (a fallback rate of 0) would otherwise make any
+# nonzero value a >tolerance regression through rounding alone.
+ABS_EPSILON = 1e-9
 
-def load_counters(path, counter):
-    """Returns {benchmark name: counter value} from google-benchmark JSON."""
+
+def load_counters(path, counters):
+    """Returns {benchmark name: {counter: value}} from benchmark JSON."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
@@ -35,12 +51,44 @@ def load_counters(path, counter):
     if not isinstance(benchmarks, list):
         print(f"check_bench_regression: {path} has no 'benchmarks' array")
         sys.exit(1)
-    counters = {}
+    current = {}
     for entry in benchmarks:
         name = entry.get("name")
-        if name is not None and counter in entry:
-            counters[name] = float(entry[counter])
-    return counters
+        if name is None:
+            continue
+        found = {c: float(entry[c]) for c in counters if c in entry}
+        if found:
+            current[name] = found
+    return current
+
+
+def load_baseline(path):
+    """Returns (counters, {benchmark: {counter: value}}) from either
+    baseline schema."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench_regression: cannot read {path}: {err}")
+        sys.exit(1)
+    values = doc.get("values")
+    if not isinstance(values, dict):
+        print(f"check_bench_regression: {path} has no 'values' map")
+        sys.exit(1)
+    if "counters" in doc:
+        counters = list(doc["counters"])
+        baseline = {
+            name: {c: float(v) for c, v in entry.items()}
+            for name, entry in values.items()
+        }
+        return counters, baseline
+    counter = doc.get("counter")
+    if not isinstance(counter, str):
+        print(f"check_bench_regression: {path} names no counter")
+        sys.exit(1)
+    return [counter], {
+        name: {counter: float(v)} for name, v in values.items()
+    }
 
 
 def main():
@@ -50,11 +98,12 @@ def main():
     parser.add_argument("--current", required=True,
                         help="google-benchmark JSON produced by this run")
     parser.add_argument("--baseline", required=True,
-                        help="committed baseline JSON "
-                        "({name: value} map, or --update to write it)")
-    parser.add_argument("--counter", default="greedy.deltas",
-                        help="counter field to compare "
-                        "(default: greedy.deltas)")
+                        help="committed baseline JSON (see module "
+                        "docstring for the accepted schemas)")
+    parser.add_argument("--counter", action="append", default=None,
+                        help="counter field(s) to record with --update; "
+                        "repeatable (default: greedy.deltas). When "
+                        "checking, the baseline file decides.")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed relative increase (default: 0.10)")
     parser.add_argument("--update", action="store_true",
@@ -62,57 +111,65 @@ def main():
                         "of checking")
     args = parser.parse_args()
 
-    current = load_counters(args.current, args.counter)
+    if args.update:
+        counters = args.counter or ["greedy.deltas"]
+        current = load_counters(args.current, counters)
+        if not current:
+            print(f"check_bench_regression: no {counters} counters in "
+                  f"{args.current}")
+            sys.exit(1)
+        if len(counters) == 1:
+            doc = {"counter": counters[0],
+                   "values": {name: entry[counters[0]]
+                              for name, entry in current.items()}}
+        else:
+            doc = {"counters": counters, "values": current}
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"check_bench_regression: baseline {args.baseline} updated "
+              f"with {len(current)} entries x {len(counters)} counters")
+        return
+
+    counters, baseline = load_baseline(args.baseline)
+    current = load_counters(args.current, counters)
     if not current:
-        print(f"check_bench_regression: no '{args.counter}' counters in "
+        print(f"check_bench_regression: no {counters} counters in "
               f"{args.current}")
         sys.exit(1)
 
-    if args.update:
-        with open(args.baseline, "w", encoding="utf-8") as fh:
-            json.dump({"counter": args.counter, "values": current}, fh,
-                      indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"check_bench_regression: baseline {args.baseline} updated "
-              f"with {len(current)} entries")
-        return
-
-    try:
-        with open(args.baseline, "r", encoding="utf-8") as fh:
-            baseline_doc = json.load(fh)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"check_bench_regression: cannot read {args.baseline}: {err}")
-        sys.exit(1)
-    if baseline_doc.get("counter") != args.counter:
-        print(f"check_bench_regression: baseline tracks "
-              f"'{baseline_doc.get('counter')}', not '{args.counter}'")
-        sys.exit(1)
-    baseline = {k: float(v) for k, v in baseline_doc["values"].items()}
-
     failures = []
-    for name, expected in sorted(baseline.items()):
-        actual = current.get(name)
-        if actual is None:
+    checked = 0
+    for name, expected_by_counter in sorted(baseline.items()):
+        actual_by_counter = current.get(name)
+        if actual_by_counter is None:
             failures.append(f"{name}: missing from {args.current}")
             continue
-        allowed = expected * (1.0 + args.tolerance)
-        verdict = "ok"
-        if actual > allowed:
-            verdict = "REGRESSION"
-            failures.append(
-                f"{name}: {args.counter} {actual:.0f} exceeds baseline "
-                f"{expected:.0f} by more than {args.tolerance:.0%}")
-        elif expected > 0 and actual < expected * (1.0 - args.tolerance):
-            verdict = "improved (consider --update)"
-        print(f"  {name}: {actual:.0f} vs baseline {expected:.0f} "
-              f"[{verdict}]")
+        for counter, expected in sorted(expected_by_counter.items()):
+            actual = actual_by_counter.get(counter)
+            if actual is None:
+                failures.append(f"{name}: counter '{counter}' missing "
+                                f"from {args.current}")
+                continue
+            checked += 1
+            allowed = expected * (1.0 + args.tolerance) + ABS_EPSILON
+            verdict = "ok"
+            if actual > allowed:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: {counter} {actual:g} exceeds baseline "
+                    f"{expected:g} by more than {args.tolerance:.0%}")
+            elif expected > 0 and actual < expected * (1.0 - args.tolerance):
+                verdict = "improved (consider --update)"
+            print(f"  {name}: {counter} {actual:g} vs baseline "
+                  f"{expected:g} [{verdict}]")
 
     if failures:
         print("check_bench_regression: FAILED")
         for failure in failures:
             print(f"  {failure}")
         sys.exit(1)
-    print(f"check_bench_regression: {len(baseline)} benchmarks within "
+    print(f"check_bench_regression: {checked} counter values within "
           f"{args.tolerance:.0%} of baseline")
 
 
