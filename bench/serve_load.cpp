@@ -5,6 +5,8 @@
 // sockets (each submission blocks until its admission batch is replanned,
 // so a request's latency includes queueing + the batch's AdvanceDay).
 // Writes BENCH_serve.json: submission latency percentiles (p50/p95/p99),
+// per-stage latency percentiles (stage_queue_wait/replan/respond/read
+// _ms_p50/p95/p99, from the server's serve.stage.* histograms),
 // throughput, and batch statistics.
 //
 // Also runs a deterministic in-process replan comparison (no sockets, no
@@ -12,11 +14,12 @@
 // kReoptimizeAll and a kIncremental DailyMarket, reporting seconds/day,
 // final regret, fallback count, and boards touched for both — the
 // apples-to-apples numbers behind the incremental replanner's acceptance
-// criterion.
+// criterion. --skip-compare drops that half (the tier-1 ctest entry does;
+// it gates only the serve-path stage latencies).
 //
 //   serve_load [--submissions N] [--clients N]
 //              [--policy lock|reopt|incremental]
-//              [--batch-max N] [--batch-delay-ms F]
+//              [--batch-max N] [--batch-delay-ms F] [--skip-compare]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -36,6 +39,7 @@
 #include "gen/city_generators.h"
 #include "influence/influence_index.h"
 #include "market/workload.h"
+#include "obs/metrics.h"
 #include "serve/http.h"
 #include "serve/market_server.h"
 
@@ -48,6 +52,9 @@ struct LoadOptions {
   std::string policy = "lock";
   int batch_max = 64;
   double batch_delay_ms = 5.0;
+  /// Skip the deterministic replan comparison (the slow half) — the
+  /// tier-1 ctest entry gates only the serve-path stage latencies.
+  bool skip_compare = false;
 };
 
 double Percentile(std::vector<double> sorted, double q) {
@@ -101,6 +108,64 @@ ReplanCompareOutcome DriveReplanSchedule(
   outcome.seconds_per_day /= static_cast<double>(days);
   outcome.boards_touched_per_day /= static_cast<double>(days);
   return outcome;
+}
+
+/// The deterministic in-process replan comparison (no sockets): the same
+/// churn schedule through kReoptimizeAll and kIncremental. Returns false
+/// on workload-generation failure.
+bool RunReplanCompare(const influence::InfluenceIndex& index,
+                      ReportWriter* report) {
+  const int compare_days = 30;
+  const int compare_per_day = 4;
+  common::Rng compare_rng(23);
+  market::WorkloadConfig compare_workload;
+  compare_workload.avg_individual_demand_ratio = 0.01;
+  // |A| = alpha / p: sized to cover the whole schedule.
+  compare_workload.alpha =
+      compare_workload.avg_individual_demand_ratio *
+      static_cast<double>(compare_days * compare_per_day);
+  auto compare_arrivals = market::GenerateAdvertisers(
+      index.TotalSupply(), compare_workload, &compare_rng);
+  if (!compare_arrivals.ok()) {
+    MROAM_LOG(Error) << compare_arrivals.status().ToString();
+    return false;
+  }
+  ReplanCompareOutcome full = DriveReplanSchedule(
+      index, core::ReplanPolicy::kReoptimizeAll, *compare_arrivals,
+      compare_days, compare_per_day);
+  ReplanCompareOutcome incremental = DriveReplanSchedule(
+      index, core::ReplanPolicy::kIncremental, *compare_arrivals,
+      compare_days, compare_per_day);
+  report->AddNumber("replan_compare_days", compare_days);
+  report->AddNumber("replan_compare_full_seconds_per_day",
+                    full.seconds_per_day);
+  report->AddNumber("replan_compare_incremental_seconds_per_day",
+                    incremental.seconds_per_day);
+  report->AddNumber("replan_compare_speedup",
+                    incremental.seconds_per_day > 0.0
+                        ? full.seconds_per_day / incremental.seconds_per_day
+                        : 0.0);
+  report->AddNumber("replan_compare_full_final_regret", full.final_regret);
+  report->AddNumber("replan_compare_incremental_final_regret",
+                    incremental.final_regret);
+  report->AddNumber("replan_compare_incremental_fallbacks",
+                    incremental.fallbacks);
+  report->AddNumber("replan_compare_full_boards_touched_per_day",
+                    full.boards_touched_per_day);
+  report->AddNumber("replan_compare_incremental_boards_touched_per_day",
+                    incremental.boards_touched_per_day);
+  std::printf(
+      "replan_compare: full %.4fs/day (%.1f boards), incremental %.4fs/day "
+      "(%.1f boards, %d fallbacks), speedup %.2fx, final regret "
+      "%.1f vs %.1f\n",
+      full.seconds_per_day, full.boards_touched_per_day,
+      incremental.seconds_per_day, incremental.boards_touched_per_day,
+      incremental.fallbacks,
+      incremental.seconds_per_day > 0.0
+          ? full.seconds_per_day / incremental.seconds_per_day
+          : 0.0,
+      full.final_regret, incremental.final_regret);
+  return true;
 }
 
 int Run(const LoadOptions& options) {
@@ -220,57 +285,47 @@ int Run(const LoadOptions& options) {
   report.AddNumber("latency_ms_p99", Percentile(all, 0.99));
   report.AddNumber("latency_ms_max", all.empty() ? 0.0 : all.back());
 
+  // Per-stage latency percentiles, estimated from the server's stage
+  // histograms (the ticket-lifecycle instrumentation in MarketServer):
+  // where a submission's wall time went — admission-queue wait, the
+  // batch replan, and the post-replan group-commit respond leg.
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::Global().Snapshot();
+  struct StageLine {
+    const char* key;     // field prefix in the report
+    const char* metric;  // histogram name in the registry
+  };
+  const StageLine stages[] = {
+      {"stage_queue_wait", "serve.stage.queue_wait_seconds"},
+      {"stage_replan", "serve.stage.replan_seconds"},
+      {"stage_respond", "serve.stage.respond_seconds"},
+      {"stage_read", "serve.stage.read_seconds"},
+  };
+  std::string stage_summary;
+  for (const StageLine& stage : stages) {
+    const obs::MetricsSnapshot::HistogramValue* h =
+        metrics.FindHistogram(stage.metric);
+    const double p50 = h ? h->Quantile(0.50) * 1e3 : 0.0;
+    const double p95 = h ? h->Quantile(0.95) * 1e3 : 0.0;
+    const double p99 = h ? h->Quantile(0.99) * 1e3 : 0.0;
+    report.AddNumber(std::string(stage.key) + "_ms_p50", p50);
+    report.AddNumber(std::string(stage.key) + "_ms_p95", p95);
+    report.AddNumber(std::string(stage.key) + "_ms_p99", p99);
+    report.AddNumber(std::string(stage.key) + "_count",
+                     h ? static_cast<double>(h->count) : 0.0);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  " %s p50 %.2fms p95 %.2fms p99 %.2fms (n=%lld)",
+                  stage.key, p50, p95, p99,
+                  static_cast<long long>(h ? h->count : 0));
+    stage_summary += line;
+  }
+  std::printf("serve_load stages:%s\n", stage_summary.c_str());
+
   // Deterministic replan comparison over a shared churn schedule.
-  const int compare_days = 30;
-  const int compare_per_day = 4;
-  common::Rng compare_rng(23);
-  market::WorkloadConfig compare_workload;
-  compare_workload.avg_individual_demand_ratio = 0.01;
-  // |A| = alpha / p: sized to cover the whole schedule.
-  compare_workload.alpha =
-      compare_workload.avg_individual_demand_ratio *
-      static_cast<double>(compare_days * compare_per_day);
-  auto compare_arrivals = market::GenerateAdvertisers(
-      index.TotalSupply(), compare_workload, &compare_rng);
-  if (!compare_arrivals.ok()) {
-    MROAM_LOG(Error) << compare_arrivals.status().ToString();
+  if (!options.skip_compare && !RunReplanCompare(index, &report)) {
     return 1;
   }
-  ReplanCompareOutcome full = DriveReplanSchedule(
-      index, core::ReplanPolicy::kReoptimizeAll, *compare_arrivals,
-      compare_days, compare_per_day);
-  ReplanCompareOutcome incremental = DriveReplanSchedule(
-      index, core::ReplanPolicy::kIncremental, *compare_arrivals,
-      compare_days, compare_per_day);
-  report.AddNumber("replan_compare_days", compare_days);
-  report.AddNumber("replan_compare_full_seconds_per_day",
-                   full.seconds_per_day);
-  report.AddNumber("replan_compare_incremental_seconds_per_day",
-                   incremental.seconds_per_day);
-  report.AddNumber("replan_compare_speedup",
-                   incremental.seconds_per_day > 0.0
-                       ? full.seconds_per_day / incremental.seconds_per_day
-                       : 0.0);
-  report.AddNumber("replan_compare_full_final_regret", full.final_regret);
-  report.AddNumber("replan_compare_incremental_final_regret",
-                   incremental.final_regret);
-  report.AddNumber("replan_compare_incremental_fallbacks",
-                   incremental.fallbacks);
-  report.AddNumber("replan_compare_full_boards_touched_per_day",
-                   full.boards_touched_per_day);
-  report.AddNumber("replan_compare_incremental_boards_touched_per_day",
-                   incremental.boards_touched_per_day);
-  std::printf(
-      "replan_compare: full %.4fs/day (%.1f boards), incremental %.4fs/day "
-      "(%.1f boards, %d fallbacks), speedup %.2fx, final regret "
-      "%.1f vs %.1f\n",
-      full.seconds_per_day, full.boards_touched_per_day,
-      incremental.seconds_per_day, incremental.boards_touched_per_day,
-      incremental.fallbacks,
-      incremental.seconds_per_day > 0.0
-          ? full.seconds_per_day / incremental.seconds_per_day
-          : 0.0,
-      full.final_regret, incremental.final_regret);
 
   std::printf(
       "serve_load: %d ok / %d failed in %.2fs (%.0f/s), "
@@ -317,11 +372,13 @@ int main(int argc, char** argv) {
       options.batch_max = std::atoi(next());
     } else if (arg == "--batch-delay-ms") {
       options.batch_delay_ms = std::atof(next());
+    } else if (arg == "--skip-compare") {
+      options.skip_compare = true;
     } else {
       std::fprintf(stderr,
                    "usage: serve_load [--submissions N] [--clients N] "
                    "[--policy lock|reopt|incremental] [--batch-max N] "
-                   "[--batch-delay-ms F]\n");
+                   "[--batch-delay-ms F] [--skip-compare]\n");
       return 2;
     }
   }

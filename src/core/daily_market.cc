@@ -81,6 +81,7 @@ bool DailyMarket::Cancel(int64_t ticket) {
 }
 
 void DailyMarket::ReplanFull(DayResult* result) {
+  MROAM_TRACE_SPAN("market.replan_full");
   SolveResult solve = Solve(*index_, terms_cache_, config_.solver);
   for (size_t i = 0; i < contracts_.size(); ++i) {
     contracts_[i].billboards = solve.sets[i];
@@ -217,36 +218,41 @@ DayResult DailyMarket::AdvanceDay(
   result.cancelled = cancelled_since_last_day_;
   cancelled_since_last_day_ = 0;
 
-  // Expire: contracts whose term is over release their inventory into the
-  // churn pool.
-  size_t before = contracts_.size();
-  for (const Contract& c : contracts_) {
-    if (c.expires_on <= day_) {
-      churn_released_.insert(churn_released_.end(), c.billboards.begin(),
-                             c.billboards.end());
+  size_t first_new = 0;
+  {
+    // Expire: contracts whose term is over release their inventory into
+    // the churn pool; then admit today's arrivals. One span covers both —
+    // it is the non-solver bookkeeping slice of the day.
+    MROAM_TRACE_SPAN("market.expire_admit");
+    size_t before = contracts_.size();
+    for (const Contract& c : contracts_) {
+      if (c.expires_on <= day_) {
+        churn_released_.insert(churn_released_.end(), c.billboards.begin(),
+                               c.billboards.end());
+      }
     }
-  }
-  contracts_.erase(
-      std::remove_if(contracts_.begin(), contracts_.end(),
-                     [this](const Contract& c) {
-                       return c.expires_on <= day_;
-                     }),
-      contracts_.end());
-  result.expired = static_cast<int32_t>(before - contracts_.size());
+    contracts_.erase(
+        std::remove_if(contracts_.begin(), contracts_.end(),
+                       [this](const Contract& c) {
+                         return c.expires_on <= day_;
+                       }),
+        contracts_.end());
+    result.expired = static_cast<int32_t>(before - contracts_.size());
 
-  // Admit today's arrivals.
-  result.arrived = static_cast<int32_t>(arrivals.size());
-  const size_t first_new = contracts_.size();
-  for (market::Advertiser& a : arrivals) {
-    Contract c;
-    c.terms = a;
-    c.ticket = next_ticket_++;
-    c.expires_on = day_ + config_.contract_duration_days;
-    result.admitted_tickets.push_back(c.ticket);
-    contracts_.push_back(std::move(c));
+    // Admit today's arrivals.
+    result.arrived = static_cast<int32_t>(arrivals.size());
+    first_new = contracts_.size();
+    for (market::Advertiser& a : arrivals) {
+      Contract c;
+      c.terms = a;
+      c.ticket = next_ticket_++;
+      c.expires_on = day_ + config_.contract_duration_days;
+      result.admitted_tickets.push_back(c.ticket);
+      contracts_.push_back(std::move(c));
+    }
+    RefreshCaches();
+    result.active_contracts = static_cast<int32_t>(contracts_.size());
   }
-  RefreshCaches();
-  result.active_contracts = static_cast<int32_t>(contracts_.size());
 
   const std::vector<model::BillboardId> churn = std::move(churn_released_);
   churn_released_.clear();
@@ -271,6 +277,7 @@ DayResult DailyMarket::AdvanceDay(
   } else {
     // Lock-existing: restore yesterday's deployment, then hand remaining
     // inventory to the (new or still-unsatisfied) contracts greedily.
+    MROAM_TRACE_SPAN("market.replan_lock");
     Assignment state(index_, terms_cache_, config_.solver.regret,
                      config_.solver.impression_threshold);
     for (size_t i = 0; i < first_new; ++i) {

@@ -1,0 +1,38 @@
+#ifndef MROAM_OBS_CRASH_HANDLER_H_
+#define MROAM_OBS_CRASH_HANDLER_H_
+
+namespace mroam::obs {
+
+/// Installs fatal-signal handlers (SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+/// SIGILL) that write a crash-report JSON before re-raising the signal
+/// with its default disposition (so exit codes, core dumps, and waitpid
+/// semantics are unchanged). The report holds the flight recorder's last
+/// events plus a metrics-registry snapshot:
+///
+///   {"signal":11,"signal_name":"SIGSEGV","pid":...,
+///    "events":[{"name":"serve.request","t_ns":...,...},...],
+///    "metrics":{...}}
+///
+/// `path == nullptr` resolves the output path from the
+/// MROAM_CRASH_REPORT environment variable, falling back to
+/// "mroam_crash_report.json" in the working directory.
+///
+/// The handler writes in two phases. Phase 1 — header plus flight events
+/// plus `"metrics":null` — uses only async-signal-safe calls (open/
+/// write/snprintf on stack buffers, lock-free ring reads), so the file
+/// is complete, valid JSON even for the nastiest crash. Phase 2 then
+/// best-effort rewrites the trailing `null` with a real metrics
+/// snapshot; that path allocates and takes the registry's registration
+/// mutex, so a crash *inside* the metrics subsystem may leave phase 1's
+/// output. A re-entry guard makes a fault during the handler re-raise
+/// immediately instead of recursing.
+///
+/// Idempotent; later calls just update the path.
+void InstallCrashHandler(const char* path = nullptr);
+
+/// The path the installed handler writes to ("" before installation).
+const char* CrashReportPath();
+
+}  // namespace mroam::obs
+
+#endif  // MROAM_OBS_CRASH_HANDLER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <set>
 
 namespace mroam::obs {
 
@@ -58,6 +59,38 @@ std::string JsonDouble(double value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.9g", value);
   return buf;
+}
+
+std::string PrometheusEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 namespace {
@@ -205,33 +238,85 @@ std::string MetricsSnapshot::ToJson() const {
 
 std::string MetricsSnapshot::ToPrometheus() const {
   using internal::JsonDouble;
+  using internal::PrometheusEscapeHelp;
+  using internal::PrometheusEscapeLabel;
   using internal::PrometheusName;
   std::string out;
+  // A family (metric name) may carry exactly one # HELP / # TYPE pair
+  // per exposition — duplicates break scrapers. Distinct dotted names
+  // can collide after sanitization ("a.b" and "a_b"), and a counter and
+  // a gauge may share a sanitized name, so collisions are disambiguated
+  // with a type suffix instead of emitting a second header.
+  std::set<std::string> families;
+  const auto family = [&families](const std::string& raw,
+                                  const char* kind) {
+    std::string name = PrometheusName(raw);
+    if (!families.insert(name).second) {
+      const std::string base = name + "_" + kind;
+      name = base;
+      for (int n = 2; !families.insert(name).second; ++n) {
+        name = base + std::to_string(n);
+      }
+    }
+    return name;
+  };
+  const auto header = [&out](const std::string& name, const char* type,
+                             const std::string& raw) {
+    out += "# HELP " + name + " mroam " + type + " '" +
+           PrometheusEscapeHelp(raw) + "'\n";
+    out += "# TYPE " + name + " " + type + "\n";
+  };
   for (const CounterValue& c : counters) {
-    const std::string name = PrometheusName(c.name);
-    out += "# TYPE " + name + " counter\n";
+    const std::string name = family(c.name, "counter");
+    header(name, "counter", c.name);
     out += name + " " + std::to_string(c.value) + "\n";
   }
   for (const GaugeValue& g : gauges) {
-    const std::string name = PrometheusName(g.name);
-    out += "# TYPE " + name + " gauge\n";
+    const std::string name = family(g.name, "gauge");
+    header(name, "gauge", g.name);
     out += name + " " + std::to_string(g.value) + "\n";
   }
   for (const HistogramValue& h : histograms) {
-    const std::string name = PrometheusName(h.name);
-    out += "# TYPE " + name + " histogram\n";
+    const std::string name = family(h.name, "histogram");
+    header(name, "histogram", h.name);
     int64_t cumulative = 0;
     for (size_t b = 0; b < h.counts.size(); ++b) {
       cumulative += h.counts[b];
       const std::string le =
           b < h.bounds.size() ? JsonDouble(h.bounds[b]) : "+Inf";
-      out += name + "_bucket{le=\"" + le +
+      out += name + "_bucket{le=\"" + PrometheusEscapeLabel(le) +
              "\"} " + std::to_string(cumulative) + "\n";
     }
     out += name + "_sum " + JsonDouble(h.sum) + "\n";
     out += name + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
+}
+
+double MetricsSnapshot::HistogramValue::Quantile(double q) const {
+  if (count <= 0 || counts.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const int64_t before = cumulative;
+    cumulative += counts[i];
+    if (counts[i] <= 0 || static_cast<double>(cumulative) < target) {
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // Overflow bucket: no finite upper edge; pin to the largest bound.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    double frac =
+        (target - static_cast<double>(before)) /
+        static_cast<double>(counts[i]);
+    frac = std::min(1.0, std::max(0.0, frac));
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

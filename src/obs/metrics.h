@@ -30,6 +30,12 @@ void AppendJsonString(std::string* out, const std::string& text);
 /// everything else keeps enough digits to round-trip timing data.
 std::string JsonDouble(double value);
 
+/// Prometheus text-format escaping. HELP text escapes backslash and
+/// newline; label values additionally escape the double quote
+/// (exposition format spec — unescaped values break scrapers).
+std::string PrometheusEscapeHelp(const std::string& text);
+std::string PrometheusEscapeLabel(const std::string& text);
+
 struct alignas(64) PaddedCounterCell {
   std::atomic<int64_t> value{0};
 };
@@ -127,6 +133,13 @@ struct MetricsSnapshot {
     std::vector<int64_t> counts;  ///< bounds.size() + 1, last = overflow
     int64_t count = 0;
     double sum = 0.0;
+
+    /// Estimated q-quantile (q in [0,1]) from the bucket counts: linear
+    /// interpolation inside the winning bucket, with bucket 0 anchored
+    /// at zero (observations are assumed non-negative — latencies) and
+    /// the overflow bucket pinned to the largest finite bound. Returns
+    /// 0 when the histogram is empty.
+    double Quantile(double q) const;
   };
 
   std::vector<CounterValue> counters;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 #include <utility>
 
 namespace mroam::obs {
@@ -142,6 +143,28 @@ common::Status Tracer::Flush() {
   }
   Clear();
   return common::Status::Ok();
+}
+
+std::string Tracer::CaptureWindow(double seconds) {
+  std::lock_guard<std::mutex> capture_lock(capture_mu_);
+  const bool was_enabled = Enabled();
+  if (!was_enabled) {
+    // Memory-only window: arm recording without touching path_, so no
+    // exit-time flush is registered and an MROAM_TRACE path configured
+    // by a previous session is not clobbered.
+    Clear();
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  std::string json;
+  if (!was_enabled) {
+    enabled_.store(false, std::memory_order_relaxed);
+    json = DumpJson();
+    Clear();
+  } else {
+    json = DumpJson();
+  }
+  return json;
 }
 
 void Tracer::Clear() {

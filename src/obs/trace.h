@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 
 namespace mroam::obs {
 
@@ -53,6 +54,16 @@ class Tracer {
   /// Drops all buffered spans (test isolation).
   void Clear();
 
+  /// Bounded on-demand capture (GET /debug/trace?ms=...): records spans
+  /// for `seconds` of wall time, then returns the Chrome trace-event
+  /// JSON. When the tracer was disabled, it is enabled in memory only
+  /// for the window and restored (buffers cleared) afterwards — the
+  /// MROAM_TRACE path, if any, is untouched. When the tracer was
+  /// already enabled (an MROAM_TRACE session), the window just dumps
+  /// the live buffers without clearing them. Concurrent captures
+  /// serialize on an internal mutex; the caller blocks for the window.
+  std::string CaptureWindow(double seconds);
+
   /// Buffered span count across all threads (tests / diagnostics).
   int64_t SpanCount();
 
@@ -78,6 +89,7 @@ class Tracer {
   static std::atomic<bool> enabled_;
 
   const int64_t epoch_ns_;  ///< trace timestamps are relative to this
+  std::mutex capture_mu_;   ///< serializes CaptureWindow sessions
   std::mutex mu_;           ///< guards buffers_ registration and path_
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::string path_;
@@ -88,13 +100,24 @@ class Tracer {
 };
 
 /// RAII span: records [construction, destruction) under `name` when the
-/// tracer is enabled at construction time. `name` must be a string
-/// literal. Pass `id` >= 0 to tag the span (e.g. a restart index); it is
-/// emitted as args.id in the trace.
+/// tracer is enabled at construction time — and, always, into the
+/// flight recorder's ring buffers (FlightRecorder, on by default) so
+/// the last spans survive for /debug/flight and crash reports. With
+/// both sinks off the constructor cost is two relaxed loads; in the
+/// always-on steady state (tracer off, recorder on) a span costs two
+/// clock reads plus one wait-free ring write. `name` must be a string
+/// literal. Pass `id` >= 0 to tag the span (e.g. a restart index or a
+/// ticket); it is emitted as args.id in the trace and as the flight
+/// record's id.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name, int64_t id = -1) {
-    if (!Tracer::Enabled()) return;
+  explicit ScopedSpan(const char* name, int64_t id = -1)
+      : to_tracer_(Tracer::Enabled()),
+        to_flight_(FlightRecorder::Enabled()) {
+    // The sink set is latched here: a span live across Disable() still
+    // records (spans are never torn), and one armed mid-span does not
+    // capture a partial measurement.
+    if (!to_tracer_ && !to_flight_) return;
     name_ = name;
     id_ = id;
     start_ns_ = Tracer::NowNanos();
@@ -102,7 +125,14 @@ class ScopedSpan {
 
   ~ScopedSpan() {
     if (name_ == nullptr) return;
-    Tracer::Global().Record(name_, id_, start_ns_, Tracer::NowNanos());
+    const int64_t end_ns = Tracer::NowNanos();
+    if (to_tracer_) {
+      Tracer::Global().Record(name_, id_, start_ns_, end_ns);
+    }
+    if (to_flight_) {
+      FlightRecorder::Global().Record(name_, id_, end_ns,
+                                      end_ns - start_ns_);
+    }
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -112,6 +142,8 @@ class ScopedSpan {
   const char* name_ = nullptr;
   int64_t id_ = -1;
   int64_t start_ns_ = 0;
+  bool to_tracer_ = false;
+  bool to_flight_ = false;
 };
 
 #define MROAM_OBS_CONCAT_INNER(a, b) a##b

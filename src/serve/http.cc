@@ -312,6 +312,35 @@ Result<HttpResponse> HttpFetch(const std::string& host, int port,
   return response;
 }
 
+std::pair<std::string_view, std::string_view> SplitTarget(
+    std::string_view target) {
+  size_t q = target.find('?');
+  if (q == std::string_view::npos) {
+    return {target, std::string_view()};
+  }
+  return {target.substr(0, q), target.substr(q + 1)};
+}
+
+std::string_view QueryParam(std::string_view query, std::string_view key) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    std::string_view pair = query.substr(
+        pos, amp == std::string_view::npos ? std::string_view::npos
+                                           : amp - pos);
+    size_t eq = pair.find('=');
+    std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      return eq == std::string_view::npos ? std::string_view()
+                                          : pair.substr(eq + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return std::string_view();
+}
+
 Result<double> ExtractJsonNumber(std::string_view json,
                                  std::string_view key) {
   std::string quoted;

@@ -86,6 +86,18 @@ common::Result<HttpResponse> HttpFetch(const std::string& host, int port,
 common::Result<double> ExtractJsonNumber(std::string_view json,
                                          std::string_view key);
 
+/// Splits a request target at the first '?': "/debug/trace?ms=250"
+/// becomes {"/debug/trace", "ms=250"}. A target without a query string
+/// yields an empty second element. Fragments are not handled (clients in
+/// this repo never send them).
+std::pair<std::string_view, std::string_view> SplitTarget(
+    std::string_view target);
+
+/// Value of `key` in an urlencoded query string ("a=1&b=2"), or "" when
+/// absent or valueless. No percent-decoding — the serving layer's query
+/// parameters are plain integers.
+std::string_view QueryParam(std::string_view query, std::string_view key);
+
 }  // namespace mroam::serve
 
 #endif  // MROAM_SERVE_HTTP_H_

@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -176,51 +177,92 @@ void MarketServer::HandleConnection(int fd) {
   common::Stopwatch watch;
   MROAM_COUNTER_ADD("serve.http_requests", 1);
   common::Result<HttpRequest> request = ReadHttpRequest(fd);
+  MROAM_HISTOGRAM_OBSERVE("serve.stage.read_seconds",
+                          watch.ElapsedSeconds());
   HttpResponse response;
+  RequestTrace trace;
   if (!request.ok()) {
     response = JsonError(400, request.status().message());
   } else {
-    response = Handle(*request);
+    response = Handle(*request, &trace);
   }
   Status written = WriteAll(fd, response.Serialize());
   if (!written.ok()) {
     MROAM_LOG(Debug) << "response write failed: " << written;
   }
   close(fd);
+  // The respond stage of a submitted contract: replan finished -> the
+  // group-commit response bytes are on the wire.
+  if (trace.replan_done != std::chrono::steady_clock::time_point{}) {
+    MROAM_HISTOGRAM_OBSERVE(
+        "serve.stage.respond_seconds",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      trace.replan_done)
+            .count());
+    MROAM_FLIGHT_EVENT("ticket.respond", trace.ticket);
+  }
   MROAM_HISTOGRAM_OBSERVE("serve.request_seconds", watch.ElapsedSeconds());
 }
 
 HttpResponse MarketServer::Handle(const HttpRequest& request) {
-  const std::string& target = request.target;
-  if (target == "/contracts") {
+  RequestTrace trace;
+  return Handle(request, &trace);
+}
+
+HttpResponse MarketServer::Handle(const HttpRequest& request,
+                                  RequestTrace* trace) {
+  trace->request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto [path, query] = SplitTarget(request.target);
+  // Route on the path first: a known path with the wrong method is a 405
+  // naming the right one, and only a truly unknown path falls through to
+  // the 404 listing every endpoint — so /debug/* typos are diagnosable
+  // from the error body alone.
+  if (path == "/contracts") {
     if (request.method != "POST") {
       return JsonError(405, "use POST to submit a contract");
     }
-    return HandleSubmit(request);
+    return HandleSubmit(request, trace);
   }
-  if (common::StartsWith(target, "/contracts/")) {
+  if (common::StartsWith(path, "/contracts/")) {
     if (request.method != "DELETE") {
       return JsonError(405, "use DELETE to withdraw a contract");
     }
     return HandleCancel(request);
   }
-  if (request.method != "GET") {
-    return JsonError(405, "unsupported method " + request.method);
-  }
-  if (target == "/assignment") return HandleAssignment();
-  if (target == "/report") return HandleReport();
-  if (target == "/healthz") return HandleHealth();
-  if (target == "/metrics") {
+  const bool is_get_path =
+      path == "/assignment" || path == "/report" || path == "/healthz" ||
+      path == "/metrics" || path == "/debug/vars" ||
+      path == "/debug/flight" || path == "/debug/trace";
+  if (is_get_path) {
+    if (request.method != "GET") {
+      return JsonError(405, "use GET for " + std::string(path));
+    }
+    if (path == "/assignment") return HandleAssignment();
+    if (path == "/report") return HandleReport();
+    if (path == "/healthz") return HandleHealth();
+    if (path == "/debug/vars") return HandleDebugVars();
+    if (path == "/debug/flight") return HandleDebugFlight();
+    if (path == "/debug/trace") return HandleDebugTrace(query);
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4";
     response.body =
         obs::MetricsRegistry::Global().Snapshot().ToPrometheus();
     return response;
   }
-  return JsonError(404, "no such endpoint: " + target);
+  HttpResponse response = JsonError(
+      404, "no such endpoint: " + std::string(path));
+  response.body.pop_back();  // reopen the JsonError object
+  response.body +=
+      ",\"known_endpoints\":[\"POST /contracts\","
+      "\"DELETE /contracts/<id>\",\"GET /assignment\",\"GET /report\","
+      "\"GET /healthz\",\"GET /metrics\",\"GET /debug/vars\","
+      "\"GET /debug/flight\",\"GET /debug/trace?ms=N\"]}";
+  return response;
 }
 
-HttpResponse MarketServer::HandleSubmit(const HttpRequest& request) {
+HttpResponse MarketServer::HandleSubmit(const HttpRequest& request,
+                                        RequestTrace* trace) {
   common::Result<double> demand = ExtractJsonNumber(request.body, "demand");
   common::Result<double> payment =
       ExtractJsonNumber(request.body, "payment");
@@ -241,20 +283,55 @@ HttpResponse MarketServer::HandleSubmit(const HttpRequest& request) {
   terms.demand = static_cast<int64_t>(*demand);
   terms.payment = *payment;
 
-  std::future<HttpResponse> future;
+  MROAM_FLIGHT_EVENT("ticket.enqueue", trace->request_id);
+  std::future<SubmitOutcome> future;
   {
     std::lock_guard<std::mutex> lock(batch_mu_);
     PendingArrival pending;
     pending.terms = terms;
     pending.enqueued = std::chrono::steady_clock::now();
-    future = pending.response.get_future();
+    pending.request_id = trace->request_id;
+    future = pending.outcome.get_future();
     queue_.push_back(std::move(pending));
     MROAM_GAUGE_SET("serve.queue_depth",
                     static_cast<int64_t>(queue_.size()));
   }
   batch_cv_.notify_all();
   // Group commit: the response is the contract's post-replan outcome.
-  return future.get();
+  SubmitOutcome outcome = future.get();
+  trace->ticket = outcome.ticket;
+  trace->replan_done = outcome.replan_done;
+  return std::move(outcome.response);
+}
+
+HttpResponse MarketServer::HandleDebugVars() {
+  HttpResponse response;
+  response.body = obs::MetricsRegistry::Global().Snapshot().ToJson();
+  return response;
+}
+
+HttpResponse MarketServer::HandleDebugFlight() {
+  HttpResponse response;
+  response.body = obs::FlightRecorder::Global().DumpJson();
+  return response;
+}
+
+HttpResponse MarketServer::HandleDebugTrace(std::string_view query) {
+  double ms = 250.0;
+  std::string_view text = QueryParam(query, "ms");
+  if (!text.empty()) {
+    common::Result<int64_t> parsed = common::ParseInt64(text);
+    if (!parsed.ok() || *parsed < 1 || *parsed > 10000) {
+      return JsonError(400, "ms must be an integer in [1, 10000], got '" +
+                                std::string(text) + "'");
+    }
+    ms = static_cast<double>(*parsed);
+  }
+  // Blocks this worker for the window (bounded at 10s); concurrent
+  // captures serialize inside CaptureWindow.
+  HttpResponse response;
+  response.body = obs::Tracer::Global().CaptureWindow(ms / 1e3);
+  return response;
 }
 
 HttpResponse MarketServer::HandleCancel(const HttpRequest& request) {
@@ -340,6 +417,13 @@ HttpResponse MarketServer::HandleReport() {
       ",\"full_solve_fallback\":" +
       (last_day_.full_solve_fallback ? "true" : "false") +
       ",\"seconds\":" + obs::internal::JsonDouble(last_day_.seconds) +
+      ",\"stage_seconds\":{\"queue_wait\":" +
+      obs::internal::JsonDouble(
+          last_day_.report.PhaseSeconds("serve.queue_wait")) +
+      ",\"replan\":" +
+      obs::internal::JsonDouble(
+          last_day_.report.PhaseSeconds("serve.replan")) +
+      "}" +
       ",\"breakdown\":";
   AppendBreakdownJson(&response.body, last_day_.breakdown);
   response.body += "}}";
@@ -398,19 +482,27 @@ void MarketServer::FlushBatch() {
   const auto now = std::chrono::steady_clock::now();
   std::vector<market::Advertiser> arrivals;
   arrivals.reserve(batch.size());
+  double queue_wait_total = 0.0;
   for (const PendingArrival& pending : batch) {
     arrivals.push_back(pending.terms);
-    MROAM_HISTOGRAM_OBSERVE(
-        "serve.admission_wait_seconds",
-        std::chrono::duration<double>(now - pending.enqueued).count());
+    const double waited =
+        std::chrono::duration<double>(now - pending.enqueued).count();
+    queue_wait_total += waited;
+    MROAM_HISTOGRAM_OBSERVE("serve.stage.queue_wait_seconds", waited);
+    // Legacy name kept for dashboards that predate the stage histograms.
+    MROAM_HISTOGRAM_OBSERVE("serve.admission_wait_seconds", waited);
+    MROAM_FLIGHT_EVENT("ticket.flush", pending.request_id);
   }
 
   common::Stopwatch watch;
   core::DayResult day;
   std::vector<std::string> outcomes(batch.size());
+  std::vector<int64_t> admitted;
   {
     std::lock_guard<std::mutex> lock(market_mu_);
     day = market_.AdvanceDay(std::move(arrivals));
+    const double replan_seconds = watch.ElapsedSeconds();
+    admitted = day.admitted_tickets;
 
     // Per-arrival outcome: admitted_tickets aligns with the batch order;
     // look each ticket up in the replanned deployment.
@@ -432,9 +524,17 @@ void MarketServer::FlushBatch() {
                     ",\"active_contracts\":" +
                     std::to_string(day.active_contracts) + "}";
     }
+    // Stage accounting rides in the day's RunReport, so GET /report can
+    // show where this batch's wall time went (queue_wait is summed over
+    // the batch's arrivals, like parallel solver phases).
+    day.report.AddPhase("serve.queue_wait", queue_wait_total);
+    day.report.AddPhase("serve.replan", replan_seconds);
     last_day_ = std::move(day);
     MROAM_GAUGE_SET("serve.active_contracts", market_.active_contracts());
   }
+  const auto replan_done = std::chrono::steady_clock::now();
+  MROAM_HISTOGRAM_OBSERVE("serve.stage.replan_seconds",
+                          watch.ElapsedSeconds());
   MROAM_HISTOGRAM_OBSERVE("serve.replan_seconds", watch.ElapsedSeconds());
   MROAM_COUNTER_ADD("serve.batches", 1);
   MROAM_COUNTER_ADD("serve.contracts_admitted",
@@ -458,9 +558,12 @@ void MarketServer::FlushBatch() {
   batches_flushed_.fetch_add(1, std::memory_order_relaxed);
 
   for (size_t i = 0; i < batch.size(); ++i) {
-    HttpResponse response;
-    response.body = std::move(outcomes[i]);
-    batch[i].response.set_value(std::move(response));
+    SubmitOutcome outcome;
+    outcome.response.body = std::move(outcomes[i]);
+    outcome.replan_done = replan_done;
+    outcome.ticket = admitted[i];
+    MROAM_FLIGHT_EVENT("ticket.replan_done", outcome.ticket);
+    batch[i].outcome.set_value(std::move(outcome));
   }
 }
 

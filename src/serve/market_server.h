@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -53,6 +54,20 @@ struct MarketServerConfig {
 ///   GET    /report          last replan's regret breakdown + server stats.
 ///   GET    /metrics         Prometheus exposition of the obs registry.
 ///   GET    /healthz         liveness probe.
+///   GET    /debug/vars      metrics registry snapshot as JSON.
+///   GET    /debug/flight    flight-recorder ring dump (last ~16k spans).
+///   GET    /debug/trace?ms=N  records spans for N ms (default 250, max
+///                           10000) and returns Chrome trace-event JSON —
+///                           a bounded Perfetto capture with no restart.
+///
+/// Ticket lifecycle tracing: every request is minted a request id at
+/// routing time (RequestTrace); a submitted contract's id rides with it
+/// through the admission queue, the batch replan, and the group-commit
+/// response, leaving flight-recorder events (ticket.enqueue,
+/// ticket.flush, ticket.replan_done, ticket.respond) and per-stage
+/// histograms (serve.stage.queue_wait/replan/respond/read _seconds) on
+/// the way — the raw material for /debug/flight and BENCH_serve
+/// percentiles.
 ///
 /// Stop() (also run by the destructor) performs a graceful drain: the
 /// listener closes first, in-flight requests finish, every queued
@@ -85,16 +100,40 @@ class MarketServer {
     return batches_flushed_.load(std::memory_order_relaxed);
   }
 
+  /// Per-request trace context, minted at routing time and threaded
+  /// through the submit path so the connection handler can attribute the
+  /// respond stage to the right ticket. Zero-initialized for
+  /// non-contract requests (replan_done stays the epoch).
+  struct RequestTrace {
+    int64_t request_id = 0;
+    int64_t ticket = -1;  ///< set by a successful submit
+    /// When the submitting batch's replan finished; the respond stage is
+    /// measured from here to after the response bytes are written.
+    std::chrono::steady_clock::time_point replan_done{};
+  };
+
   /// Routes one parsed request to its handler — the testable core of the
   /// server loop (no sockets involved).
   HttpResponse Handle(const HttpRequest& request);
+  /// Same, with the caller observing the request's trace context.
+  HttpResponse Handle(const HttpRequest& request, RequestTrace* trace);
 
  private:
+  /// What the flush loop hands back to a blocked submitter: the response
+  /// plus the timing context the connection handler needs to finish the
+  /// ticket's stage accounting.
+  struct SubmitOutcome {
+    HttpResponse response;
+    std::chrono::steady_clock::time_point replan_done{};
+    int64_t ticket = -1;
+  };
+
   /// One queued contract arrival waiting for its batch to flush.
   struct PendingArrival {
     market::Advertiser terms;
-    std::promise<HttpResponse> response;
+    std::promise<SubmitOutcome> outcome;
     std::chrono::steady_clock::time_point enqueued;
+    int64_t request_id = 0;
   };
 
   void AcceptLoop();
@@ -104,11 +143,15 @@ class MarketServer {
   /// fulfils each arrival's promise. Called with batch_mu_ NOT held.
   void FlushBatch();
 
-  HttpResponse HandleSubmit(const HttpRequest& request);
+  HttpResponse HandleSubmit(const HttpRequest& request,
+                            RequestTrace* trace);
   HttpResponse HandleCancel(const HttpRequest& request);
   HttpResponse HandleAssignment();
   HttpResponse HandleReport();
   HttpResponse HandleHealth();
+  HttpResponse HandleDebugVars();
+  HttpResponse HandleDebugFlight();
+  HttpResponse HandleDebugTrace(std::string_view query);
 
   const influence::InfluenceIndex* index_;
   MarketServerConfig config_;
@@ -119,6 +162,7 @@ class MarketServer {
   std::atomic<bool> draining_{false};  ///< flush immediately, no delay wait
   std::atomic<bool> stopping_{false};  ///< flush loop may exit once empty
   std::atomic<int64_t> batches_flushed_{0};
+  std::atomic<int64_t> next_request_id_{0};
 
   std::thread accept_thread_;
   std::thread flush_thread_;

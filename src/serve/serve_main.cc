@@ -28,6 +28,7 @@
 #include "gen/city_generators.h"
 #include "influence/influence_index.h"
 #include "io/snapshot_io.h"
+#include "obs/crash_handler.h"
 #include "obs/metrics.h"
 #include "serve/market_server.h"
 
@@ -293,6 +294,10 @@ int main(int argc, char** argv) {
   sigaddset(&set, SIGINT);
   pthread_sigmask(SIG_BLOCK, &set, nullptr);
   signal(SIGPIPE, SIG_IGN);
+  // Fatal signals dump the flight recorder + metrics snapshot to
+  // mroam_crash_report.json (override with MROAM_CRASH_REPORT) before
+  // re-raising, so a wedged or crashed server leaves a post-mortem.
+  mroam::obs::InstallCrashHandler();
 
   Options options;
   Status status = ParseOptions(argc, argv, &options);

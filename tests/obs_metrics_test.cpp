@@ -190,6 +190,101 @@ TEST(MetricsSnapshotTest, ToPrometheusMangledNamesAndCumulativeBuckets) {
             std::string::npos);
 }
 
+TEST(MetricsSnapshotTest, ToPrometheusEmitsHelpAndTypeOncePerFamily) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"als.moves_applied", 7});
+  snapshot.gauges.push_back({"serve.queue_depth", 3});
+  MetricsSnapshot::HistogramValue h;
+  h.name = "rls.search_seconds";
+  h.bounds = {0.1};
+  h.counts = {1, 0};
+  h.count = 1;
+  h.sum = 0.05;
+  snapshot.histograms.push_back(h);
+
+  std::string text = snapshot.ToPrometheus();
+  // Exactly one HELP and one TYPE line per family, HELP before TYPE.
+  for (const char* family :
+       {"mroam_als_moves_applied", "mroam_serve_queue_depth",
+        "mroam_rls_search_seconds"}) {
+    const std::string help = std::string("# HELP ") + family + " ";
+    const std::string type = std::string("# TYPE ") + family + " ";
+    const size_t help_at = text.find(help);
+    const size_t type_at = text.find(type);
+    ASSERT_NE(help_at, std::string::npos) << family;
+    ASSERT_NE(type_at, std::string::npos) << family;
+    EXPECT_LT(help_at, type_at) << family;
+    EXPECT_EQ(text.find(help, help_at + 1), std::string::npos) << family;
+    EXPECT_EQ(text.find(type, type_at + 1), std::string::npos) << family;
+  }
+  // HELP carries the original dotted name.
+  EXPECT_NE(text.find("# HELP mroam_als_moves_applied mroam counter "
+                      "'als.moves_applied'\n"),
+            std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, ToPrometheusDisambiguatesCollidingFamilies) {
+  // "a.b" and "a_b" both sanitize to mroam_a_b; a counter and a gauge
+  // can collide the same way. Collisions must not produce duplicate
+  // HELP/TYPE headers for one family name.
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"a.b", 1});
+  snapshot.counters.push_back({"a_b", 2});
+  snapshot.gauges.push_back({"a.b", 3});
+
+  std::string text = snapshot.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE mroam_a_b counter\n"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE mroam_a_b counter\n",
+                      text.find("# TYPE mroam_a_b counter\n") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mroam_a_b_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mroam_a_b_gauge gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mroam_a_b 1\n"), std::string::npos);
+  EXPECT_NE(text.find("mroam_a_b_counter 2\n"), std::string::npos);
+  EXPECT_NE(text.find("mroam_a_b_gauge 3\n"), std::string::npos);
+}
+
+TEST(PrometheusEscapeTest, EscapesHelpAndLabelValues) {
+  EXPECT_EQ(internal::PrometheusEscapeHelp("plain"), "plain");
+  EXPECT_EQ(internal::PrometheusEscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+  // Label values additionally escape the double quote.
+  EXPECT_EQ(internal::PrometheusEscapeLabel("say \"hi\"\n"),
+            "say \\\"hi\\\"\\n");
+  EXPECT_EQ(internal::PrometheusEscapeLabel("back\\slash"),
+            "back\\\\slash");
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinTheWinningBucket) {
+  MetricsSnapshot::HistogramValue h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {2, 2, 2, 0};
+  h.count = 6;
+  // Median: 3 of 6 observations land at the end of bucket 1 ([1,2]).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.5);
+  // Bucket 0 is anchored at zero.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 0.75);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, HandlesOverflowAndEmpty) {
+  MetricsSnapshot::HistogramValue h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {0, 0, 5};  // everything overflowed
+  h.count = 5;
+  // The overflow bucket has no finite edge: pinned to the largest bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+
+  MetricsSnapshot::HistogramValue empty;
+  empty.bounds = {1.0};
+  empty.counts = {0, 0};
+  empty.count = 0;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
 TEST(JsonHelpersTest, EscapesAndFormats) {
   std::string out;
   internal::AppendJsonString(&out, "a\"b\\c\nd");

@@ -1,15 +1,28 @@
 #!/usr/bin/env python3
 """Gate on algorithmic-work regressions in the micro-benchmarks.
 
-Compares a google-benchmark JSON file (e.g. BENCH_micro_algorithms.json,
-produced by the `micro_algorithms_bench` ctest entry, or
-BENCH_micro_replan.json from `micro_replan_bench`) against a committed
-baseline of per-iteration work counters. The counters are seeded and
-workload-deterministic — greedy.deltas counts marginal-gain
-recomputations, the replan.* family measures the incremental replanner's
-churn response — so any increase beyond the tolerance means the algorithm
-got worse (e.g. cache invalidation broke, the blast radius exploded), not
-that the machine was noisy.
+Compares a benchmark JSON file against a committed baseline of
+per-iteration work counters. Two --current schemas are accepted:
+
+  google-benchmark:  {"benchmarks": [{"name": ..., <counter>: ...}, ...]}
+                     (BENCH_micro_algorithms.json from the
+                     `micro_algorithms_bench` ctest entry,
+                     BENCH_micro_replan.json from `micro_replan_bench`)
+  flat ReportWriter: {"bench": "<name>", <field>: <number>, ...}
+                     (BENCH_serve.json from `serve_load_bench` — the
+                     bench name keys the values, top-level numeric
+                     fields are the counters)
+
+The micro-benchmark counters are seeded and workload-deterministic —
+greedy.deltas counts marginal-gain recomputations, the replan.* family
+measures the incremental replanner's churn response — so any increase
+beyond the tolerance means the algorithm got worse (e.g. cache
+invalidation broke, the blast radius exploded), not that the machine was
+noisy. The serve stage latencies ARE wall-clock; their gate uses a wide
+tolerance plus an absolute --slack floor so only an order-of-regression
+(a blocking call on the replan path, a lost group commit) trips it —
+sub-millisecond baselines would otherwise turn scheduler jitter into a
+>300% relative "regression".
 
 Baseline schemas (both accepted when checking):
   legacy, one counter:   {"counter": "greedy.deltas",
@@ -49,8 +62,16 @@ def load_counters(path, counters):
         sys.exit(1)
     benchmarks = data.get("benchmarks")
     if not isinstance(benchmarks, list):
-        print(f"check_bench_regression: {path} has no 'benchmarks' array")
-        sys.exit(1)
+        # Flat ReportWriter schema: one benchmark, named by "bench",
+        # counters as top-level numeric fields.
+        bench = data.get("bench")
+        if not isinstance(bench, str):
+            print(f"check_bench_regression: {path} has no 'benchmarks' "
+                  "array and no 'bench' name")
+            sys.exit(1)
+        found = {c: float(data[c]) for c in counters
+                 if isinstance(data.get(c), (int, float))}
+        return {bench: found} if found else {}
     current = {}
     for entry in benchmarks:
         name = entry.get("name")
@@ -106,6 +127,11 @@ def main():
                         "checking, the baseline file decides.")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed relative increase (default: 0.10)")
+    parser.add_argument("--slack", type=float, default=0.0,
+                        help="absolute allowance added on top of the "
+                        "relative tolerance, in the counter's own units "
+                        "(default: 0). Use for wall-clock counters whose "
+                        "baseline is small enough that noise dominates.")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from --current instead "
                         "of checking")
@@ -152,7 +178,8 @@ def main():
                                 f"from {args.current}")
                 continue
             checked += 1
-            allowed = expected * (1.0 + args.tolerance) + ABS_EPSILON
+            allowed = (expected * (1.0 + args.tolerance) + args.slack
+                       + ABS_EPSILON)
             verdict = "ok"
             if actual > allowed:
                 verdict = "REGRESSION"
