@@ -17,14 +17,29 @@
 // criterion. --skip-compare drops that half (the tier-1 ctest entry does;
 // it gates only the serve-path stage latencies).
 //
+// The overload sweep (--skip-overload drops it) drives an open-loop
+// burst at a deliberately tiny admission queue plus two slow-loris
+// probes, and records how the overload contract held (DESIGN.md §6.2):
+// every request resolves as committed/shed/error, the queue never
+// exceeds max_queue, 429s carry Retry-After, and the probes get 408.
+// The overload_*-mismatch counters are deterministic zeros gated by
+// check_serve_overload_regression.
+//
 //   serve_load [--submissions N] [--clients N]
 //              [--policy lock|reopt|incremental]
 //              [--batch-max N] [--batch-delay-ms F] [--skip-compare]
+//              [--skip-overload]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -55,6 +70,8 @@ struct LoadOptions {
   /// Skip the deterministic replan comparison (the slow half) — the
   /// tier-1 ctest entry gates only the serve-path stage latencies.
   bool skip_compare = false;
+  /// Skip the open-loop overload sweep.
+  bool skip_overload = false;
 };
 
 double Percentile(std::vector<double> sorted, double q) {
@@ -165,6 +182,208 @@ bool RunReplanCompare(const influence::InfluenceIndex& index,
           ? full.seconds_per_day / incremental.seconds_per_day
           : 0.0,
       full.final_regret, incremental.final_regret);
+  return true;
+}
+
+/// Raw TCP connect to 127.0.0.1:port — for the slow-loris probes, which
+/// misbehave in ways HttpFetch cannot.
+int ConnectTo(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string RecvAll(int fd) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+/// Open-loop overload sweep: an admission queue that can only drain on
+/// Stop() (the batch never fills, the delay never expires inside the
+/// sweep window) makes the outcome split machine-independent — exactly
+/// max_queue submissions commit through the drain's final replan, every
+/// other submission sheds with 429 + Retry-After, and the two slow-loris
+/// probes trip the read deadline. Each invariant's violation count is
+/// reported as an overload_* number for the regression gate; all must be
+/// exactly zero on any machine.
+bool RunOverloadSweep(const influence::InfluenceIndex& index,
+                      ReportWriter* report) {
+  serve::MarketServerConfig config;
+  config.port = 0;
+  // Workers hold queued arrivals until the flush (group commit), so the
+  // worker pool must exceed max_queue or the shed path can never engage.
+  config.num_threads = 24;
+  config.max_batch = 1000;            // never fills during the sweep
+  config.max_batch_delay_seconds = 60.0;  // never expires during the sweep
+  config.max_queue = 12;
+  config.degraded_watermark = 6;
+  config.read_idle_timeout_ms = 60;   // what the loris probes trip
+  config.request_timeout_ms = 5000;
+  config.market.policy = core::ReplanPolicy::kLockExisting;
+  config.market.solver.method = core::Method::kGGlobal;
+
+  serve::MarketServer server(&index, config);
+  common::Status started = server.Start();
+  if (!started.ok()) {
+    MROAM_LOG(Error) << "overload sweep server start failed: "
+                     << started.ToString();
+    return false;
+  }
+  const int port = server.port();
+
+  common::Rng rng(29);
+  market::WorkloadConfig workload;
+  workload.avg_individual_demand_ratio = 0.01;
+  auto advertisers =
+      market::GenerateAdvertisers(index.TotalSupply(), workload, &rng);
+  if (!advertisers.ok()) {
+    MROAM_LOG(Error) << advertisers.status().ToString();
+    return false;
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+
+  // Two slow-loris probes: partial head, then stall until the server's
+  // idle deadline answers 408 and reclaims the worker.
+  std::atomic<int> loris_408{0};
+  std::vector<std::thread> probes;
+  for (int i = 0; i < 2; ++i) {
+    probes.emplace_back([&] {
+      int fd = ConnectTo(port);
+      if (fd < 0) return;
+      (void)serve::WriteAll(fd, "POST /contracts HTTP/1.1\r\n");
+      std::string response = RecvAll(fd);
+      ::close(fd);
+      if (response.rfind("HTTP/1.1 408", 0) == 0) loris_408.fetch_add(1);
+    });
+  }
+
+  // The open-loop burst: one shot per millisecond, no waiting for
+  // completions — arrival rate is set by the clock, not the server.
+  constexpr int kRequests = 240;
+  std::atomic<int> committed{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> errors{0};
+  std::atomic<int> retry_after_missing{0};
+  std::vector<std::thread> shots;
+  shots.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    shots.emplace_back([&, i] {
+      const market::Advertiser& terms =
+          (*advertisers)[static_cast<size_t>(i) % advertisers->size()];
+      std::string body =
+          "{\"demand\": " + std::to_string(terms.demand) +
+          ", \"payment\": " + common::FormatDouble(terms.payment, 3) + "}";
+      auto response =
+          serve::HttpFetch("127.0.0.1", port, "POST", "/contracts", body);
+      if (!response.ok()) {
+        errors.fetch_add(1);
+      } else if (response->status == 200) {
+        committed.fetch_add(1);
+      } else if (response->status == 429) {
+        shed.fetch_add(1);
+        auto retry_after =
+            common::ParseInt64(response->HeaderOr("retry-after"));
+        if (!retry_after.ok() || *retry_after < 1 || *retry_after > 60) {
+          retry_after_missing.fetch_add(1);
+        }
+      } else {
+        errors.fetch_add(1);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::thread& t : probes) t.join();
+
+  // Wait until every shot has either resolved client-side or is parked
+  // in the admission queue (visible via /report), sampling the max
+  // observed depth on the way; only then is Stop()'s drain safe to run.
+  int64_t max_depth_observed = 0;
+  bool settled = false;
+  for (int attempt = 0; attempt < 4000 && !settled; ++attempt) {
+    auto report_fetch = serve::HttpFetch("127.0.0.1", port, "GET", "/report");
+    int64_t depth = 0;
+    if (report_fetch.ok()) {
+      auto parsed =
+          serve::ExtractJsonNumber(report_fetch->body, "queue_depth");
+      if (parsed.ok()) depth = static_cast<int64_t>(*parsed);
+    }
+    max_depth_observed = std::max(max_depth_observed, depth);
+    const int resolved =
+        committed.load() + shed.load() + errors.load();
+    settled = resolved + static_cast<int>(depth) == kRequests;
+    if (!settled) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  // Stop() drains: the parked submissions commit through a final replan
+  // and unblock their clients — every ticket resolves.
+  server.Stop();
+  for (std::thread& t : shots) t.join();
+  double wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  const int resolved = committed.load() + shed.load() + errors.load();
+  const int64_t unresolved = kRequests - resolved;
+  const int64_t queue_overrun =
+      std::max<int64_t>(0, max_depth_observed - config.max_queue);
+  const int64_t commit_mismatch =
+      std::abs(committed.load() - config.max_queue);
+  const int64_t shed_mismatch =
+      std::abs(shed.load() - (kRequests - config.max_queue));
+  const int64_t loris_missed = 2 - loris_408.load();
+  const int64_t read_timeout_mismatch =
+      std::abs(server.read_timeouts() - 2);
+
+  report->AddNumber("overload_requests", kRequests);
+  report->AddNumber("overload_committed", committed.load());
+  report->AddNumber("overload_shed", shed.load());
+  report->AddNumber("overload_shed_rate",
+                    static_cast<double>(shed.load()) / kRequests);
+  report->AddNumber("overload_errors", errors.load());
+  report->AddNumber("overload_read_timeouts",
+                    static_cast<double>(server.read_timeouts()));
+  report->AddNumber("overload_max_queue_depth",
+                    static_cast<double>(max_depth_observed));
+  report->AddNumber("overload_wall_seconds", wall_seconds);
+  // The gated invariants — deterministic zeros on any machine.
+  report->AddNumber("overload_unresolved",
+                    static_cast<double>(unresolved));
+  report->AddNumber("overload_queue_overrun",
+                    static_cast<double>(queue_overrun));
+  report->AddNumber("overload_commit_mismatch",
+                    static_cast<double>(commit_mismatch));
+  report->AddNumber("overload_shed_mismatch",
+                    static_cast<double>(shed_mismatch));
+  report->AddNumber("overload_retry_after_missing",
+                    retry_after_missing.load());
+  report->AddNumber("overload_loris_missed",
+                    static_cast<double>(loris_missed));
+  report->AddNumber("overload_read_timeout_mismatch",
+                    static_cast<double>(read_timeout_mismatch));
+
+  std::printf(
+      "overload_sweep: %d committed / %d shed / %d errors of %d in %.2fs "
+      "(shed rate %.2f), max queue depth %lld/%d, %d/2 loris 408s\n",
+      committed.load(), shed.load(), errors.load(), kRequests, wall_seconds,
+      static_cast<double>(shed.load()) / kRequests,
+      static_cast<long long>(max_depth_observed), config.max_queue,
+      loris_408.load());
   return true;
 }
 
@@ -322,6 +541,13 @@ int Run(const LoadOptions& options) {
   }
   std::printf("serve_load stages:%s\n", stage_summary.c_str());
 
+  // The overload sweep runs AFTER the stage snapshot above: its parked
+  // submissions spend the whole sweep in the admission queue, which
+  // would otherwise poison the gated queue-wait percentiles.
+  if (!options.skip_overload && !RunOverloadSweep(index, &report)) {
+    return 1;
+  }
+
   // Deterministic replan comparison over a shared churn schedule.
   if (!options.skip_compare && !RunReplanCompare(index, &report)) {
     return 1;
@@ -374,11 +600,14 @@ int main(int argc, char** argv) {
       options.batch_delay_ms = std::atof(next());
     } else if (arg == "--skip-compare") {
       options.skip_compare = true;
+    } else if (arg == "--skip-overload") {
+      options.skip_overload = true;
     } else {
       std::fprintf(stderr,
                    "usage: serve_load [--submissions N] [--clients N] "
                    "[--policy lock|reopt|incremental] [--batch-max N] "
-                   "[--batch-delay-ms F] [--skip-compare]\n");
+                   "[--batch-delay-ms F] [--skip-compare] "
+                   "[--skip-overload]\n");
       return 2;
     }
   }

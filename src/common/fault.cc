@@ -1,0 +1,166 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace mroam::common {
+
+namespace {
+
+/// FNV-1a over the point name: mixed into the master seed so each point
+/// gets an independent, name-stable RNG stream.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Arms the global injector from MROAM_FAULT at static-init time, the
+/// same pattern as MROAM_TRACE / MROAM_FLIGHT. A malformed spec logs a
+/// warning and leaves the injector disarmed rather than aborting: fault
+/// injection must never be the thing that takes the process down.
+[[maybe_unused]] const bool g_fault_env_armed = [] {
+  const char* spec = std::getenv("MROAM_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return false;
+  Status armed = FaultInjector::Global().ArmFromSpec(spec);
+  if (!armed.ok()) {
+    MROAM_LOG(Warning) << "ignoring malformed MROAM_FAULT spec: "
+                       << armed.message();
+    return false;
+  }
+  MROAM_LOG(Warning) << "fault injection armed: "
+                     << FaultInjector::Global().Summary();
+  return true;
+}();
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+Status FaultInjector::ArmFromSpec(std::string_view spec) {
+  uint64_t seed = 42;
+  std::vector<Point> points;
+  // ';' and ',' both separate entries (',' survives quoting in more
+  // shells; ';' reads better in docs).
+  std::string normalized(spec);
+  for (char& c : normalized) {
+    if (c == ',') c = ';';
+  }
+  for (std::string_view entry : Split(normalized, ';')) {
+    entry = StripWhitespace(entry);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry '" +
+                                     std::string(entry) +
+                                     "' is not <key>=<value>");
+    }
+    std::string_view key = StripWhitespace(entry.substr(0, eq));
+    std::string_view value = StripWhitespace(entry.substr(eq + 1));
+    if (key == "seed") {
+      MROAM_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(value));
+      seed = static_cast<uint64_t>(parsed);
+      continue;
+    }
+    Point point;
+    point.name = std::string(key);
+    std::string_view probability_text = value;
+    size_t colon = value.find(':');
+    if (colon != std::string_view::npos) {
+      probability_text = value.substr(0, colon);
+      MROAM_ASSIGN_OR_RETURN(point.delay_ms,
+                             ParseInt64(value.substr(colon + 1)));
+      if (point.delay_ms < 0) {
+        return Status::InvalidArgument("fault point '" + point.name +
+                                       "' has a negative delay");
+      }
+    }
+    MROAM_ASSIGN_OR_RETURN(point.probability,
+                           ParseDouble(probability_text));
+    if (point.probability < 0.0 || point.probability > 1.0) {
+      return Status::InvalidArgument(
+          "fault point '" + point.name + "' probability " +
+          std::string(probability_text) + " is outside [0, 1]");
+    }
+    points.push_back(std::move(point));
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("fault spec '" + std::string(spec) +
+                                   "' arms no points");
+  }
+  for (Point& point : points) {
+    point.rng = Rng(seed ^ HashName(point.name));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed_ = seed;
+    points_ = std::move(points);
+  }
+  armed_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void FaultInjector::Disarm() {
+  armed_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+FaultAction FaultInjector::Decide(std::string_view point) {
+  FaultAction action;
+  if (!Armed()) return action;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Point& armed : points_) {
+    if (armed.name != point) continue;
+    ++armed.decisions;
+    action.fire = armed.rng.Bernoulli(armed.probability);
+    if (action.fire) {
+      ++armed.fires;
+      action.delay_ms = armed.delay_ms;
+    }
+    return action;
+  }
+  return action;
+}
+
+int64_t FaultInjector::FireCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Point& armed : points_) {
+    if (armed.name == point) return armed.fires;
+  }
+  return 0;
+}
+
+std::string FaultInjector::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "seed=";
+  out += std::to_string(seed_);
+  for (const Point& point : points_) {
+    out += ' ';
+    out += point.name;
+    out += '=';
+    out += FormatDouble(point.probability, 3);
+    if (point.delay_ms > 0) {
+      out += ':';
+      out += std::to_string(point.delay_ms);
+    }
+    out += "(fired ";
+    out += std::to_string(point.fires);
+    out += '/';
+    out += std::to_string(point.decisions);
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace mroam::common

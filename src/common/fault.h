@@ -1,0 +1,102 @@
+#ifndef MROAM_COMMON_FAULT_H_
+#define MROAM_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mroam::common {
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection for chaos testing the serving path.
+//
+// Code declares *named injection points* with MROAM_FAULT_POINT("name");
+// each call returns a FaultAction saying whether to inject the fault this
+// time and with what delay payload. Points are armed globally, either
+// programmatically (tests) or via the MROAM_FAULT environment variable
+// (operations), with a spec like
+//
+//   MROAM_FAULT="seed=7;serve.slow_read=0.5:25;serve.drop_connection=0.1"
+//
+// i.e. `seed=N` plus one `<point>=<probability>[:<delay_ms>]` entry per
+// armed point, separated by ';' or ','. Every point draws from its own
+// RNG stream forked from the master seed and the point's name, so the
+// k-th decision at a given point is a pure function of (seed, point, k)
+// regardless of how other points interleave — chaos runs replay.
+//
+// Cost when disarmed: one relaxed atomic load (the same discipline as the
+// flight recorder). The MROAM_ENABLE_FAULT_INJECTION CMake option
+// (default ON) compiles every point down to a constant when OFF.
+// ---------------------------------------------------------------------------
+
+/// Decision handed back by an armed fault point.
+struct FaultAction {
+  bool fire = false;     ///< inject the fault this time
+  int64_t delay_ms = 0;  ///< configured delay payload (delay-style points)
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// The hot-path check: false unless some spec is armed.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Arms the injector from a spec (grammar above). Replaces any armed
+  /// configuration and resets every point's RNG stream and counters.
+  /// Fails with kInvalidArgument on a malformed spec, leaving the
+  /// injector disarmed.
+  Status ArmFromSpec(std::string_view spec);
+
+  /// Disarms every point (MROAM_FAULT_POINT returns {false, 0} again).
+  void Disarm();
+
+  /// The decision for one arrival at `point`. Unarmed points never fire.
+  FaultAction Decide(std::string_view point);
+
+  /// How often `point` has fired since arming (tests / audit logs).
+  int64_t FireCount(std::string_view point) const;
+
+  /// "seed=7 serve.slow_read=0.5:25(fired 3/10)" — for log lines.
+  std::string Summary() const;
+
+ private:
+  struct Point {
+    std::string name;
+    double probability = 0.0;
+    int64_t delay_ms = 0;
+    Rng rng;
+    int64_t decisions = 0;
+    int64_t fires = 0;
+  };
+
+  FaultInjector() = default;
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;  ///< guards points_ (cold path: Armed() gates)
+  uint64_t seed_ = 0;
+  std::vector<Point> points_;
+};
+
+/// The injection-point macro. Yields a FaultAction; disarmed (the steady
+/// state) it is one relaxed load. `point` must be a string literal-ish
+/// stable name, namespaced like metrics ("serve.slow_read").
+#ifdef MROAM_FAULT_DISABLED
+#define MROAM_FAULT_POINT(point) (::mroam::common::FaultAction{})
+#else
+#define MROAM_FAULT_POINT(point)                                  \
+  (::mroam::common::FaultInjector::Armed()                        \
+       ? ::mroam::common::FaultInjector::Global().Decide(point)   \
+       : ::mroam::common::FaultAction{})
+#endif
+
+}  // namespace mroam::common
+
+#endif  // MROAM_COMMON_FAULT_H_

@@ -19,6 +19,7 @@ enum class StatusCode {
   kDataLoss,
   kIoError,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

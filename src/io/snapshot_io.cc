@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
@@ -326,6 +327,12 @@ Status SaveIndexSnapshot(const std::string& path,
 
 Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path) {
   MROAM_TRACE_SPAN("io.snapshot_load");
+  // Chaos: lets mroam_serve's snapshot-failure exit path be exercised
+  // without corrupting a file on disk (MROAM_FAULT="io.snapshot_load=1").
+  if (MROAM_FAULT_POINT("io.snapshot_load").fire) {
+    return Status::IoError("fault injection: io.snapshot_load armed for " +
+                           path);
+  }
   common::Stopwatch watch;
   std::ifstream in(path, std::ios::binary);
   if (!in) {

@@ -3,14 +3,18 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "common/fault.h"
 #include "common/strings.h"
 
 namespace mroam::serve {
@@ -28,10 +32,88 @@ std::string ToLower(std::string_view s) {
   return out;
 }
 
-/// recv() until `marker` appears or a size/EOF limit trips. Appends to
-/// *buffer; returns the offset just past the marker.
-Result<size_t> ReadUntil(int fd, std::string* buffer,
-                         std::string_view marker, size_t max_bytes) {
+using Clock = std::chrono::steady_clock;
+
+/// Tracks one operation's whole-budget deadline; the idle budget is
+/// re-applied per wait in WaitReadable/WaitWritable.
+struct Deadline {
+  explicit Deadline(const HttpTimeouts& timeouts)
+      : idle_ms(timeouts.idle_ms), has_total(timeouts.total_ms >= 0) {
+    if (has_total) {
+      total = Clock::now() + std::chrono::milliseconds(timeouts.total_ms);
+    }
+  }
+
+  int idle_ms;
+  bool has_total;
+  Clock::time_point total{};
+};
+
+/// poll()s `fd` for `events` under the idle and total budgets. EINTR
+/// retries recompute the remaining budget, so a signal storm cannot
+/// extend a deadline. Returns kDeadlineExceeded naming the budget that
+/// ran out; POLLERR/POLLHUP fall through to the following recv/send,
+/// which surfaces the socket error.
+Status WaitReady(int fd, short events, const Deadline& deadline,
+                 const char* what) {
+  while (true) {
+    int wait_ms = deadline.idle_ms;
+    if (deadline.has_total) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline.total - Clock::now());
+      const int remaining_ms =
+          static_cast<int>(std::max<int64_t>(remaining.count(), 0));
+      if (remaining_ms == 0) {
+        return Status::DeadlineExceeded(std::string(what) +
+                                        " exceeded its request budget");
+      }
+      wait_ms = wait_ms < 0 ? remaining_ms : std::min(wait_ms, remaining_ms);
+    }
+    if (wait_ms < 0) return Status::Ok();  // fully blocking
+    pollfd pfd{fd, events, 0};
+    int ready = poll(&pfd, 1, wait_ms);
+    if (ready > 0) return Status::Ok();
+    if (ready == 0) {
+      if (deadline.idle_ms >= 0 && wait_ms == deadline.idle_ms) {
+        return Status::DeadlineExceeded(std::string(what) +
+                                        " idle for " +
+                                        std::to_string(deadline.idle_ms) +
+                                        "ms");
+      }
+      return Status::DeadlineExceeded(std::string(what) +
+                                      " exceeded its request budget");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("poll failed: ") +
+                           std::strerror(errno));
+  }
+}
+
+/// One deadline-guarded recv. Returns 0 on orderly EOF; retries EINTR.
+Result<size_t> RecvSome(int fd, char* chunk, size_t capacity,
+                        const Deadline& deadline) {
+  // Chaos: a slow-read fault stalls the reader before the deadline
+  // check, burning the request budget exactly like a starved thread
+  // would — so an injected stall longer than the budget surfaces as
+  // kDeadlineExceeded, not a slow success.
+  const common::FaultAction slow = MROAM_FAULT_POINT("serve.slow_read");
+  if (slow.fire && slow.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(slow.delay_ms));
+  }
+  while (true) {
+    MROAM_RETURN_IF_ERROR(WaitReady(fd, POLLIN, deadline, "HTTP read"));
+    ssize_t n = recv(fd, chunk, capacity, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("recv failed: ") +
+                           std::strerror(errno));
+  }
+}
+
+/// recv() until `marker` appears or a size/EOF/deadline limit trips.
+/// Appends to *buffer; returns the offset just past the marker.
+Result<size_t> ReadUntil(int fd, std::string* buffer, std::string_view marker,
+                         size_t max_bytes, const Deadline& deadline) {
   // Resume each scan where the previous one could not yet have matched: a
   // marker absent from the first `size` bytes can only start within the
   // last marker.size()-1 of them. Without this the scan restarts at
@@ -48,33 +130,25 @@ Result<size_t> ReadUntil(int fd, std::string* buffer,
                       ? buffer->size() - (marker.size() - 1)
                       : 0;
     char chunk[4096];
-    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    MROAM_ASSIGN_OR_RETURN(size_t n,
+                           RecvSome(fd, chunk, sizeof(chunk), deadline));
     if (n == 0) {
       return Status::IoError("connection closed before full HTTP head");
     }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("recv failed: ") +
-                             std::strerror(errno));
-    }
-    buffer->append(chunk, static_cast<size_t>(n));
+    buffer->append(chunk, n);
   }
 }
 
-Status ReadExact(int fd, std::string* buffer, size_t total) {
+Status ReadExact(int fd, std::string* buffer, size_t total,
+                 const Deadline& deadline) {
   while (buffer->size() < total) {
     char chunk[4096];
     size_t want = std::min(sizeof(chunk), total - buffer->size());
-    ssize_t n = recv(fd, chunk, want, 0);
+    MROAM_ASSIGN_OR_RETURN(size_t n, RecvSome(fd, chunk, want, deadline));
     if (n == 0) {
       return Status::IoError("connection closed before full HTTP body");
     }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("recv failed: ") +
-                             std::strerror(errno));
-    }
-    buffer->append(chunk, static_cast<size_t>(n));
+    buffer->append(chunk, n);
   }
   return Status::Ok();
 }
@@ -96,11 +170,21 @@ const char* HttpStatusReason(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
   }
+}
+
+std::string_view HttpResponse::HeaderOr(std::string_view name,
+                                        std::string_view fallback) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return fallback;
 }
 
 std::string HttpResponse::Serialize() const {
@@ -108,6 +192,9 @@ std::string HttpResponse::Serialize() const {
                     HttpStatusReason(status) + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "Connection: close\r\n\r\n";
   out += body;
   return out;
@@ -177,11 +264,14 @@ Result<size_t> ParseContentLength(std::string_view text) {
   return length;
 }
 
-Result<HttpRequest> ReadHttpRequest(int fd) {
+Result<HttpRequest> ReadHttpRequest(int fd, const HttpTimeouts& timeouts) {
+  // One deadline spans head + body: the total budget is per request, not
+  // per phase, so a client cannot double it by stalling at the boundary.
+  const Deadline deadline(timeouts);
   std::string buffer;
   MROAM_ASSIGN_OR_RETURN(size_t body_start,
                          ReadUntil(fd, &buffer, "\r\n\r\n",
-                                   kMaxHttpHeadBytes));
+                                   kMaxHttpHeadBytes, deadline));
   MROAM_ASSIGN_OR_RETURN(
       HttpRequest request,
       ParseRequestHead(std::string_view(buffer).substr(0, body_start - 4)));
@@ -205,21 +295,32 @@ Result<HttpRequest> ReadHttpRequest(int fd) {
   if (request.body.size() > length) {
     return Status::InvalidArgument("request body longer than Content-Length");
   }
-  MROAM_RETURN_IF_ERROR(ReadExact(fd, &request.body, length));
+  MROAM_RETURN_IF_ERROR(ReadExact(fd, &request.body, length, deadline));
   return request;
 }
 
-Status WriteAll(int fd, std::string_view data) {
+Status WriteAll(int fd, std::string_view data,
+                const HttpTimeouts& timeouts) {
+  const Deadline deadline(timeouts);
+  const bool bounded = deadline.idle_ms >= 0 || deadline.has_total;
+  // A blocking send() on a stream socket parks until EVERY byte is
+  // queued, which would let a non-draining peer sail past the deadline
+  // inside the syscall. With a budget armed, send non-blockingly and
+  // let WaitReady own all the waiting (and the deadline enforcement).
+  int flags = 0;
+#ifdef MSG_NOSIGNAL
+  flags |= MSG_NOSIGNAL;
+#endif
+  if (bounded) flags |= MSG_DONTWAIT;
   size_t sent = 0;
   while (sent < data.size()) {
-#ifdef MSG_NOSIGNAL
-    ssize_t n = send(fd, data.data() + sent, data.size() - sent,
-                     MSG_NOSIGNAL);
-#else
-    ssize_t n = send(fd, data.data() + sent, data.size() - sent, 0);
-#endif
+    if (bounded) {
+      MROAM_RETURN_IF_ERROR(WaitReady(fd, POLLOUT, deadline, "HTTP write"));
+    }
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // re-poll
       return Status::IoError(std::string("send failed: ") +
                              std::strerror(errno));
     }
@@ -250,11 +351,31 @@ Result<HttpResponse> HttpFetch(const std::string& host, int port,
                                    "got '" + host + "'");
   }
   if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status(common::StatusCode::kIoError,
-                  "connect to " + host + ":" + std::to_string(port) +
-                      " failed: " + std::strerror(errno));
-    close(fd);
-    return status;
+    // An EINTR'd connect keeps going in the kernel; a second connect()
+    // would report EALREADY. Wait for completion and read the outcome
+    // from SO_ERROR instead of surfacing a spurious IoError.
+    bool connected = false;
+    if (errno == EINTR) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready;
+      do {
+        ready = poll(&pfd, 1, -1);
+      } while (ready < 0 && errno == EINTR);
+      int error = 0;
+      socklen_t error_len = sizeof(error);
+      connected = ready > 0 &&
+                  getsockopt(fd, SOL_SOCKET, SO_ERROR, &error,
+                             &error_len) == 0 &&
+                  error == 0;
+      if (!connected) errno = error != 0 ? error : errno;
+    }
+    if (!connected) {
+      Status status(common::StatusCode::kIoError,
+                    "connect to " + host + ":" + std::to_string(port) +
+                        " failed: " + std::strerror(errno));
+      close(fd);
+      return status;
+    }
   }
 
   std::string request = method + " " + target + " HTTP/1.1\r\n" +
@@ -308,6 +429,22 @@ Result<HttpResponse> HttpFetch(const std::string& host, int port,
 
   HttpResponse response;
   response.status = static_cast<int>(code);
+  // Response headers (lowercased names), so callers can read Retry-After
+  // on a shed or X-Mroam-Stale on a degraded read. Unparseable lines are
+  // skipped rather than failing the fetch — the status and body are what
+  // every caller needs.
+  std::string_view header_block =
+      line_end == std::string_view::npos
+          ? std::string_view()
+          : head.substr(line_end + 2);
+  for (std::string_view line : common::Split(header_block, '\n')) {
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    size_t colon = line.find(':');
+    if (line.empty() || colon == std::string_view::npos) continue;
+    response.headers.emplace_back(
+        ToLower(common::StripWhitespace(line.substr(0, colon))),
+        std::string(common::StripWhitespace(line.substr(colon + 1))));
+  }
   response.body = raw.substr(head_end + 4);
   return response;
 }

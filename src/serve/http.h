@@ -25,6 +25,17 @@ inline constexpr size_t kMaxHttpHeadBytes = 64 * 1024;
 /// Upper bound on a request/response body.
 inline constexpr size_t kMaxHttpBodyBytes = 16 * 1024 * 1024;
 
+/// Read/write deadlines for one socket operation. Two budgets compose:
+/// `idle_ms` bounds the wait for the *next* byte (a slow-loris client
+/// dribbling one byte per minute trips it), `total_ms` bounds the whole
+/// operation (a client dribbling fast enough to stay under the idle
+/// budget still cannot pin a thread forever). -1 disables a budget; the
+/// default is fully blocking, matching the pre-deadline behavior.
+struct HttpTimeouts {
+  int idle_ms = -1;
+  int total_ms = -1;
+};
+
 struct HttpRequest {
   std::string method;   ///< "GET", "POST", ... (uppercase as sent)
   std::string target;   ///< request target, e.g. "/contracts/12"
@@ -41,10 +52,20 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
+  /// Extra response headers beyond Content-Type/Content-Length/Connection
+  /// (e.g. Retry-After on a shed, X-Mroam-Stale on a degraded read).
+  /// Serialized verbatim; on fetched responses, names are lowercased by
+  /// the client-side parser.
+  std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
 
   /// Full HTTP/1.1 wire form with Content-Length and Connection: close.
   std::string Serialize() const;
+
+  /// Value of the named header (lowercase for fetched responses), or ""
+  /// when absent.
+  std::string_view HeaderOr(std::string_view name,
+                            std::string_view fallback = "") const;
 };
 
 /// Canonical reason phrase for the status codes the server emits
@@ -65,12 +86,20 @@ common::Result<HttpRequest> ParseRequestHead(std::string_view head);
 common::Result<size_t> ParseContentLength(std::string_view text);
 
 /// Reads one full request (head + Content-Length body) from a connected
-/// socket. Blocking; fails with kInvalidArgument on malformed input,
-/// kIoError on socket errors or EOF mid-request.
-common::Result<HttpRequest> ReadHttpRequest(int fd);
+/// socket. Fails with kInvalidArgument on malformed input, kIoError on
+/// socket errors or EOF mid-request, and kDeadlineExceeded when either
+/// `timeouts` budget runs out (the default timeouts block forever).
+/// Interrupted syscalls (EINTR) are always retried, with the remaining
+/// budget recomputed.
+common::Result<HttpRequest> ReadHttpRequest(int fd,
+                                            const HttpTimeouts& timeouts = {});
 
-/// Writes all of `data` to `fd` (retrying short writes, ignoring SIGPIPE).
-common::Status WriteAll(int fd, std::string_view data);
+/// Writes all of `data` to `fd` (retrying short writes and EINTR,
+/// ignoring SIGPIPE — a half-closed peer surfaces as kIoError, never a
+/// signal). With timeouts, a peer that stops draining its receive window
+/// fails the write with kDeadlineExceeded instead of blocking forever.
+common::Status WriteAll(int fd, std::string_view data,
+                        const HttpTimeouts& timeouts = {});
 
 /// Blocking single-request HTTP client for benches and tests: connects to
 /// host:port, sends `method target` with `body`, returns the parsed

@@ -7,10 +7,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -57,6 +60,10 @@ MarketServer::MarketServer(const influence::InfluenceIndex* index,
   MROAM_CHECK(config_.max_batch >= 1);
   MROAM_CHECK(config_.max_batch_delay_seconds >= 0.0);
   MROAM_CHECK(config_.num_threads >= 1);
+  MROAM_CHECK(config_.max_connections >= 1);
+  MROAM_CHECK(config_.max_queue >= 1);
+  MROAM_CHECK(config_.degraded_watermark >= 1);
+  MROAM_CHECK(config_.degraded_watermark <= config_.max_queue);
 }
 
 MarketServer::~MarketServer() { Stop(); }
@@ -104,6 +111,11 @@ Status MarketServer::Start() {
 
   draining_.store(false);
   stopping_.store(false);
+  last_commit_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
   pool_ = std::make_unique<common::ThreadPool>(config_.num_threads);
   flush_thread_ = std::thread([this] { FlushLoop(); });
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -124,6 +136,7 @@ void MarketServer::Stop() {
   //    arrivals (and any that in-flight requests still add) drain fast.
   draining_.store(true);
   batch_cv_.notify_all();
+  conn_cv_.notify_all();  // wake an accept loop parked at the conn cap
   // shutdown() wakes the blocked accept(); the fd is closed only after
   // the accept thread is gone so it cannot race a reused descriptor.
   if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
@@ -156,6 +169,18 @@ void MarketServer::Stop() {
 
 void MarketServer::AcceptLoop() {
   while (true) {
+    // Accept-side backpressure: at the connection cap, park until a
+    // worker finishes instead of accepting. Pending clients queue in the
+    // kernel backlog — bounded, and the kernel's overflow behavior
+    // (drop/RST) pushes back on the client, not on this process's
+    // memory.
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conn_cv_.wait(lock, [this] {
+        return draining_.load() ||
+               open_connections_ < config_.max_connections;
+      });
+    }
     int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -168,6 +193,11 @@ void MarketServer::AcceptLoop() {
     }
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++open_connections_;
+      MROAM_GAUGE_SET("serve.open_connections", open_connections_);
+    }
     pool_->Submit([this, fd] { HandleConnection(fd); });
   }
 }
@@ -176,21 +206,56 @@ void MarketServer::HandleConnection(int fd) {
   MROAM_TRACE_SPAN("serve.request");
   common::Stopwatch watch;
   MROAM_COUNTER_ADD("serve.http_requests", 1);
-  common::Result<HttpRequest> request = ReadHttpRequest(fd);
+  const HttpTimeouts read_timeouts{config_.read_idle_timeout_ms,
+                                   config_.request_timeout_ms};
+  const HttpTimeouts write_timeouts{config_.write_timeout_ms,
+                                    config_.write_timeout_ms};
+  common::Result<HttpRequest> request = ReadHttpRequest(fd, read_timeouts);
   MROAM_HISTOGRAM_OBSERVE("serve.stage.read_seconds",
                           watch.ElapsedSeconds());
   HttpResponse response;
   RequestTrace trace;
   if (!request.ok()) {
-    response = JsonError(400, request.status().message());
+    if (request.status().code() == common::StatusCode::kDeadlineExceeded) {
+      // Slow-loris / stalled read: reclaim the worker with an explicit
+      // 408 so the client knows its request never entered admission.
+      response = JsonError(408, request.status().message());
+      read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      MROAM_COUNTER_ADD("serve.read_timeouts", 1);
+      MROAM_FLIGHT_EVENT("conn.read_timeout", trace.request_id);
+    } else {
+      response = JsonError(400, request.status().message());
+    }
   } else {
     response = Handle(*request, &trace);
   }
-  Status written = WriteAll(fd, response.Serialize());
+  // Chaos: drop the connection mid-response — half the bytes, then RST
+  // from the client's point of view. Any committed work stays committed;
+  // the contract is that the *server* stays consistent, not the client.
+  const common::FaultAction drop =
+      MROAM_FAULT_POINT("serve.drop_connection");
+  std::string wire = response.Serialize();
+  if (drop.fire) {
+    dropped_responses_.fetch_add(1, std::memory_order_relaxed);
+    MROAM_COUNTER_ADD("serve.dropped_responses", 1);
+    MROAM_FLIGHT_EVENT("conn.fault_drop", trace.request_id);
+    wire.resize(wire.size() / 2);
+  }
+  Status written = WriteAll(fd, wire, write_timeouts);
   if (!written.ok()) {
+    if (written.code() == common::StatusCode::kDeadlineExceeded) {
+      write_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      MROAM_COUNTER_ADD("serve.write_timeouts", 1);
+    }
     MROAM_LOG(Debug) << "response write failed: " << written;
   }
   close(fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    --open_connections_;
+    MROAM_GAUGE_SET("serve.open_connections", open_connections_);
+  }
+  conn_cv_.notify_all();
   // The respond stage of a submitted contract: replan finished -> the
   // group-commit response bytes are on the wire.
   if (trace.replan_done != std::chrono::steady_clock::time_point{}) {
@@ -232,7 +297,7 @@ HttpResponse MarketServer::Handle(const HttpRequest& request,
   }
   const bool is_get_path =
       path == "/assignment" || path == "/report" || path == "/healthz" ||
-      path == "/metrics" || path == "/debug/vars" ||
+      path == "/readyz" || path == "/metrics" || path == "/debug/vars" ||
       path == "/debug/flight" || path == "/debug/trace";
   if (is_get_path) {
     if (request.method != "GET") {
@@ -241,6 +306,7 @@ HttpResponse MarketServer::Handle(const HttpRequest& request,
     if (path == "/assignment") return HandleAssignment();
     if (path == "/report") return HandleReport();
     if (path == "/healthz") return HandleHealth();
+    if (path == "/readyz") return HandleReady();
     if (path == "/debug/vars") return HandleDebugVars();
     if (path == "/debug/flight") return HandleDebugFlight();
     if (path == "/debug/trace") return HandleDebugTrace(query);
@@ -256,9 +322,33 @@ HttpResponse MarketServer::Handle(const HttpRequest& request,
   response.body +=
       ",\"known_endpoints\":[\"POST /contracts\","
       "\"DELETE /contracts/<id>\",\"GET /assignment\",\"GET /report\","
-      "\"GET /healthz\",\"GET /metrics\",\"GET /debug/vars\","
-      "\"GET /debug/flight\",\"GET /debug/trace?ms=N\"]}";
+      "\"GET /healthz\",\"GET /readyz\",\"GET /metrics\","
+      "\"GET /debug/vars\",\"GET /debug/flight\","
+      "\"GET /debug/trace?ms=N\"]}";
   return response;
+}
+
+bool MarketServer::Overloaded(size_t* depth) {
+  size_t queued;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    queued = queue_.size();
+  }
+  if (depth != nullptr) *depth = queued;
+  return queued >= static_cast<size_t>(config_.degraded_watermark);
+}
+
+void MarketServer::AddStaleHeader(HttpResponse* response) {
+  const int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  const int64_t age_ms =
+      std::max<int64_t>(
+          0, now_ns - last_commit_ns_.load(std::memory_order_relaxed)) /
+      1000000;
+  response->headers.emplace_back("X-Mroam-Stale", std::to_string(age_ms));
+  MROAM_COUNTER_ADD("serve.stale_reads", 1);
 }
 
 HttpResponse MarketServer::HandleSubmit(const HttpRequest& request,
@@ -283,10 +373,34 @@ HttpResponse MarketServer::HandleSubmit(const HttpRequest& request,
   terms.demand = static_cast<int64_t>(*demand);
   terms.payment = *payment;
 
-  MROAM_FLIGHT_EVENT("ticket.enqueue", trace->request_id);
   std::future<SubmitOutcome> future;
   {
     std::lock_guard<std::mutex> lock(batch_mu_);
+    // Bounded admission: past the high-watermark the request is shed
+    // with 429 and a Retry-After derived from the flush cadence (how
+    // long the backlog takes to replan at one batch per delay window) —
+    // the overload contract's "bounded queue, explicit shedding" half.
+    const size_t depth = queue_.size();
+    if (depth >= static_cast<size_t>(config_.max_queue)) {
+      shed_total_.fetch_add(1, std::memory_order_relaxed);
+      MROAM_COUNTER_ADD("serve.shed_total", 1);
+      MROAM_FLIGHT_EVENT("ticket.shed", trace->request_id);
+      const double pending_batches = std::ceil(
+          static_cast<double>(depth) /
+          static_cast<double>(config_.max_batch));
+      const int64_t retry_after_s = std::clamp<int64_t>(
+          static_cast<int64_t>(std::ceil(
+              pending_batches * config_.max_batch_delay_seconds)),
+          1, 60);
+      HttpResponse shed = JsonError(
+          429, "admission queue full (" + std::to_string(depth) +
+                   " waiting); retry after " +
+                   std::to_string(retry_after_s) + "s");
+      shed.headers.emplace_back("Retry-After",
+                                std::to_string(retry_after_s));
+      return shed;
+    }
+    MROAM_FLIGHT_EVENT("ticket.enqueue", trace->request_id);
     PendingArrival pending;
     pending.terms = terms;
     pending.enqueued = std::chrono::steady_clock::now();
@@ -362,6 +476,10 @@ HttpResponse MarketServer::HandleCancel(const HttpRequest& request) {
 
 HttpResponse MarketServer::HandleAssignment() {
   HttpResponse response;
+  // Degraded mode: reads keep answering from the last committed book —
+  // never blocked on the replan backlog — but an overloaded server says
+  // so explicitly, so a caller can tell "fresh" from "best effort".
+  if (Overloaded()) AddStaleHeader(&response);
   std::lock_guard<std::mutex> lock(market_mu_);
   const auto& terms = market_.ActiveTerms();
   const auto& sets = market_.ActiveSets();
@@ -392,10 +510,7 @@ HttpResponse MarketServer::HandleAssignment() {
 HttpResponse MarketServer::HandleReport() {
   HttpResponse response;
   size_t queued;
-  {
-    std::lock_guard<std::mutex> lock(batch_mu_);
-    queued = queue_.size();
-  }
+  if (Overloaded(&queued)) AddStaleHeader(&response);
   std::lock_guard<std::mutex> lock(market_mu_);
   response.body =
       "{\"day\":" + std::to_string(market_.today()) +
@@ -406,6 +521,8 @@ HttpResponse MarketServer::HandleReport() {
       ",\"active_contracts\":" + std::to_string(market_.active_contracts()) +
       ",\"batches_flushed\":" + std::to_string(batches_flushed_.load()) +
       ",\"queue_depth\":" + std::to_string(queued) +
+      ",\"shed_total\":" + std::to_string(shed_total_.load()) +
+      ",\"read_timeouts\":" + std::to_string(read_timeouts_.load()) +
       ",\"last_day\":{\"arrived\":" + std::to_string(last_day_.arrived) +
       ",\"expired\":" + std::to_string(last_day_.expired) +
       ",\"cancelled\":" + std::to_string(last_day_.cancelled) +
@@ -431,12 +548,33 @@ HttpResponse MarketServer::HandleReport() {
 }
 
 HttpResponse MarketServer::HandleHealth() {
+  // Liveness only: 200 for as long as the process can answer at all —
+  // an overloaded or draining server is still *alive*. Restart decisions
+  // key on this; routing decisions key on /readyz.
   HttpResponse response;
   std::lock_guard<std::mutex> lock(market_mu_);
   response.body =
       "{\"status\":\"ok\",\"day\":" + std::to_string(market_.today()) +
       ",\"active_contracts\":" + std::to_string(market_.active_contracts()) +
       "}";
+  return response;
+}
+
+HttpResponse MarketServer::HandleReady() {
+  size_t depth = 0;
+  const bool overloaded = Overloaded(&depth);
+  const bool draining = draining_.load() || stopping_.load();
+  HttpResponse response;
+  const char* state = draining ? "draining"
+                     : overloaded ? "overloaded"
+                                  : "ok";
+  response.status = (draining || overloaded) ? 503 : 200;
+  response.body =
+      std::string("{\"status\":\"") + state +
+      "\",\"queue_depth\":" + std::to_string(depth) +
+      ",\"degraded_watermark\":" +
+      std::to_string(config_.degraded_watermark) +
+      ",\"shed_total\":" + std::to_string(shed_total_.load()) + "}";
   return response;
 }
 
@@ -494,6 +632,14 @@ void MarketServer::FlushBatch() {
     MROAM_FLIGHT_EVENT("ticket.flush", pending.request_id);
   }
 
+  // Chaos: a delayed replan backs the admission queue up, which is what
+  // drives the shed / degraded-mode paths in a reproducible run.
+  const common::FaultAction delay = MROAM_FAULT_POINT("serve.delay_replan");
+  if (delay.fire && delay.delay_ms > 0) {
+    MROAM_FLIGHT_EVENT("replan.fault_delay", delay.delay_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay.delay_ms));
+  }
+
   common::Stopwatch watch;
   core::DayResult day;
   std::vector<std::string> outcomes(batch.size());
@@ -533,6 +679,11 @@ void MarketServer::FlushBatch() {
     MROAM_GAUGE_SET("serve.active_contracts", market_.active_contracts());
   }
   const auto replan_done = std::chrono::steady_clock::now();
+  last_commit_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          replan_done.time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
   MROAM_HISTOGRAM_OBSERVE("serve.stage.replan_seconds",
                           watch.ElapsedSeconds());
   MROAM_HISTOGRAM_OBSERVE("serve.replan_seconds", watch.ElapsedSeconds());

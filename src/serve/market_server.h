@@ -38,6 +38,30 @@ struct MarketServerConfig {
   /// solver, contract duration in days — where one "day" is one admission
   /// batch flush.
   core::DailyMarketConfig market;
+
+  // --- Overload contract (DESIGN.md §6.2) --------------------------------
+  /// Per-connection read deadlines: `read_idle_timeout_ms` bounds the wait
+  /// between bytes (slow-loris), `request_timeout_ms` bounds the whole
+  /// head+body read. A tripped deadline answers 408 and reclaims the
+  /// worker. -1 disables (fully blocking, the pre-hardening behavior).
+  int read_idle_timeout_ms = 5000;
+  int request_timeout_ms = 15000;
+  /// Bound on writing one response; a peer that stops draining its window
+  /// costs at most this long before the worker is reclaimed.
+  int write_timeout_ms = 5000;
+  /// Accept-side connection cap: at most this many connections are open
+  /// at once. At the cap the accept loop stops accepting, so further
+  /// clients queue in the kernel backlog (and eventually time out there)
+  /// instead of growing an unbounded fd/task backlog in-process.
+  int max_connections = 256;
+  /// Admission high-watermark: past it POST /contracts sheds with 429 +
+  /// Retry-After instead of queueing unboundedly.
+  int max_queue = 1024;
+  /// Degraded-mode threshold (<= max_queue): at this queue depth the
+  /// server stops claiming readiness (GET /readyz -> 503) and stamps
+  /// reads with X-Mroam-Stale, while still serving the last committed
+  /// book.
+  int degraded_watermark = 256;
 };
 
 /// The always-on host process the paper's operational setting assumes
@@ -53,7 +77,12 @@ struct MarketServerConfig {
 ///   GET    /assignment      active contracts with their billboard sets.
 ///   GET    /report          last replan's regret breakdown + server stats.
 ///   GET    /metrics         Prometheus exposition of the obs registry.
-///   GET    /healthz         liveness probe.
+///   GET    /healthz         liveness probe: 200 while the process runs,
+///                           even overloaded or draining.
+///   GET    /readyz          readiness probe: 503 while overloaded
+///                           (queue at the degraded watermark) or
+///                           draining, 200 otherwise — the signal a load
+///                           balancer keys on.
 ///   GET    /debug/vars      metrics registry snapshot as JSON.
 ///   GET    /debug/flight    flight-recorder ring dump (last ~16k spans).
 ///   GET    /debug/trace?ms=N  records spans for N ms (default 250, max
@@ -98,6 +127,18 @@ class MarketServer {
   /// Batches flushed so far (tests/report).
   int64_t batches_flushed() const {
     return batches_flushed_.load(std::memory_order_relaxed);
+  }
+  /// Submissions shed with 429 at the admission high-watermark.
+  int64_t shed_total() const {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+  /// Requests answered 408 after a read deadline tripped.
+  int64_t read_timeouts() const {
+    return read_timeouts_.load(std::memory_order_relaxed);
+  }
+  /// Responses deliberately cut short by the serve.drop_connection fault.
+  int64_t dropped_responses() const {
+    return dropped_responses_.load(std::memory_order_relaxed);
   }
 
   /// Per-request trace context, minted at routing time and threaded
@@ -149,6 +190,7 @@ class MarketServer {
   HttpResponse HandleAssignment();
   HttpResponse HandleReport();
   HttpResponse HandleHealth();
+  HttpResponse HandleReady();
   HttpResponse HandleDebugVars();
   HttpResponse HandleDebugFlight();
   HttpResponse HandleDebugTrace(std::string_view query);
@@ -158,15 +200,32 @@ class MarketServer {
   int port_ = 0;
   int listen_fd_ = -1;
 
+  /// Degraded-mode probe: current queue depth vs the watermark. Sets
+  /// *depth (when non-null) as a side effect.
+  bool Overloaded(size_t* depth = nullptr);
+  /// Stamps X-Mroam-Stale with the age of the last committed book.
+  void AddStaleHeader(HttpResponse* response);
+
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};  ///< flush immediately, no delay wait
   std::atomic<bool> stopping_{false};  ///< flush loop may exit once empty
   std::atomic<int64_t> batches_flushed_{0};
   std::atomic<int64_t> next_request_id_{0};
+  std::atomic<int64_t> shed_total_{0};
+  std::atomic<int64_t> read_timeouts_{0};
+  std::atomic<int64_t> write_timeouts_{0};
+  std::atomic<int64_t> dropped_responses_{0};
+  /// steady_clock nanos of the last committed book (Start(), then every
+  /// FlushBatch) — the numerator of X-Mroam-Stale.
+  std::atomic<int64_t> last_commit_ns_{0};
 
   std::thread accept_thread_;
   std::thread flush_thread_;
   std::unique_ptr<common::ThreadPool> pool_;
+
+  std::mutex conn_mu_;  ///< guards open_connections_ (accept-side cap)
+  std::condition_variable conn_cv_;
+  int open_connections_ = 0;
 
   std::mutex batch_mu_;  ///< guards queue_
   std::condition_variable batch_cv_;

@@ -55,7 +55,19 @@ struct Options {
   double replan_drift = 0.1;  // --policy incremental: fallback bound
   int32_t duration_days = 7;
   bool once = false;  // start, print, stop — for smoke tests
+  // Overload contract knobs (MarketServerConfig defaults).
+  int read_idle_timeout_ms = 5000;
+  int request_timeout_ms = 15000;
+  int write_timeout_ms = 5000;
+  int max_connections = 256;
+  int max_queue = 1024;
+  int degraded_watermark = 256;
 };
+
+/// Distinct exit status for a failed --snapshot cold start, so process
+/// supervisors can tell "snapshot missing/corrupt" (redeploy the artifact)
+/// from a generic boot failure.
+constexpr int kExitSnapshotLoadFailed = 3;
 
 void PrintUsage() {
   std::fprintf(stderr, R"(usage: mroam_serve [options]
@@ -84,6 +96,23 @@ options:
                          solver for full solves (default gglobal)
   --duration-days N      contract term in batch-days (default 7)
   --once                 start, print the port, shut down (smoke test)
+
+overload contract:
+  --read-idle-timeout-ms N
+                         max wait between request bytes before 408;
+                         -1 blocks forever (default 5000)
+  --request-timeout-ms N max whole-request read budget before 408;
+                         -1 blocks forever (default 15000)
+  --write-timeout-ms N   max response-write stall before the worker is
+                         reclaimed; -1 blocks forever (default 5000)
+  --max-connections N    accept-side cap on open connections (default 256)
+  --max-queue N          admission high-watermark; past it POST /contracts
+                         sheds with 429 + Retry-After (default 1024)
+  --degraded-watermark N queue depth at which /readyz turns 503 and reads
+                         carry X-Mroam-Stale (default 256)
+
+exit status: 0 ok, 1 boot/serve failure, 2 usage error, 3 snapshot
+load failure (--snapshot path missing or corrupt).
 )");
 }
 
@@ -141,6 +170,24 @@ Status ParseOptions(int argc, char** argv, Options* options) {
     } else if (ParseFlag(argc, argv, &i, "duration-days", &value)) {
       MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
       options->duration_days = static_cast<int32_t>(n);
+    } else if (ParseFlag(argc, argv, &i, "read-idle-timeout-ms", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->read_idle_timeout_ms = static_cast<int>(n);
+    } else if (ParseFlag(argc, argv, &i, "request-timeout-ms", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->request_timeout_ms = static_cast<int>(n);
+    } else if (ParseFlag(argc, argv, &i, "write-timeout-ms", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->write_timeout_ms = static_cast<int>(n);
+    } else if (ParseFlag(argc, argv, &i, "max-connections", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->max_connections = static_cast<int>(n);
+    } else if (ParseFlag(argc, argv, &i, "max-queue", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->max_queue = static_cast<int>(n);
+    } else if (ParseFlag(argc, argv, &i, "degraded-watermark", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->degraded_watermark = static_cast<int>(n);
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
@@ -212,6 +259,14 @@ int Run(const Options& options) {
   mroam::io::IndexSnapshot booted;
   Status status = Boot(options, &booted);
   if (!status.ok()) {
+    if (!options.snapshot.empty()) {
+      MROAM_LOG(Error) << "snapshot load failed (" << options.snapshot
+                       << "): " << status.ToString()
+                       << " — exiting with status "
+                       << kExitSnapshotLoadFailed
+                       << " (redeploy or regenerate the snapshot)";
+      return kExitSnapshotLoadFailed;
+    }
     MROAM_LOG(Error) << "boot failed: " << status.ToString();
     return 1;
   }
@@ -230,6 +285,12 @@ int Run(const Options& options) {
   config.num_threads = options.threads;
   config.max_batch = options.batch_max;
   config.max_batch_delay_seconds = options.batch_delay_ms / 1000.0;
+  config.read_idle_timeout_ms = options.read_idle_timeout_ms;
+  config.request_timeout_ms = options.request_timeout_ms;
+  config.write_timeout_ms = options.write_timeout_ms;
+  config.max_connections = options.max_connections;
+  config.max_queue = options.max_queue;
+  config.degraded_watermark = options.degraded_watermark;
   config.market.contract_duration_days = options.duration_days;
   if (options.policy == "reopt") {
     config.market.policy = mroam::core::ReplanPolicy::kReoptimizeAll;

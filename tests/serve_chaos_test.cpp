@@ -1,0 +1,351 @@
+// Overload and chaos behavior of MarketServer (DESIGN.md §6.2): slow-loris
+// read deadlines reclaim workers, the admission watermark sheds with 429 +
+// Retry-After, readiness splits from liveness, degraded reads carry
+// X-Mroam-Stale, and a seeded fault-injection run resolves every ticket
+// (labels `serve` + `concurrency` + `fault`; runs under the tsan preset).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/strings.h"
+#include "serve/http.h"
+#include "serve/market_server.h"
+#include "test_util.h"
+
+namespace mroam::serve {
+namespace {
+
+using mroam::testing::IndexFromIncidence;
+
+/// Raw TCP connect to 127.0.0.1:port — for clients that deliberately
+/// misbehave in ways HttpFetch cannot (partial requests, stalls).
+int ConnectTo(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Drains everything the peer sends until EOF (the server closes after
+/// one response).
+std::string RecvAll(int fd) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  // Eight disjoint billboards with influence {4,4,4,4,2,2,2,2}.
+  ServeChaosTest()
+      : index_(IndexFromIncidence(
+            {{0, 1, 2, 3},
+             {4, 5, 6, 7},
+             {8, 9, 10, 11},
+             {12, 13, 14, 15},
+             {16, 17},
+             {18, 19},
+             {20, 21},
+             {22, 23}},
+            24, &dataset_)) {}
+
+  void TearDown() override { common::FaultInjector::Global().Disarm(); }
+
+  MarketServerConfig Config() {
+    MarketServerConfig config;
+    config.port = 0;  // ephemeral
+    config.num_threads = 4;
+    config.max_batch = 4;
+    config.max_batch_delay_seconds = 0.01;
+    config.market.policy = core::ReplanPolicy::kLockExisting;
+    return config;
+  }
+
+  static std::string SubmitBody(int64_t demand, double payment) {
+    return "{\"demand\": " + std::to_string(demand) +
+           ", \"payment\": " + std::to_string(payment) + "}";
+  }
+
+  /// Polls /report until `queue_depth` reaches `want` (sanitizer-safe:
+  /// no fixed sleeps on the assertion path).
+  static bool WaitForQueueDepth(int port, double want) {
+    for (int attempt = 0; attempt < 500; ++attempt) {
+      auto report = HttpFetch("127.0.0.1", port, "GET", "/report");
+      if (report.ok()) {
+        auto depth = ExtractJsonNumber(report->body, "queue_depth");
+        if (depth.ok() && *depth >= want) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  }
+
+  model::Dataset dataset_;
+  influence::InfluenceIndex index_;
+};
+
+TEST_F(ServeChaosTest, SlowLorisTripsReadDeadlineAndFreesTheWorker) {
+  MarketServerConfig config = Config();
+  config.num_threads = 1;  // the loris must not wedge the only worker
+  config.read_idle_timeout_ms = 80;
+  config.request_timeout_ms = 2000;
+  MarketServer server(&index_, config);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  // Send a partial request head and then stall: the idle deadline must
+  // answer 408 instead of pinning the worker until we hang up.
+  int fd = ConnectTo(port);
+  ASSERT_GE(fd, 0);
+  const std::string partial = "POST /contracts HTTP/1.1\r\n";
+  ASSERT_TRUE(WriteAll(fd, partial).ok());
+  std::string response = RecvAll(fd);
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.1 408 Request Timeout", 0), 0u)
+      << response;
+  EXPECT_EQ(server.read_timeouts(), 1);
+
+  // The (only) worker is free again: a well-behaved request sails.
+  auto health = HttpFetch("127.0.0.1", port, "GET", "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  server.Stop();
+}
+
+TEST_F(ServeChaosTest, HalfOpenConnectionIsReclaimedOnHangup) {
+  MarketServerConfig config = Config();
+  config.num_threads = 1;
+  config.read_idle_timeout_ms = 5000;
+  MarketServer server(&index_, config);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  // Connect, send nothing, hang up: the worker sees EOF (kIoError), not
+  // a parse — and must come back for real traffic.
+  int fd = ConnectTo(port);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  auto health = HttpFetch("127.0.0.1", port, "GET", "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  server.Stop();
+}
+
+TEST_F(ServeChaosTest, WatermarkShedsWith429AndRetryAfter) {
+  MarketServerConfig config = Config();
+  // A batch that never flushes on its own: the queue only moves on drain.
+  config.max_batch = 1000;
+  config.max_batch_delay_seconds = 60.0;
+  config.max_queue = 2;
+  config.degraded_watermark = 1;
+  MarketServer server(&index_, config);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  // Fill the queue to the cap with blocked submitters.
+  std::vector<int> statuses(2, -1);
+  std::vector<std::thread> blocked;
+  for (int c = 0; c < 2; ++c) {
+    blocked.emplace_back([&, c] {
+      auto posted = HttpFetch("127.0.0.1", port, "POST", "/contracts",
+                              SubmitBody(2, 4.0));
+      if (posted.ok()) statuses[c] = posted->status;
+    });
+  }
+  ASSERT_TRUE(WaitForQueueDepth(port, 2.0));
+
+  // The next submission sheds instead of queueing unboundedly.
+  auto shed = HttpFetch("127.0.0.1", port, "POST", "/contracts",
+                        SubmitBody(2, 4.0));
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->status, 429);
+  EXPECT_NE(shed->body.find("queue full"), std::string::npos) << shed->body;
+  auto retry_after = common::ParseInt64(shed->HeaderOr("retry-after"));
+  ASSERT_TRUE(retry_after.ok())
+      << "Retry-After missing or non-numeric: '"
+      << shed->HeaderOr("retry-after") << "'";
+  EXPECT_GE(*retry_after, 1);
+  EXPECT_LE(*retry_after, 60);
+  EXPECT_EQ(server.shed_total(), 1);
+
+  // Queued (non-shed) submitters still complete through the drain.
+  server.Stop();
+  for (std::thread& t : blocked) t.join();
+  EXPECT_EQ(statuses[0], 200);
+  EXPECT_EQ(statuses[1], 200);
+}
+
+TEST_F(ServeChaosTest, ReadinessSplitsFromLivenessAndReadsGoStale) {
+  MarketServerConfig config = Config();
+  config.max_batch = 1000;
+  config.max_batch_delay_seconds = 60.0;
+  config.max_queue = 10;
+  config.degraded_watermark = 1;
+  MarketServer server(&index_, config);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  // Healthy and ready before any load.
+  auto ready = HttpFetch("127.0.0.1", port, "GET", "/readyz");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->status, 200);
+
+  // One queued arrival crosses the watermark: not ready, still live.
+  int status = -1;
+  std::thread blocked([&] {
+    auto posted = HttpFetch("127.0.0.1", port, "POST", "/contracts",
+                            SubmitBody(2, 4.0));
+    if (posted.ok()) status = posted->status;
+  });
+  ASSERT_TRUE(WaitForQueueDepth(port, 1.0));
+
+  auto overloaded = HttpFetch("127.0.0.1", port, "GET", "/readyz");
+  ASSERT_TRUE(overloaded.ok());
+  EXPECT_EQ(overloaded->status, 503);
+  EXPECT_NE(overloaded->body.find("overloaded"), std::string::npos)
+      << overloaded->body;
+  auto live = HttpFetch("127.0.0.1", port, "GET", "/healthz");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->status, 200);
+
+  // Degraded reads keep answering from the last committed book, stamped
+  // with a sane staleness age.
+  auto assignment = HttpFetch("127.0.0.1", port, "GET", "/assignment");
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(assignment->status, 200);
+  auto age_ms = common::ParseInt64(assignment->HeaderOr("x-mroam-stale"));
+  ASSERT_TRUE(age_ms.ok()) << "X-Mroam-Stale missing or non-numeric: '"
+                           << assignment->HeaderOr("x-mroam-stale") << "'";
+  EXPECT_GE(*age_ms, 0);
+  EXPECT_LT(*age_ms, 120000) << "staleness age not in a sane range";
+
+  // An un-overloaded read carries no staleness stamp (checked on a fresh
+  // server: this one only drains from here).
+  server.Stop();
+  blocked.join();
+  EXPECT_EQ(status, 200);
+
+  MarketServer fresh(&index_, Config());
+  ASSERT_TRUE(fresh.Start().ok());
+  auto clean = HttpFetch("127.0.0.1", fresh.port(), "GET", "/assignment");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->HeaderOr("x-mroam-stale"), "");
+  auto fresh_ready = HttpFetch("127.0.0.1", fresh.port(), "GET", "/readyz");
+  ASSERT_TRUE(fresh_ready.ok());
+  EXPECT_EQ(fresh_ready->status, 200);
+  fresh.Stop();
+}
+
+TEST_F(ServeChaosTest, SeededChaosRunResolvesEveryTicket) {
+  // Arm the full serve-path fault set with a fixed seed: slow reads
+  // (delay payloads well under the deadlines), responses cut off
+  // mid-wire, and delayed replans. The run must end with every request
+  // accounted for — committed, shed, or dropped — and no hung client.
+  auto& injector = common::FaultInjector::Global();
+  ASSERT_TRUE(injector
+                  .ArmFromSpec("seed=7;serve.slow_read=0.35:10;"
+                               "serve.drop_connection=0.25;"
+                               "serve.delay_replan=0.5:5")
+                  .ok());
+
+  MarketServerConfig config = Config();
+  config.num_threads = 8;
+  config.max_batch = 4;
+  config.max_batch_delay_seconds = 0.005;
+  config.max_queue = 6;
+  config.degraded_watermark = 3;
+  config.read_idle_timeout_ms = 2000;
+  config.request_timeout_ms = 5000;
+  MarketServer server(&index_, config);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  constexpr int kTotal = kThreads * kPerThread;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> shed_count{0};
+  std::atomic<int> error_count{0};
+  std::mutex tickets_mu;
+  std::vector<double> tickets;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      for (int k = 0; k < kPerThread; ++k) {
+        auto posted = HttpFetch("127.0.0.1", port, "POST", "/contracts",
+                                SubmitBody(1 + (c + k) % 3, 5.0));
+        if (!posted.ok()) {
+          // A dropped connection surfaces as a client-side read error.
+          error_count.fetch_add(1);
+        } else if (posted->status == 200) {
+          ok_count.fetch_add(1);
+          auto ticket = ExtractJsonNumber(posted->body, "ticket");
+          if (ticket.ok()) {
+            std::lock_guard<std::mutex> lock(tickets_mu);
+            tickets.push_back(*ticket);
+          }
+        } else if (posted->status == 429) {
+          shed_count.fetch_add(1);
+        } else {
+          ADD_FAILURE() << "unexpected status " << posted->status << ": "
+                        << posted->body;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Every request resolved exactly one way; nothing vanished.
+  EXPECT_EQ(ok_count.load() + shed_count.load() + error_count.load(),
+            kTotal);
+  // Client-side errors are exactly the responses the fault cut short.
+  EXPECT_EQ(error_count.load(), server.dropped_responses());
+  // A shed the drop fault then truncated reaches the client as an
+  // error, so the server-side shed count dominates the observed 429s.
+  EXPECT_GE(server.shed_total(), shed_count.load());
+  // No committed ticket was double-issued.
+  std::set<double> unique(tickets.begin(), tickets.end());
+  EXPECT_EQ(unique.size(), tickets.size());
+  // The injected delays stayed under the deadlines.
+  EXPECT_EQ(server.read_timeouts(), 0);
+  // The chaos actually happened (deterministic given the seed).
+  EXPECT_GT(injector.FireCount("serve.slow_read"), 0);
+  EXPECT_GT(injector.FireCount("serve.drop_connection"), 0);
+  EXPECT_GT(injector.FireCount("serve.delay_replan"), 0);
+
+  // Disarmed, the server is immediately well-behaved again and its
+  // report reflects the run's accounting.
+  injector.Disarm();
+  auto report = HttpFetch("127.0.0.1", port, "GET", "/report");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto reported_shed = ExtractJsonNumber(report->body, "shed_total");
+  ASSERT_TRUE(reported_shed.ok()) << report->body;
+  EXPECT_EQ(static_cast<int64_t>(*reported_shed), server.shed_total());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace mroam::serve

@@ -3,10 +3,16 @@
 // `serve` + `concurrency`; runs under the tsan preset).
 #include "serve/http.h"
 
+#include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <thread>
@@ -172,6 +178,191 @@ TEST(HttpReadRequestTest, HeadStraddlingRecvChunksStillParses) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->body, "abc");
   EXPECT_EQ(parsed->HeaderOr("x-pad").size(), pad);
+}
+
+// --- Deadlines and interruption --------------------------------------------
+
+TEST(HttpDeadlineTest, IdleTimeoutTripsOnAStalledPeer) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Partial head, then silence with the connection held open — the
+  // classic slow-loris shape.
+  ASSERT_TRUE(WriteAll(fds[1], "POST /contracts HTTP/1.1\r\n").ok());
+  HttpTimeouts timeouts;
+  timeouts.idle_ms = 60;
+  auto parsed = ReadHttpRequest(fds[0], timeouts);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(parsed.status().message().find("idle"), std::string::npos)
+      << parsed.status().ToString();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(HttpDeadlineTest, TotalBudgetTripsOnADribblingPeer) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // One header byte every 15ms stays under any reasonable idle budget
+  // forever; only the whole-request budget can stop it.
+  std::atomic<bool> stop{false};
+  std::thread dribbler([&] {
+    while (!stop.load()) {
+      if (::send(fds[1], "a", 1, MSG_NOSIGNAL) <= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+  });
+  HttpTimeouts timeouts;
+  timeouts.idle_ms = -1;
+  timeouts.total_ms = 120;
+  auto parsed = ReadHttpRequest(fds[0], timeouts);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(parsed.status().message().find("budget"), std::string::npos)
+      << parsed.status().ToString();
+  stop.store(true);
+  dribbler.join();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(HttpDeadlineTest, WriteAllTimesOutWhenPeerStopsDraining) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink the buffers so a never-reading peer wedges the write fast.
+  int small = 4096;
+  setsockopt(fds[1], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  setsockopt(fds[0], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  std::string big(4 << 20, 'x');
+  HttpTimeouts timeouts;
+  timeouts.idle_ms = 80;
+  timeouts.total_ms = 400;
+  common::Status status = WriteAll(fds[1], big, timeouts);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded)
+      << status.ToString();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+void Sigusr1Noop(int) {}
+
+TEST(HttpDeadlineTest, EintrDuringBlockingReadIsRetried) {
+  // A handler installed WITHOUT SA_RESTART makes recv/poll return EINTR;
+  // the reader must absorb that and finish the parse.
+  struct sigaction action = {};
+  action.sa_handler = Sigusr1Noop;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: syscalls really get EINTR
+  struct sigaction previous = {};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  common::Result<HttpRequest> parsed =
+      common::Status::Internal("never ran");
+  std::thread reader([&] { parsed = ReadHttpRequest(fds[0]); });
+  pthread_t handle = reader.native_handle();
+
+  // Pepper the blocked reader with signals, then complete the request.
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pthread_kill(handle, SIGUSR1);
+  }
+  ASSERT_TRUE(
+      WriteAll(fds[1], "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+          .ok());
+  pthread_kill(handle, SIGUSR1);
+  reader.join();
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->body, "hello");
+
+  sigaction(SIGUSR1, &previous, nullptr);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+using HttpWriteDeathTest = ::testing::Test;
+
+[[noreturn]] void WriteIntoHalfClosedSocketThenExit() {
+  signal(SIGPIPE, SIG_DFL);  // undo any inherited SIG_IGN
+  int pair[2] = {-1, -1};
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) std::exit(2);
+  close(pair[0]);  // peer hangs up
+  std::string chunk(1 << 16, 'x');
+  common::Status status;
+  for (int i = 0; i < 256 && status.ok(); ++i) {
+    status = WriteAll(pair[1], chunk);
+  }
+  close(pair[1]);
+  std::exit(status.code() == StatusCode::kIoError ? 0 : 1);
+}
+
+TEST(HttpWriteDeathTest, HalfClosedPeerIsIoErrorNotSigpipe) {
+  // With default SIGPIPE disposition, writing into a half-closed socket
+  // kills the process unless the writer suppresses the signal. WriteAll
+  // must surface kIoError and leave the process alive to exit(0).
+  EXPECT_EXIT(WriteIntoHalfClosedSocketThenExit(),
+              ::testing::ExitedWithCode(0), "");
+}
+
+// --- Response headers, end to end ------------------------------------------
+
+TEST(HttpHeadersTest, SerializeEmitsExtraHeaders) {
+  HttpResponse response;
+  response.status = 429;
+  response.headers.emplace_back("Retry-After", "7");
+  response.headers.emplace_back("X-Mroam-Stale", "120");
+  response.body = "{}";
+  std::string wire = response.Serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("X-Mroam-Stale: 120\r\n"), std::string::npos);
+  // Extra headers stay inside the head, never after the blank line.
+  EXPECT_LT(wire.find("Retry-After"), wire.find("\r\n\r\n"));
+  EXPECT_EQ(response.HeaderOr("Retry-After"), "7");
+  EXPECT_EQ(response.HeaderOr("absent", "fallback"), "fallback");
+}
+
+TEST(HttpHeadersTest, HttpFetchParsesResponseHeaders) {
+  // One-shot server: accept a single connection, answer with extra
+  // headers, close. Exercises the client-side header parse over a real
+  // socket.
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(
+      ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+      0);
+  const int port = ntohs(addr.sin_port);
+
+  HttpResponse canned;
+  canned.status = 429;
+  canned.headers.emplace_back("Retry-After", "9");
+  canned.body = "{\"error\":\"busy\"}";
+  std::thread server([listen_fd, wire = canned.Serialize()] {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      char buf[4096];
+      (void)::recv(fd, buf, sizeof(buf), 0);
+      (void)WriteAll(fd, wire);
+      ::close(fd);
+    }
+    ::close(listen_fd);
+  });
+
+  auto fetched = HttpFetch("127.0.0.1", port, "GET", "/busy");
+  server.join();
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(fetched->status, 429);
+  // Names are lowercased by the client-side parser.
+  EXPECT_EQ(fetched->HeaderOr("retry-after"), "9");
+  EXPECT_EQ(fetched->body, "{\"error\":\"busy\"}");
 }
 
 // --- MarketServer ----------------------------------------------------------

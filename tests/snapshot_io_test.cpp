@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "core/solver.h"
 #include "gen/city_generators.h"
@@ -321,6 +322,23 @@ TEST_F(SnapshotIoTest, LoadRejectsMismatchedCoveringSection) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
   EXPECT_NE(loaded.status().message().find("covering section"),
             std::string::npos);
+}
+
+TEST_F(SnapshotIoTest, SnapshotLoadFaultPointFailsTyped) {
+  std::string path = SavedCityPath();
+  // The armed io.snapshot_load point turns a perfectly good snapshot
+  // into a typed load failure — the hook mroam_serve's distinct exit
+  // status (3) and the chaos suite lean on.
+  auto& injector = common::FaultInjector::Global();
+  ASSERT_TRUE(injector.ArmFromSpec("seed=1;io.snapshot_load=1.0").ok());
+  auto faulted = LoadIndexSnapshot(path);
+  injector.Disarm();
+  EXPECT_EQ(faulted.status().code(), StatusCode::kIoError);
+  EXPECT_NE(faulted.status().message().find("fault injection"),
+            std::string::npos)
+      << faulted.status().ToString();
+  // Disarmed again, the same file loads fine.
+  EXPECT_TRUE(LoadIndexSnapshot(path).ok());
 }
 
 using SnapshotIoDeathTest = SnapshotIoTest;
