@@ -1,11 +1,14 @@
-// Closed-loop load generator for the market serving layer.
+// Load generator for the market serving layer.
 //
 // Boots an in-process MarketServer over a generated city, then drives it
-// with N client threads issuing POST /contracts back to back over real
-// sockets (each submission blocks until its admission batch is replanned,
-// so a request's latency includes queueing + the batch's AdvanceDay).
-// Writes BENCH_serve.json: submission latency percentiles (p50/p95/p99),
-// per-stage latency percentiles (stage_queue_wait/replan/respond/read
+// with N client threads submitting POST /contracts over persistent
+// (keep-alive) connections. Admission is asynchronous: a submission is
+// answered 202 with a ticket immediately, and the client polls
+// GET /tickets/<id> on the same connection until the group commit
+// publishes the outcome — a submission's latency is POST to committed,
+// so it includes queueing + the batch's AdvanceDay. Writes
+// BENCH_serve.json: commit latency percentiles (p50/p95/p99), per-stage
+// latency percentiles (stage_queue_wait/replan/respond/read
 // _ms_p50/p95/p99, from the server's serve.stage.* histograms),
 // throughput, and batch statistics.
 //
@@ -17,18 +20,24 @@
 // criterion. --skip-compare drops that half (the tier-1 ctest entry does;
 // it gates only the serve-path stage latencies).
 //
-// The overload sweep (--skip-overload drops it) drives an open-loop
-// burst at a deliberately tiny admission queue plus two slow-loris
-// probes, and records how the overload contract held (DESIGN.md §6.2):
-// every request resolves as committed/shed/error, the queue never
-// exceeds max_queue, 429s carry Retry-After, and the probes get 408.
-// The overload_*-mismatch counters are deterministic zeros gated by
-// check_serve_overload_regression.
+// The overload sweep (--skip-overload drops it) drives a burst at a
+// deliberately tiny admission queue plus two slow-loris probes, and
+// records how the overload contract held (DESIGN.md §6.2): every request
+// resolves as accepted/shed/error, exactly max_queue acceptances commit
+// through the drain, the queue never exceeds max_queue, 429s carry
+// Retry-After, and the probes get 408. The overload_*-mismatch counters
+// are deterministic zeros gated by check_serve_overload_regression.
+//
+// The open-loop arrival-rate sweep (--skip-openloop drops it) runs a
+// keep-alive client pool against an uncapped admission queue at a
+// ladder of target arrival rates (requests are scheduled by the clock,
+// not by completions) and reports the peak accepted submission rate;
+// check_serve_openloop_regression gates a generous floor on it.
 //
 //   serve_load [--submissions N] [--clients N]
 //              [--policy lock|reopt|incremental]
 //              [--batch-max N] [--batch-delay-ms F] [--skip-compare]
-//              [--skip-overload]
+//              [--skip-overload] [--skip-openloop]
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -41,6 +50,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -70,8 +80,10 @@ struct LoadOptions {
   /// Skip the deterministic replan comparison (the slow half) — the
   /// tier-1 ctest entry gates only the serve-path stage latencies.
   bool skip_compare = false;
-  /// Skip the open-loop overload sweep.
+  /// Skip the overload-contract sweep.
   bool skip_overload = false;
+  /// Skip the open-loop arrival-rate sweep.
+  bool skip_openloop = false;
 };
 
 double Percentile(std::vector<double> sorted, double q) {
@@ -212,21 +224,19 @@ std::string RecvAll(int fd) {
   return out;
 }
 
-/// Open-loop overload sweep: an admission queue that can only drain on
-/// Stop() (the batch never fills, the delay never expires inside the
-/// sweep window) makes the outcome split machine-independent — exactly
-/// max_queue submissions commit through the drain's final replan, every
-/// other submission sheds with 429 + Retry-After, and the two slow-loris
-/// probes trip the read deadline. Each invariant's violation count is
-/// reported as an overload_* number for the regression gate; all must be
-/// exactly zero on any machine.
+/// Overload sweep: an admission queue that can only drain on Stop()
+/// (the batch never fills, the delay never expires inside the sweep
+/// window) makes the outcome split machine-independent — exactly
+/// max_queue submissions are accepted with 202 and commit through the
+/// drain's final replan, every other submission sheds with 429 +
+/// Retry-After, and the two slow-loris probes trip the read deadline.
+/// Each invariant's violation count is reported as an overload_* number
+/// for the regression gate; all must be exactly zero on any machine.
 bool RunOverloadSweep(const influence::InfluenceIndex& index,
                       ReportWriter* report) {
   serve::MarketServerConfig config;
   config.port = 0;
-  // Workers hold queued arrivals until the flush (group commit), so the
-  // worker pool must exceed max_queue or the shed path can never engage.
-  config.num_threads = 24;
+  config.num_threads = 8;
   config.max_batch = 1000;            // never fills during the sweep
   config.max_batch_delay_seconds = 60.0;  // never expires during the sweep
   config.max_queue = 12;
@@ -272,13 +282,17 @@ bool RunOverloadSweep(const influence::InfluenceIndex& index,
     });
   }
 
-  // The open-loop burst: one shot per millisecond, no waiting for
-  // completions — arrival rate is set by the clock, not the server.
+  // The burst: one shot per millisecond, no waiting for completions —
+  // arrival rate is set by the clock, not the server. Submissions are
+  // answered immediately (202 accepted or 429 shed); the accepted
+  // tickets park in the queue until the drain's group commit.
   constexpr int kRequests = 240;
-  std::atomic<int> committed{0};
+  std::atomic<int> accepted{0};
   std::atomic<int> shed{0};
   std::atomic<int> errors{0};
   std::atomic<int> retry_after_missing{0};
+  std::mutex tickets_mu;
+  std::vector<int64_t> tickets;
   std::vector<std::thread> shots;
   shots.reserve(kRequests);
   for (int i = 0; i < kRequests; ++i) {
@@ -292,8 +306,13 @@ bool RunOverloadSweep(const influence::InfluenceIndex& index,
           serve::HttpFetch("127.0.0.1", port, "POST", "/contracts", body);
       if (!response.ok()) {
         errors.fetch_add(1);
-      } else if (response->status == 200) {
-        committed.fetch_add(1);
+      } else if (response->status == 202) {
+        accepted.fetch_add(1);
+        auto ticket = serve::ExtractJsonNumber(response->body, "ticket");
+        if (ticket.ok()) {
+          std::lock_guard<std::mutex> lock(tickets_mu);
+          tickets.push_back(static_cast<int64_t>(*ticket));
+        }
       } else if (response->status == 429) {
         shed.fetch_add(1);
         auto retry_after =
@@ -307,43 +326,44 @@ bool RunOverloadSweep(const influence::InfluenceIndex& index,
     });
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  for (std::thread& t : shots) t.join();
   for (std::thread& t : probes) t.join();
 
-  // Wait until every shot has either resolved client-side or is parked
-  // in the admission queue (visible via /report), sampling the max
-  // observed depth on the way; only then is Stop()'s drain safe to run.
+  // Sample the peak queue depth before the drain releases it.
   int64_t max_depth_observed = 0;
-  bool settled = false;
-  for (int attempt = 0; attempt < 4000 && !settled; ++attempt) {
-    auto report_fetch = serve::HttpFetch("127.0.0.1", port, "GET", "/report");
-    int64_t depth = 0;
+  {
+    auto report_fetch =
+        serve::HttpFetch("127.0.0.1", port, "GET", "/report");
     if (report_fetch.ok()) {
       auto parsed =
           serve::ExtractJsonNumber(report_fetch->body, "queue_depth");
-      if (parsed.ok()) depth = static_cast<int64_t>(*parsed);
-    }
-    max_depth_observed = std::max(max_depth_observed, depth);
-    const int resolved =
-        committed.load() + shed.load() + errors.load();
-    settled = resolved + static_cast<int>(depth) == kRequests;
-    if (!settled) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      if (parsed.ok()) max_depth_observed = static_cast<int64_t>(*parsed);
     }
   }
-  // Stop() drains: the parked submissions commit through a final replan
-  // and unblock their clients — every ticket resolves.
+  // Stop() drains: the parked submissions commit through a final replan;
+  // the ticket table outlives the sockets, so every acceptance is
+  // verifiable afterwards.
   server.Stop();
-  for (std::thread& t : shots) t.join();
   double wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
+  int committed_verified = 0;
+  for (int64_t ticket : tickets) {
+    if (server.TicketStatus(ticket) ==
+        serve::MarketServer::TicketState::kCommitted) {
+      ++committed_verified;
+    }
+  }
 
-  const int resolved = committed.load() + shed.load() + errors.load();
+  const int resolved = accepted.load() + shed.load() + errors.load();
   const int64_t unresolved = kRequests - resolved;
   const int64_t queue_overrun =
       std::max<int64_t>(0, max_depth_observed - config.max_queue);
+  // Both halves of the acceptance contract: exactly max_queue 202s, and
+  // every one of them committed by the drain.
   const int64_t commit_mismatch =
-      std::abs(committed.load() - config.max_queue);
+      std::abs(committed_verified - config.max_queue) +
+      std::abs(accepted.load() - committed_verified);
   const int64_t shed_mismatch =
       std::abs(shed.load() - (kRequests - config.max_queue));
   const int64_t loris_missed = 2 - loris_408.load();
@@ -351,7 +371,8 @@ bool RunOverloadSweep(const influence::InfluenceIndex& index,
       std::abs(server.read_timeouts() - 2);
 
   report->AddNumber("overload_requests", kRequests);
-  report->AddNumber("overload_committed", committed.load());
+  report->AddNumber("overload_accepted", accepted.load());
+  report->AddNumber("overload_committed", committed_verified);
   report->AddNumber("overload_shed", shed.load());
   report->AddNumber("overload_shed_rate",
                     static_cast<double>(shed.load()) / kRequests);
@@ -378,12 +399,172 @@ bool RunOverloadSweep(const influence::InfluenceIndex& index,
                     static_cast<double>(read_timeout_mismatch));
 
   std::printf(
-      "overload_sweep: %d committed / %d shed / %d errors of %d in %.2fs "
-      "(shed rate %.2f), max queue depth %lld/%d, %d/2 loris 408s\n",
-      committed.load(), shed.load(), errors.load(), kRequests, wall_seconds,
+      "overload_sweep: %d accepted (%d committed) / %d shed / %d errors of "
+      "%d in %.2fs (shed rate %.2f), max queue depth %lld/%d, "
+      "%d/2 loris 408s\n",
+      accepted.load(), committed_verified, shed.load(), errors.load(),
+      kRequests, wall_seconds,
       static_cast<double>(shed.load()) / kRequests,
       static_cast<long long>(max_depth_observed), config.max_queue,
       loris_408.load());
+  return true;
+}
+
+/// Open-loop arrival-rate sweep: a pool of keep-alive clients fires
+/// submissions on a clock-driven schedule (an open loop — the next shot's
+/// time does not depend on the previous shot's completion) at a ladder of
+/// target rates against an effectively uncapped admission queue, and
+/// reports the peak rate at which every submission was accepted with 202.
+/// The gate (check_serve_openloop_regression) holds a generous floor well
+/// under what any development machine sustains, plus exact zeros on the
+/// error counters.
+bool RunOpenLoopSweep(const influence::InfluenceIndex& index,
+                      ReportWriter* report) {
+  serve::MarketServerConfig config;
+  config.port = 0;
+  config.num_threads = 8;
+  config.max_batch = 512;
+  config.max_batch_delay_seconds = 0.002;
+  config.max_queue = 1 << 20;              // effectively uncapped
+  config.degraded_watermark = 1 << 20;
+  config.market.policy = core::ReplanPolicy::kLockExisting;
+  config.market.solver.method = core::Method::kGGlobal;
+  // Short contracts keep the active set — and thus each group commit's
+  // replan — bounded while tens of thousands of submissions stream in.
+  config.market.contract_duration_days = 2;
+
+  serve::MarketServer server(&index, config);
+  common::Status started = server.Start();
+  if (!started.ok()) {
+    MROAM_LOG(Error) << "openloop sweep server start failed: "
+                     << started.ToString();
+    return false;
+  }
+  const int port = server.port();
+
+  common::Rng rng(31);
+  market::WorkloadConfig workload;
+  workload.avg_individual_demand_ratio = 0.01;
+  auto advertisers =
+      market::GenerateAdvertisers(index.TotalSupply(), workload, &rng);
+  if (!advertisers.ok()) {
+    MROAM_LOG(Error) << advertisers.status().ToString();
+    return false;
+  }
+
+  constexpr int kClients = 8;
+  constexpr double kWindowSeconds = 0.4;
+  const std::vector<int> rates = {2000, 6000, 12000, 24000};
+
+  // Persistent connections for the whole sweep: the pool is created once
+  // and each client reconnects only if the server closed on it.
+  std::vector<serve::HttpClient> pool(kClients);
+
+  double peak_accepted_per_second = 0.0;
+  int64_t total_accepted = 0;
+  int64_t total_errors = 0;
+  int64_t reconnects = 0;
+  std::string ladder_summary;
+  for (int rate : rates) {
+    std::atomic<int> window_accepted{0};
+    std::atomic<int> window_errors{0};
+    std::atomic<int> window_reconnects{0};
+    auto window_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        serve::HttpClient& client = pool[static_cast<size_t>(c)];
+        // Each client owns every kClients-th slot of the arrival
+        // schedule; shots fire at their scheduled absolute time (or
+        // immediately when behind — open loop, clock-driven).
+        const double interval_s = static_cast<double>(kClients) / rate;
+        const int shots =
+            static_cast<int>(kWindowSeconds / interval_s) + 1;
+        for (int s = 0; s < shots; ++s) {
+          auto due = window_start +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(s * interval_s));
+          std::this_thread::sleep_until(due);
+          if (!client.connected()) {
+            window_reconnects.fetch_add(1);
+            if (!client.Connect("127.0.0.1", port).ok()) {
+              window_errors.fetch_add(1);
+              continue;
+            }
+          }
+          const market::Advertiser& terms =
+              (*advertisers)[static_cast<size_t>(c + s * kClients) %
+                             advertisers->size()];
+          std::string body =
+              "{\"demand\": " + std::to_string(terms.demand) +
+              ", \"payment\": " + common::FormatDouble(terms.payment, 3) +
+              "}";
+          auto response = client.Fetch("POST", "/contracts", body);
+          if (response.ok() && response->status == 202) {
+            window_accepted.fetch_add(1);
+          } else {
+            window_errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    double window_wall = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - window_start)
+                             .count();
+    const double accepted_per_second =
+        window_wall > 0.0 ? window_accepted.load() / window_wall : 0.0;
+    peak_accepted_per_second =
+        std::max(peak_accepted_per_second, accepted_per_second);
+    total_accepted += window_accepted.load();
+    total_errors += window_errors.load();
+    reconnects += window_reconnects.load();
+    char line[96];
+    std::snprintf(line, sizeof(line), " %d/s->%.0f/s", rate,
+                  accepted_per_second);
+    ladder_summary += line;
+
+    // Let the admission queue drain between windows so each rate step
+    // starts from an empty queue.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      auto report_fetch =
+          serve::HttpFetch("127.0.0.1", port, "GET", "/report");
+      if (report_fetch.ok()) {
+        auto depth =
+            serve::ExtractJsonNumber(report_fetch->body, "queue_depth");
+        if (depth.ok() && *depth == 0.0) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  for (serve::HttpClient& client : pool) client.Close();
+  server.Stop();
+
+  // Generous floor: the acceptance bar is 10k submissions/s on a dev
+  // machine; the gate only guards against an order-of-magnitude collapse
+  // (e.g. keep-alive silently regressing to connection-per-request).
+  constexpr double kFloorPerSecond = 2500.0;
+  const double floor_shortfall =
+      std::max(0.0, kFloorPerSecond - peak_accepted_per_second);
+
+  report->AddNumber("openloop_clients", kClients);
+  report->AddNumber("openloop_total_accepted",
+                    static_cast<double>(total_accepted));
+  report->AddNumber("openloop_peak_accepted_per_second",
+                    peak_accepted_per_second);
+  report->AddNumber("openloop_reconnects", static_cast<double>(reconnects));
+  // The gated invariants — exact zeros.
+  report->AddNumber("openloop_errors", static_cast<double>(total_errors));
+  report->AddNumber("openloop_floor_shortfall", floor_shortfall);
+
+  std::printf(
+      "openloop_sweep: peak %.0f accepted/s (%lld total, %lld errors, "
+      "%lld reconnects), ladder%s\n",
+      peak_accepted_per_second, static_cast<long long>(total_accepted),
+      static_cast<long long>(total_errors),
+      static_cast<long long>(reconnects), ladder_summary.c_str());
   return true;
 }
 
@@ -446,6 +627,9 @@ int Run(const LoadOptions& options) {
     clients.emplace_back([&, c] {
       latencies_ms[c].reserve(
           static_cast<size_t>(options.submissions / options.clients + 1));
+      // One persistent keep-alive connection per client thread; the POST
+      // and its commit polls share it.
+      serve::HttpClient client;
       while (true) {
         int seq = next_submission.fetch_add(1);
         if (seq >= options.submissions) break;
@@ -456,10 +640,43 @@ int Run(const LoadOptions& options) {
             ", \"payment\": " + common::FormatDouble(terms.payment, 3) +
             "}";
         auto t0 = std::chrono::steady_clock::now();
-        auto response =
-            serve::HttpFetch("127.0.0.1", port, "POST", "/contracts", body);
+        if (!client.connected() &&
+            !client.Connect("127.0.0.1", port).ok()) {
+          error_count.fetch_add(1);
+          continue;
+        }
+        auto response = client.Fetch("POST", "/contracts", body);
+        if (!response.ok() || response->status != 202) {
+          error_count.fetch_add(1);
+          continue;
+        }
+        auto ticket = serve::ExtractJsonNumber(response->body, "ticket");
+        if (!ticket.ok()) {
+          error_count.fetch_add(1);
+          continue;
+        }
+        // A submission completes when its group commit publishes the
+        // outcome: poll the ticket on the same connection until the
+        // status flips to committed. Latency is POST to committed.
+        const std::string ticket_path =
+            "/tickets/" + std::to_string(static_cast<int64_t>(*ticket));
+        bool committed = false;
+        for (int poll = 0; poll < 20000 && !committed; ++poll) {
+          if (!client.connected() &&
+              !client.Connect("127.0.0.1", port).ok()) {
+            break;
+          }
+          auto status = client.Fetch("GET", ticket_path);
+          if (!status.ok() || status->status != 200) break;
+          committed =
+              status->body.find("\"status\":\"committed\"") !=
+              std::string::npos;
+          if (!committed) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
         auto t1 = std::chrono::steady_clock::now();
-        if (response.ok() && response->status == 200) {
+        if (committed) {
           ok_count.fetch_add(1);
           latencies_ms[c].push_back(
               std::chrono::duration<double, std::milli>(t1 - t0).count());
@@ -548,6 +765,12 @@ int Run(const LoadOptions& options) {
     return 1;
   }
 
+  // Open-loop arrival-rate sweep: peak accepted submission rate over a
+  // keep-alive client pool (also after the stage snapshot).
+  if (!options.skip_openloop && !RunOpenLoopSweep(index, &report)) {
+    return 1;
+  }
+
   // Deterministic replan comparison over a shared churn schedule.
   if (!options.skip_compare && !RunReplanCompare(index, &report)) {
     return 1;
@@ -602,12 +825,14 @@ int main(int argc, char** argv) {
       options.skip_compare = true;
     } else if (arg == "--skip-overload") {
       options.skip_overload = true;
+    } else if (arg == "--skip-openloop") {
+      options.skip_openloop = true;
     } else {
       std::fprintf(stderr,
                    "usage: serve_load [--submissions N] [--clients N] "
                    "[--policy lock|reopt|incremental] [--batch-max N] "
                    "[--batch-delay-ms F] [--skip-compare] "
-                   "[--skip-overload]\n");
+                   "[--skip-overload] [--skip-openloop]\n");
       return 2;
     }
   }

@@ -13,10 +13,13 @@ namespace mroam::serve {
 // ---------------------------------------------------------------------------
 // Minimal dependency-free HTTP/1.1 plumbing over POSIX sockets: just enough
 // protocol for the market serving layer (MarketServer) and its load
-// generator / test clients. One request per connection; every response
-// carries Content-Length and Connection: close. No TLS, no chunked
-// encoding, no keep-alive — the serving layer's clients are command-line
-// tools and benches on the same host.
+// generator / test clients. Persistent connections are first-class:
+// requests are framed incrementally (RequestFramer) so one connection can
+// carry many pipelined requests, and the Connection header is negotiated
+// per request (HTTP/1.1 defaults to keep-alive, "close" is honored,
+// HTTP/1.0 closes unless the client asks to keep alive). No TLS, no
+// chunked encoding — the serving layer's clients are command-line tools
+// and benches on the same host.
 // ---------------------------------------------------------------------------
 
 /// Upper bound on request head (request line + headers) accepted by the
@@ -58,8 +61,15 @@ struct HttpResponse {
   /// the client-side parser.
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+  /// Whether the connection stays open after this response; Serialize
+  /// emits the matching Connection header. Defaults to close, so one-shot
+  /// callers (tests, error paths) stay correct without negotiating.
+  bool keep_alive = false;
 
-  /// Full HTTP/1.1 wire form with Content-Length and Connection: close.
+  /// Full HTTP/1.1 wire form. Content-Type, Content-Length and Connection
+  /// are owned by the serializer: caller-supplied duplicates in `headers`
+  /// are dropped rather than emitted twice (a duplicated framing header
+  /// desynchronizes every later request on a kept-alive connection).
   std::string Serialize() const;
 
   /// Value of the named header (lowercase for fetched responses), or ""
@@ -73,9 +83,19 @@ struct HttpResponse {
 const char* HttpStatusReason(int status);
 
 /// Parses a request head (everything before the blank line, excluding the
-/// final CRLF CRLF) into method/target/version/headers. The body is NOT
-/// consumed here — callers read it per Content-Length.
+/// final CRLF CRLF) into method/target/version/headers. Strict on the
+/// request line: exactly two single spaces, so a target with an embedded
+/// space ("GET /a b HTTP/1.1") is rejected instead of silently parsed as
+/// "/a b". Header lines must carry a non-empty name (": value" is
+/// malformed). The body is NOT consumed here — callers read it per
+/// Content-Length.
 common::Result<HttpRequest> ParseRequestHead(std::string_view head);
+
+/// Parses a response head (status line + headers, excluding the blank
+/// line) into status and lowercased header pairs; the body is not
+/// touched. Unparseable header lines are skipped rather than failing —
+/// the status and body are what every caller needs.
+common::Result<HttpResponse> ParseResponseHead(std::string_view head);
 
 /// Strict Content-Length parse: ASCII digits only — no sign, whitespace,
 /// 0x prefix, or trailing junk (all of which strtoull-style parsing would
@@ -84,6 +104,40 @@ common::Result<HttpRequest> ParseRequestHead(std::string_view head);
 /// ReadHttpRequest applies it to every Content-Length header and rejects
 /// duplicates with conflicting values.
 common::Result<size_t> ParseContentLength(std::string_view text);
+
+/// Incremental request parser for persistent connections: feed raw bytes
+/// as they arrive, pull complete requests out one at a time. Bytes after
+/// a complete request stay buffered — they are the next pipelined
+/// request, not an error. Single-owner (one framer per connection); the
+/// head scan resumes where the previous one left off, so dribbled input
+/// stays O(n).
+class RequestFramer {
+ public:
+  enum class Outcome {
+    kRequest,   ///< *request holds the next complete request
+    kNeedMore,  ///< a prefix is buffered; feed more bytes
+    kError,     ///< malformed framing; the connection must close
+  };
+
+  /// Appends newly received bytes.
+  void Feed(const char* data, size_t n);
+
+  /// Frames the next complete request out of the buffer. On kRequest the
+  /// consumed bytes are removed; on kError *error carries the parse
+  /// failure (the stream is desynchronized — close after responding).
+  Outcome Next(HttpRequest* request, common::Status* error);
+
+  /// True when the buffer holds bytes of a not-yet-complete request —
+  /// the difference between "idle between requests" (quiet close) and
+  /// "stalled mid-request" (408) for the server's deadline handling.
+  bool MidRequest() const { return !buffer_.empty(); }
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  size_t search_from_ = 0;
+};
 
 /// Reads one full request (head + Content-Length body) from a connected
 /// socket. Fails with kInvalidArgument on malformed input, kIoError on
@@ -102,12 +156,54 @@ common::Status WriteAll(int fd, std::string_view data,
                         const HttpTimeouts& timeouts = {});
 
 /// Blocking single-request HTTP client for benches and tests: connects to
-/// host:port, sends `method target` with `body`, returns the parsed
-/// response. The connection is closed afterwards.
+/// host:port, sends `method target` with `body` and Connection: close,
+/// returns the parsed response. The connection is closed afterwards.
 common::Result<HttpResponse> HttpFetch(const std::string& host, int port,
                                        const std::string& method,
                                        const std::string& target,
                                        const std::string& body = "");
+
+/// Persistent (keep-alive) HTTP/1.1 client for benches and tests. One
+/// connection carries many requests; Send() without an interleaved
+/// ReadResponse() pipelines. Responses are framed by Content-Length
+/// (falling back to read-to-EOF when the server omits it). Move-only;
+/// not thread-safe.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to a numeric IPv4 host:port (closing any prior connection).
+  common::Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request with Connection: keep-alive, without waiting for
+  /// the response — call ReadResponse() once per Send(), in order.
+  common::Status Send(const std::string& method, const std::string& target,
+                      const std::string& body = "",
+                      const HttpTimeouts& timeouts = {});
+
+  /// Reads the next response off the connection. A server that announced
+  /// Connection: close (or EOF mid-stream) closes the client; a fresh
+  /// Connect() is needed afterwards.
+  common::Result<HttpResponse> ReadResponse(const HttpTimeouts& timeouts = {});
+
+  /// Send + ReadResponse in one call (the common non-pipelined case).
+  common::Result<HttpResponse> Fetch(const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body = "",
+                                     const HttpTimeouts& timeouts = {});
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+  std::string buffer_;  ///< bytes past the previously framed response
+};
 
 /// Extracts a top-level numeric JSON field (e.g. `"demand": 120`) from a
 /// flat JSON object without a full parser. Fails with kInvalidArgument

@@ -2,10 +2,13 @@
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -20,12 +23,16 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/timer_wheel.h"
 
 namespace mroam::serve {
 
 using common::Status;
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
 
 HttpResponse JsonError(int status, const std::string& message) {
   HttpResponse response;
@@ -50,7 +57,668 @@ void AppendBreakdownJson(std::string* out,
           std::to_string(breakdown.advertiser_count) + "}";
 }
 
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Per-request Connection negotiation: HTTP/1.1 defaults to keep-alive
+/// with "close" honored; HTTP/1.0 defaults to close unless the client
+/// asks to keep alive.
+bool WantsKeepAlive(const HttpRequest& request) {
+  const std::string_view connection = request.HeaderOr("connection");
+  if (EqualsIgnoreCase(connection, "close")) return false;
+  if (request.version == "HTTP/1.0") {
+    return EqualsIgnoreCase(connection, "keep-alive");
+  }
+  return true;
+}
+
+double SecondsSince(TimePoint start, TimePoint now) {
+  return std::chrono::duration<double>(now - start).count();
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// EventLoop: one thread owns every connection as a state machine around a
+// level-triggered epoll set. Reads feed a RequestFramer; complete requests
+// are served inline (the admission hot path) or dispatched to the worker
+// pool, whose results come back over an eventfd. All read/write deadlines
+// live on a TimerWheel keyed by connection id; cancellation is lazy — a
+// fired entry re-checks the connection's actual deadlines.
+// ---------------------------------------------------------------------------
+struct MarketServer::EventLoop {
+  /// epoll user-data tags for the two non-connection fds; connection ids
+  /// start above them.
+  static constexpr uint64_t kListenerTag = 1;
+  static constexpr uint64_t kWakeTag = 2;
+
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    RequestFramer framer;
+    std::string out;
+    size_t out_off = 0;
+    uint32_t interest = 0;  ///< current epoll event mask
+    bool closed = false;
+    bool close_after_write = false;  ///< this response is the last one
+    bool handler_inflight = false;   ///< a pool handler owns the request
+    bool pending_keep_alive = false;  ///< negotiated for the in-pool request
+    bool request_started = false;  ///< some bytes of the next request read
+    bool served_any = false;       ///< >=1 response sent (idle close is quiet)
+    bool saw_eof = false;
+    TimePoint idle_deadline{};   ///< next-byte / keep-alive idle budget
+    TimePoint total_deadline{};  ///< whole-request budget
+    TimePoint write_deadline{};  ///< response drain budget
+    TimePoint resume_at{};       ///< serve.slow_read stall expiry
+    TimePoint request_start{};   ///< first byte of the current request
+    TimePoint active_request_start{};  ///< dispatch-time copy
+    TimePoint armed_until{};     ///< earliest pending wheel entry
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    int64_t request_id = 0;
+    HttpResponse response;
+  };
+
+  explicit EventLoop(MarketServer* server) : server_(server) {}
+
+  ~EventLoop() {
+    if (epfd_ >= 0) close(epfd_);
+    if (wake_fd_ >= 0) close(wake_fd_);
+  }
+
+  Status Init() {
+    epfd_ = epoll_create1(0);
+    if (epfd_ < 0) {
+      return Status::IoError(std::string("epoll_create1 failed: ") +
+                             std::strerror(errno));
+    }
+    wake_fd_ = eventfd(0, EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      return Status::IoError(std::string("eventfd failed: ") +
+                             std::strerror(errno));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    if (epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      return Status::IoError(std::string("epoll_ctl(eventfd) failed: ") +
+                             std::strerror(errno));
+    }
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerTag;
+    if (epoll_ctl(epfd_, EPOLL_CTL_ADD, server_->listen_fd_, &ev) != 0) {
+      return Status::IoError(std::string("epoll_ctl(listener) failed: ") +
+                             std::strerror(errno));
+    }
+    listener_registered_ = true;
+    return Status::Ok();
+  }
+
+  /// Cross-thread kick: drain request from Stop(), completed handlers.
+  void Wake() {
+    uint64_t one = 1;
+    ssize_t n;
+    do {
+      n = write(wake_fd_, &one, sizeof(one));
+    } while (n < 0 && errno == EINTR);
+  }
+
+  void RequestStop() {
+    drain_requested_.store(true, std::memory_order_release);
+    Wake();
+  }
+
+  /// Called from pool threads when a dispatched handler finishes.
+  void PostCompletion(uint64_t conn_id, int64_t request_id,
+                      HttpResponse response) {
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(
+          Completion{conn_id, request_id, std::move(response)});
+    }
+    Wake();
+  }
+
+  void Run() {
+    std::vector<uint64_t> due;
+    epoll_event events[64];
+    while (true) {
+      if (drain_requested_.load(std::memory_order_acquire) &&
+          !drain_started_) {
+        BeginDrain();
+      }
+      if (drain_started_ && conns_.empty() && dead_.empty()) break;
+
+      int timeout = wheel_.MsUntilNext(Clock::now());
+      // Heartbeat cap: a wheel kept empty by lazy re-arming must not
+      // park the loop forever, and a long timer should not delay drain
+      // checks unduly.
+      timeout = timeout < 0 ? 100 : std::min(timeout, 100);
+      int n = epoll_wait(epfd_, events, 64, timeout);
+      if (n < 0 && errno != EINTR) {
+        MROAM_LOG(Warning) << "epoll_wait failed: " << std::strerror(errno);
+        break;
+      }
+      for (int i = 0; i < std::max(n, 0); ++i) {
+        const uint64_t tag = events[i].data.u64;
+        if (tag == kListenerTag) {
+          AcceptReady();
+          continue;
+        }
+        if (tag == kWakeTag) {
+          uint64_t drained;
+          while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+          }
+          continue;
+        }
+        Conn* c = Find(tag);
+        if (c == nullptr) continue;
+        if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+            (events[i].events & EPOLLIN) == 0) {
+          CloseConn(c);
+          continue;
+        }
+        if ((events[i].events & EPOLLIN) != 0) OnReadable(c);
+        c = Find(tag);
+        if (c != nullptr && (events[i].events & EPOLLOUT) != 0) FlushOut(c);
+      }
+
+      DrainCompletions();
+
+      due.clear();
+      wheel_.Advance(Clock::now(), &due);
+      for (uint64_t id : due) OnTimer(id);
+      Reap();
+    }
+    // Drain finished: every connection is closed; leftover completions
+    // (handlers whose connection died first) are dropped with the loop.
+    Reap();
+  }
+
+ private:
+  Conn* Find(uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end() || it->second->closed) return nullptr;
+    return it->second.get();
+  }
+
+  size_t OpenCount() const { return conns_.size() - dead_.size(); }
+
+  void PublishOpenGauge() {
+    MROAM_GAUGE_SET("serve.open_connections",
+                    static_cast<int64_t>(OpenCount()));
+  }
+
+  void AcceptReady() {
+    while (!drain_started_ &&
+           OpenCount() < static_cast<size_t>(server_->config_.max_connections)) {
+      int fd = accept4(server_->listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN, or the listener is gone (Stop())
+      }
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Conn>();
+      Conn* c = conn.get();
+      c->fd = fd;
+      c->id = next_conn_id_++;
+      conns_.emplace(c->id, std::move(conn));
+      const auto now = Clock::now();
+      if (server_->config_.read_idle_timeout_ms >= 0) {
+        c->idle_deadline = now + std::chrono::milliseconds(
+                                     server_->config_.read_idle_timeout_ms);
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = c->id;
+      if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        MROAM_LOG(Warning) << "epoll_ctl(add conn) failed: "
+                           << std::strerror(errno);
+        conns_.erase(c->id);
+        close(fd);
+        continue;
+      }
+      c->interest = EPOLLIN;
+      ArmWheel(c);
+      PublishOpenGauge();
+    }
+    // Accept-side backpressure: at the connection cap stop watching the
+    // listener; pending clients queue in the kernel backlog — bounded,
+    // and the kernel's overflow behavior (drop/RST) pushes back on the
+    // client, not on this process's memory.
+    if (OpenCount() >= static_cast<size_t>(server_->config_.max_connections)) {
+      PauseListener();
+    }
+  }
+
+  void PauseListener() {
+    if (!listener_registered_) return;
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, server_->listen_fd_, nullptr);
+    listener_registered_ = false;
+  }
+
+  void ResumeListener() {
+    if (listener_registered_ || drain_started_) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerTag;
+    if (epoll_ctl(epfd_, EPOLL_CTL_ADD, server_->listen_fd_, &ev) == 0) {
+      listener_registered_ = true;
+    }
+  }
+
+  void CloseConn(Conn* c) {
+    if (c->closed) return;
+    c->closed = true;
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, c->fd, nullptr);
+    close(c->fd);
+    c->fd = -1;
+    dead_.push_back(c->id);
+    PublishOpenGauge();
+  }
+
+  /// Deferred reaping: CloseConn only marks, so a call chain holding a
+  /// Conn* never frees it out from under itself.
+  void Reap() {
+    if (dead_.empty()) return;
+    for (uint64_t id : dead_) conns_.erase(id);
+    dead_.clear();
+    if (OpenCount() <
+        static_cast<size_t>(server_->config_.max_connections)) {
+      ResumeListener();
+    }
+  }
+
+  void UpdateInterest(Conn* c) {
+    if (c->closed) return;
+    const bool want_read = !c->handler_inflight && !c->saw_eof &&
+                           !c->close_after_write &&
+                           c->resume_at == TimePoint{};
+    uint32_t want = want_read ? static_cast<uint32_t>(EPOLLIN) : 0u;
+    if (c->out_off < c->out.size()) want |= EPOLLOUT;
+    if (want == c->interest) return;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = c->id;
+    epoll_ctl(epfd_, EPOLL_CTL_MOD, c->fd, &ev);
+    c->interest = want;
+  }
+
+  /// Schedules the connection's earliest live deadline on the wheel
+  /// (skipping when an already-pending entry fires at or before it).
+  void ArmWheel(Conn* c) {
+    if (c->closed) return;
+    TimePoint next = TimePoint::max();
+    if (!c->handler_inflight) {
+      if (c->idle_deadline != TimePoint{}) {
+        next = std::min(next, c->idle_deadline);
+      }
+      if (c->total_deadline != TimePoint{}) {
+        next = std::min(next, c->total_deadline);
+      }
+    }
+    if (c->write_deadline != TimePoint{}) {
+      next = std::min(next, c->write_deadline);
+    }
+    if (c->resume_at != TimePoint{}) next = std::min(next, c->resume_at);
+    if (next == TimePoint::max()) return;
+    if (c->armed_until != TimePoint{} && c->armed_until <= next) return;
+    wheel_.Schedule(c->id, next);
+    c->armed_until = next;
+  }
+
+  void OnTimer(uint64_t id) {
+    Conn* c = Find(id);
+    if (c == nullptr) return;
+    c->armed_until = TimePoint{};
+    const auto now = Clock::now();
+
+    if (c->write_deadline != TimePoint{} && now >= c->write_deadline) {
+      server_->write_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      MROAM_COUNTER_ADD("serve.write_timeouts", 1);
+      MROAM_LOG(Debug) << "response write timed out; dropping connection";
+      CloseConn(c);
+      return;
+    }
+    if (!c->handler_inflight) {
+      // The total budget outranks the idle budget: when both have
+      // expired the request ran out of budget, it did not merely idle.
+      if (c->total_deadline != TimePoint{} && now >= c->total_deadline) {
+        ReadTimeout(c, "HTTP read exceeded its request budget");
+        return;
+      }
+      if (c->idle_deadline != TimePoint{} && now >= c->idle_deadline) {
+        if (!c->request_started && c->served_any) {
+          // Keep-alive idle between requests: reclaim quietly — there
+          // is no request to answer 408 to.
+          CloseConn(c);
+        } else {
+          ReadTimeout(c, "HTTP read idle for " +
+                             std::to_string(
+                                 server_->config_.read_idle_timeout_ms) +
+                             "ms");
+        }
+        return;
+      }
+    }
+    if (c->resume_at != TimePoint{} && now >= c->resume_at) {
+      c->resume_at = TimePoint{};
+      UpdateInterest(c);
+      OnReadable(c);
+      return;
+    }
+    ArmWheel(c);
+  }
+
+  /// A tripped mid-request read deadline: explicit 408, then close — the
+  /// same contract the blocking reader had.
+  void ReadTimeout(Conn* c, const std::string& message) {
+    server_->read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    MROAM_COUNTER_ADD("serve.read_timeouts", 1);
+    MROAM_COUNTER_ADD("serve.http_requests", 1);
+    MROAM_FLIGHT_EVENT("conn.read_timeout", 0);
+    c->idle_deadline = TimePoint{};
+    c->total_deadline = TimePoint{};
+    c->request_started = false;
+    c->active_request_start = c->request_start;
+    QueueResponse(c, JsonError(408, message), /*keep_alive=*/false,
+                  /*request_id=*/0);
+  }
+
+  void OnReadable(Conn* c) {
+    if (c->closed || c->resume_at != TimePoint{}) return;
+    // Chaos: a slow-read fault stalls this connection's reader (the
+    // deadlines keep running, so an injected stall longer than the
+    // budget surfaces as a 408, not a slow success) — without stalling
+    // the loop itself.
+    const common::FaultAction slow = MROAM_FAULT_POINT("serve.slow_read");
+    if (slow.fire && slow.delay_ms > 0) {
+      c->resume_at = Clock::now() + std::chrono::milliseconds(slow.delay_ms);
+      UpdateInterest(c);
+      ArmWheel(c);
+      return;
+    }
+
+    const auto now = Clock::now();
+    char chunk[16384];
+    bool got_bytes = false;
+    while (true) {
+      ssize_t n = recv(c->fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        got_bytes = true;
+        if (!c->request_started) {
+          c->request_started = true;
+          c->request_start = now;
+          if (server_->config_.request_timeout_ms >= 0) {
+            c->total_deadline =
+                now + std::chrono::milliseconds(
+                          server_->config_.request_timeout_ms);
+          }
+        }
+        c->framer.Feed(chunk, static_cast<size_t>(n));
+        if (c->framer.buffered_bytes() >
+            kMaxHttpHeadBytes + kMaxHttpBodyBytes) {
+          // A peer pumping more than one max-size request ahead of the
+          // handler gets its pipeline cut, not unbounded buffering.
+          CloseConn(c);
+          return;
+        }
+        if (static_cast<size_t>(n) < sizeof(chunk)) break;
+        continue;
+      }
+      if (n == 0) {
+        c->saw_eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(c);
+      return;
+    }
+    if (got_bytes && server_->config_.read_idle_timeout_ms >= 0) {
+      c->idle_deadline = now + std::chrono::milliseconds(
+                                   server_->config_.read_idle_timeout_ms);
+    }
+
+    ProcessRequests(c);
+    if (c->closed) return;
+    if (c->saw_eof && c->out_off >= c->out.size() && !c->handler_inflight) {
+      // Orderly EOF with nothing left to send: mid-request it matches
+      // the blocking reader's silent close; between requests it is just
+      // the peer hanging up.
+      CloseConn(c);
+      return;
+    }
+    UpdateReadState(c);
+  }
+
+  /// Frames and dispatches every complete buffered request, stopping at
+  /// a pool dispatch (one in-flight request per connection keeps
+  /// pipelined responses in order).
+  void ProcessRequests(Conn* c) {
+    while (!c->closed && !c->handler_inflight && !c->close_after_write) {
+      HttpRequest request;
+      Status error = Status::Ok();
+      const RequestFramer::Outcome outcome = c->framer.Next(&request, &error);
+      if (outcome == RequestFramer::Outcome::kNeedMore) break;
+      MROAM_COUNTER_ADD("serve.http_requests", 1);
+      const auto now = Clock::now();
+      if (c->request_start == TimePoint{}) c->request_start = now;
+      MROAM_HISTOGRAM_OBSERVE("serve.stage.read_seconds",
+                              SecondsSince(c->request_start, now));
+      c->active_request_start = c->request_start;
+      if (outcome == RequestFramer::Outcome::kError) {
+        // Malformed framing desynchronizes the stream: answer 400 and
+        // close, even mid-pipeline.
+        QueueResponse(c, JsonError(400, std::string(error.message())),
+                      /*keep_alive=*/false, /*request_id=*/0);
+        break;
+      }
+
+      // This request is consumed; the total budget now covers the next
+      // one (if its bytes are already buffered, its clock starts now).
+      c->request_started = c->framer.MidRequest();
+      c->request_start = c->request_started ? now : TimePoint{};
+      c->total_deadline =
+          c->request_started && server_->config_.request_timeout_ms >= 0
+              ? now + std::chrono::milliseconds(
+                          server_->config_.request_timeout_ms)
+              : TimePoint{};
+
+      const bool keep = WantsKeepAlive(request) && !drain_started_;
+      const auto [path, query] = SplitTarget(request.target);
+      const bool inline_path =
+          (path == "/contracts" && request.method == "POST") ||
+          common::StartsWith(path, "/tickets/");
+      if (inline_path) {
+        // Admission hot path: validation + a queue push (or a ticket
+        // table lookup) under short locks — served on the loop, no
+        // handoff.
+        MROAM_TRACE_SPAN("serve.request");
+        RequestTrace trace;
+        HttpResponse response = server_->Handle(request, &trace);
+        QueueResponse(c, std::move(response), keep, trace.request_id);
+        continue;
+      }
+      // Everything else may take the market lock or deliberately block
+      // (/debug/trace): run it on the pool and complete back to the
+      // loop. Reads stay off until the response is queued, so the
+      // framer cannot run ahead of the one in-flight request.
+      c->handler_inflight = true;
+      c->pending_keep_alive = keep;
+      const uint64_t conn_id = c->id;
+      server_->pool_->Submit(
+          [this, conn_id, request = std::move(request)]() mutable {
+            MROAM_TRACE_SPAN("serve.request");
+            RequestTrace trace;
+            HttpResponse response = server_->Handle(request, &trace);
+            PostCompletion(conn_id, trace.request_id, std::move(response));
+          });
+      break;
+    }
+  }
+
+  void DrainCompletions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      batch.swap(completions_);
+    }
+    for (Completion& done : batch) {
+      Conn* c = Find(done.conn_id);
+      if (c == nullptr) {
+        MROAM_LOG(Debug) << "dropping response for closed connection";
+        continue;
+      }
+      c->handler_inflight = false;
+      const bool keep = c->pending_keep_alive && !drain_started_;
+      QueueResponse(c, std::move(done.response), keep, done.request_id);
+      if (c->closed) continue;
+      ProcessRequests(c);
+      if (c->closed) continue;
+      if (c->saw_eof && c->out_off >= c->out.size() &&
+          !c->handler_inflight) {
+        CloseConn(c);
+        continue;
+      }
+      UpdateReadState(c);
+    }
+  }
+
+  /// Recomputes read interest and deadline arming after request
+  /// processing settles.
+  void UpdateReadState(Conn* c) {
+    if (c->closed) return;
+    if (c->handler_inflight) {
+      // No read deadlines while the server itself is the slow party.
+      c->idle_deadline = TimePoint{};
+    } else if (c->idle_deadline == TimePoint{} &&
+               server_->config_.read_idle_timeout_ms >= 0) {
+      c->idle_deadline =
+          Clock::now() + std::chrono::milliseconds(
+                             server_->config_.read_idle_timeout_ms);
+    }
+    UpdateInterest(c);
+    ArmWheel(c);
+  }
+
+  void QueueResponse(Conn* c, HttpResponse response, bool keep_alive,
+                     int64_t request_id) {
+    if (c->closed) return;
+    response.keep_alive = keep_alive;
+    if (!keep_alive) c->close_after_write = true;
+    std::string wire = response.Serialize();
+    // Chaos: drop the connection mid-response — half the bytes, then
+    // RST from the client's point of view. Any committed work stays
+    // committed; the contract is that the *server* stays consistent,
+    // not the client.
+    const common::FaultAction drop =
+        MROAM_FAULT_POINT("serve.drop_connection");
+    if (drop.fire) {
+      server_->dropped_responses_.fetch_add(1, std::memory_order_relaxed);
+      MROAM_COUNTER_ADD("serve.dropped_responses", 1);
+      MROAM_FLIGHT_EVENT("conn.fault_drop", request_id);
+      wire.resize(wire.size() / 2);
+      c->close_after_write = true;
+    }
+    c->out += wire;
+    c->served_any = true;
+    if (c->write_deadline == TimePoint{} &&
+        server_->config_.write_timeout_ms >= 0) {
+      c->write_deadline = Clock::now() + std::chrono::milliseconds(
+                                             server_->config_.write_timeout_ms);
+    }
+    if (c->active_request_start != TimePoint{}) {
+      MROAM_HISTOGRAM_OBSERVE(
+          "serve.request_seconds",
+          SecondsSince(c->active_request_start, Clock::now()));
+      c->active_request_start = TimePoint{};
+    }
+    FlushOut(c);
+    if (!c->closed) {
+      UpdateInterest(c);
+      ArmWheel(c);
+    }
+  }
+
+  void FlushOut(Conn* c) {
+    if (c->closed) return;
+    int flags = MSG_DONTWAIT;
+#ifdef MSG_NOSIGNAL
+    flags |= MSG_NOSIGNAL;
+#endif
+    while (c->out_off < c->out.size()) {
+      ssize_t n = send(c->fd, c->out.data() + c->out_off,
+                       c->out.size() - c->out_off, flags);
+      if (n >= 0) {
+        c->out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(c);
+      return;
+    }
+    if (c->out_off >= c->out.size()) {
+      c->out.clear();
+      c->out_off = 0;
+      c->write_deadline = TimePoint{};
+      if (c->close_after_write && !c->handler_inflight) {
+        CloseConn(c);
+        return;
+      }
+    }
+    UpdateInterest(c);
+  }
+
+  /// Drain entry: unhook the listener, serve whatever is already
+  /// buffered (with Connection: close forced), and close every
+  /// connection that has nothing left in flight. The loop then runs on
+  /// until in-flight handlers and response buffers finish.
+  void BeginDrain() {
+    drain_started_ = true;
+    PauseListener();
+    std::vector<uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    for (uint64_t id : ids) {
+      Conn* c = Find(id);
+      if (c == nullptr) continue;
+      OnReadable(c);
+      c = Find(id);
+      if (c == nullptr) continue;
+      if (c->out_off >= c->out.size() && !c->handler_inflight) {
+        CloseConn(c);
+      }
+    }
+    Reap();
+  }
+
+  MarketServer* server_;
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+  TimerWheel wheel_;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::vector<uint64_t> dead_;
+  uint64_t next_conn_id_ = 16;
+  bool listener_registered_ = false;
+  bool drain_started_ = false;
+  std::atomic<bool> drain_requested_{false};
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+};
 
 MarketServer::MarketServer(const influence::InfluenceIndex* index,
                            MarketServerConfig config)
@@ -64,13 +732,18 @@ MarketServer::MarketServer(const influence::InfluenceIndex* index,
   MROAM_CHECK(config_.max_queue >= 1);
   MROAM_CHECK(config_.degraded_watermark >= 1);
   MROAM_CHECK(config_.degraded_watermark <= config_.max_queue);
+  MROAM_CHECK(config_.ticket_history >= 1);
 }
 
 MarketServer::~MarketServer() { Stop(); }
 
 Status MarketServer::Start() {
   MROAM_CHECK(!running_.load());
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  // The listener itself must be non-blocking: the event loop's accept
+  // drains until EAGAIN, and a level-triggered wakeup can race a peer
+  // that resets before accept (a blocking listener would park the whole
+  // loop inside accept4).
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
     return Status::IoError(std::string("socket failed: ") +
                            std::strerror(errno));
@@ -116,46 +789,55 @@ Status MarketServer::Start() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count(),
       std::memory_order_relaxed);
+  loop_ = std::make_unique<EventLoop>(this);
+  Status loop_status = loop_->Init();
+  if (!loop_status.ok()) {
+    loop_.reset();
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return loop_status;
+  }
   pool_ = std::make_unique<common::ThreadPool>(config_.num_threads);
   flush_thread_ = std::thread([this] { FlushLoop(); });
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { loop_->Run(); });
   running_.store(true, std::memory_order_release);
   MROAM_LOG(Info) << "mroam market server listening on port " << port_
-                  << " (" << config_.num_threads << " workers, batch "
-                  << config_.max_batch << "/"
+                  << " (event loop + " << config_.num_threads
+                  << " workers, batch " << config_.max_batch << "/"
                   << config_.max_batch_delay_seconds * 1e3 << "ms, policy "
                   << core::ReplanPolicyName(config_.market.policy) << ")";
   return Status::Ok();
 }
 
 void MarketServer::Stop() {
-  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  if (listen_fd_ < 0 && !loop_thread_.joinable()) return;
 
-  // 1. Stop accepting: new connections are refused, in-flight ones keep
-  //    their worker. The batcher switches to immediate flush so queued
-  //    arrivals (and any that in-flight requests still add) drain fast.
+  // 1. Drain the event loop: the listener is unhooked, buffered requests
+  //    are answered with Connection: close, in-flight handlers finish,
+  //    and every connection closes. The batcher switches to immediate
+  //    flush so queued arrivals commit fast.
   draining_.store(true);
   batch_cv_.notify_all();
-  conn_cv_.notify_all();  // wake an accept loop parked at the conn cap
-  // shutdown() wakes the blocked accept(); the fd is closed only after
-  // the accept thread is gone so it cannot race a reused descriptor.
-  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (loop_) loop_->RequestStop();
+  if (loop_thread_.joinable()) loop_thread_.join();
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
   }
 
   // 2. Drain workers: ThreadPool's destructor runs every queued task to
-  //    completion; each blocked POST is released by the flush loop, which
-  //    is still running in immediate mode.
+  //    completion (their completions land in the loop's queue and are
+  //    dropped with it — the connections are gone).
   pool_.reset();
 
   // 3. Now nothing can enqueue: let the flush loop drain the tail and
-  //    exit, then persist whatever MROAM_TRACE collected.
+  //    exit, then persist whatever MROAM_TRACE collected. Ticket polls
+  //    for the drained batch would answer committed — the table outlives
+  //    the sockets.
   stopping_.store(true);
   batch_cv_.notify_all();
   if (flush_thread_.joinable()) flush_thread_.join();
+  loop_.reset();
   running_.store(false, std::memory_order_release);
 
   common::Status flushed = obs::Tracer::Global().Flush();
@@ -165,108 +847,6 @@ void MarketServer::Stop() {
   MROAM_LOG(Info) << "mroam market server drained and stopped after "
                   << batches_flushed_.load() << " batches, day "
                   << market_.today();
-}
-
-void MarketServer::AcceptLoop() {
-  while (true) {
-    // Accept-side backpressure: at the connection cap, park until a
-    // worker finishes instead of accepting. Pending clients queue in the
-    // kernel backlog — bounded, and the kernel's overflow behavior
-    // (drop/RST) pushes back on the client, not on this process's
-    // memory.
-    {
-      std::unique_lock<std::mutex> lock(conn_mu_);
-      conn_cv_.wait(lock, [this] {
-        return draining_.load() ||
-               open_connections_ < config_.max_connections;
-      });
-    }
-    int fd = accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // Closed by Stop() (or a fatal error): stop accepting either way.
-      break;
-    }
-    if (draining_.load()) {
-      close(fd);
-      break;
-    }
-    int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      ++open_connections_;
-      MROAM_GAUGE_SET("serve.open_connections", open_connections_);
-    }
-    pool_->Submit([this, fd] { HandleConnection(fd); });
-  }
-}
-
-void MarketServer::HandleConnection(int fd) {
-  MROAM_TRACE_SPAN("serve.request");
-  common::Stopwatch watch;
-  MROAM_COUNTER_ADD("serve.http_requests", 1);
-  const HttpTimeouts read_timeouts{config_.read_idle_timeout_ms,
-                                   config_.request_timeout_ms};
-  const HttpTimeouts write_timeouts{config_.write_timeout_ms,
-                                    config_.write_timeout_ms};
-  common::Result<HttpRequest> request = ReadHttpRequest(fd, read_timeouts);
-  MROAM_HISTOGRAM_OBSERVE("serve.stage.read_seconds",
-                          watch.ElapsedSeconds());
-  HttpResponse response;
-  RequestTrace trace;
-  if (!request.ok()) {
-    if (request.status().code() == common::StatusCode::kDeadlineExceeded) {
-      // Slow-loris / stalled read: reclaim the worker with an explicit
-      // 408 so the client knows its request never entered admission.
-      response = JsonError(408, request.status().message());
-      read_timeouts_.fetch_add(1, std::memory_order_relaxed);
-      MROAM_COUNTER_ADD("serve.read_timeouts", 1);
-      MROAM_FLIGHT_EVENT("conn.read_timeout", trace.request_id);
-    } else {
-      response = JsonError(400, request.status().message());
-    }
-  } else {
-    response = Handle(*request, &trace);
-  }
-  // Chaos: drop the connection mid-response — half the bytes, then RST
-  // from the client's point of view. Any committed work stays committed;
-  // the contract is that the *server* stays consistent, not the client.
-  const common::FaultAction drop =
-      MROAM_FAULT_POINT("serve.drop_connection");
-  std::string wire = response.Serialize();
-  if (drop.fire) {
-    dropped_responses_.fetch_add(1, std::memory_order_relaxed);
-    MROAM_COUNTER_ADD("serve.dropped_responses", 1);
-    MROAM_FLIGHT_EVENT("conn.fault_drop", trace.request_id);
-    wire.resize(wire.size() / 2);
-  }
-  Status written = WriteAll(fd, wire, write_timeouts);
-  if (!written.ok()) {
-    if (written.code() == common::StatusCode::kDeadlineExceeded) {
-      write_timeouts_.fetch_add(1, std::memory_order_relaxed);
-      MROAM_COUNTER_ADD("serve.write_timeouts", 1);
-    }
-    MROAM_LOG(Debug) << "response write failed: " << written;
-  }
-  close(fd);
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    --open_connections_;
-    MROAM_GAUGE_SET("serve.open_connections", open_connections_);
-  }
-  conn_cv_.notify_all();
-  // The respond stage of a submitted contract: replan finished -> the
-  // group-commit response bytes are on the wire.
-  if (trace.replan_done != std::chrono::steady_clock::time_point{}) {
-    MROAM_HISTOGRAM_OBSERVE(
-        "serve.stage.respond_seconds",
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      trace.replan_done)
-            .count());
-    MROAM_FLIGHT_EVENT("ticket.respond", trace.ticket);
-  }
-  MROAM_HISTOGRAM_OBSERVE("serve.request_seconds", watch.ElapsedSeconds());
 }
 
 HttpResponse MarketServer::Handle(const HttpRequest& request) {
@@ -295,6 +875,12 @@ HttpResponse MarketServer::Handle(const HttpRequest& request,
     }
     return HandleCancel(request);
   }
+  if (common::StartsWith(path, "/tickets/")) {
+    if (request.method != "GET") {
+      return JsonError(405, "use GET to poll a ticket");
+    }
+    return HandleTicket(request);
+  }
   const bool is_get_path =
       path == "/assignment" || path == "/report" || path == "/healthz" ||
       path == "/readyz" || path == "/metrics" || path == "/debug/vars" ||
@@ -321,7 +907,8 @@ HttpResponse MarketServer::Handle(const HttpRequest& request,
   response.body.pop_back();  // reopen the JsonError object
   response.body +=
       ",\"known_endpoints\":[\"POST /contracts\","
-      "\"DELETE /contracts/<id>\",\"GET /assignment\",\"GET /report\","
+      "\"DELETE /contracts/<id>\",\"GET /tickets/<id>\","
+      "\"GET /assignment\",\"GET /report\","
       "\"GET /healthz\",\"GET /readyz\",\"GET /metrics\","
       "\"GET /debug/vars\",\"GET /debug/flight\","
       "\"GET /debug/trace?ms=N\"]}";
@@ -373,7 +960,7 @@ HttpResponse MarketServer::HandleSubmit(const HttpRequest& request,
   terms.demand = static_cast<int64_t>(*demand);
   terms.payment = *payment;
 
-  std::future<SubmitOutcome> future;
+  int64_t ticket;
   {
     std::lock_guard<std::mutex> lock(batch_mu_);
     // Bounded admission: past the high-watermark the request is shed
@@ -401,21 +988,68 @@ HttpResponse MarketServer::HandleSubmit(const HttpRequest& request,
       return shed;
     }
     MROAM_FLIGHT_EVENT("ticket.enqueue", trace->request_id);
+    // Mint the ticket now so the 202 can name it: the server-side
+    // sequence mirrors DailyMarket's (both 1-based, monotone in arrival
+    // order through this single queue), which FlushBatch verifies.
+    ticket = ++next_ticket_;
+    {
+      // Registered while batch_mu_ is held, so a queued arrival is
+      // never invisible to a concurrent GET /tickets poll.
+      std::lock_guard<std::mutex> tickets_lock(tickets_mu_);
+      pending_tickets_.insert(ticket);
+    }
     PendingArrival pending;
     pending.terms = terms;
     pending.enqueued = std::chrono::steady_clock::now();
     pending.request_id = trace->request_id;
-    future = pending.outcome.get_future();
+    pending.ticket = ticket;
     queue_.push_back(std::move(pending));
     MROAM_GAUGE_SET("serve.queue_depth",
                     static_cast<int64_t>(queue_.size()));
   }
   batch_cv_.notify_all();
-  // Group commit: the response is the contract's post-replan outcome.
-  SubmitOutcome outcome = future.get();
-  trace->ticket = outcome.ticket;
-  trace->replan_done = outcome.replan_done;
-  return std::move(outcome.response);
+  trace->ticket = ticket;
+  // Admission decoupled from replanning: accept immediately, let the
+  // client poll GET /tickets/<id> for the group-commit outcome.
+  HttpResponse response;
+  response.status = 202;
+  response.body = "{\"ticket\":" + std::to_string(ticket) +
+                  ",\"status\":\"pending\"}";
+  return response;
+}
+
+HttpResponse MarketServer::HandleTicket(const HttpRequest& request) {
+  const auto [path, query] = SplitTarget(request.target);
+  std::string_view id_text = path.substr(strlen("/tickets/"));
+  common::Result<int64_t> ticket = common::ParseInt64(id_text);
+  if (!ticket.ok()) {
+    return JsonError(400, "bad ticket id '" + std::string(id_text) + "'");
+  }
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    auto committed = committed_tickets_.find(*ticket);
+    if (committed != committed_tickets_.end()) {
+      HttpResponse response;
+      response.body = committed->second;
+      return response;
+    }
+    if (pending_tickets_.count(*ticket) != 0) {
+      HttpResponse response;
+      response.body = "{\"ticket\":" + std::to_string(*ticket) +
+                      ",\"status\":\"pending\"}";
+      return response;
+    }
+  }
+  return JsonError(404, "no such ticket " + std::to_string(*ticket) +
+                            " (unknown, or evicted from the result "
+                            "history)");
+}
+
+MarketServer::TicketState MarketServer::TicketStatus(int64_t ticket) const {
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  if (committed_tickets_.count(ticket) != 0) return TicketState::kCommitted;
+  if (pending_tickets_.count(ticket) != 0) return TicketState::kPending;
+  return TicketState::kUnknown;
 }
 
 HttpResponse MarketServer::HandleDebugVars() {
@@ -643,12 +1277,10 @@ void MarketServer::FlushBatch() {
   common::Stopwatch watch;
   core::DayResult day;
   std::vector<std::string> outcomes(batch.size());
-  std::vector<int64_t> admitted;
   {
     std::lock_guard<std::mutex> lock(market_mu_);
     day = market_.AdvanceDay(std::move(arrivals));
     const double replan_seconds = watch.ElapsedSeconds();
-    admitted = day.admitted_tickets;
 
     // Per-arrival outcome: admitted_tickets aligns with the batch order;
     // look each ticket up in the replanned deployment.
@@ -659,11 +1291,16 @@ void MarketServer::FlushBatch() {
     const auto& terms = market_.ActiveTerms();
     for (size_t i = 0; i < batch.size(); ++i) {
       const int64_t ticket = day.admitted_tickets[i];
+      // The 202 promised this ticket number before the replan ran; the
+      // two mints must agree or polls would retrieve someone else's
+      // contract.
+      MROAM_CHECK(ticket == batch[i].ticket);
       auto it = position.find(ticket);
       MROAM_CHECK(it != position.end());
       const int64_t influence = index_->InfluenceOfSet(sets[it->second]);
       const bool satisfied = influence >= terms[it->second].demand;
       outcomes[i] = "{\"ticket\":" + std::to_string(ticket) +
+                    ",\"status\":\"committed\"" +
                     ",\"day\":" + std::to_string(day.day) +
                     ",\"satisfied\":" + (satisfied ? "true" : "false") +
                     ",\"influence\":" + std::to_string(influence) +
@@ -708,13 +1345,30 @@ void MarketServer::FlushBatch() {
   }
   batches_flushed_.fetch_add(1, std::memory_order_relaxed);
 
-  for (size_t i = 0; i < batch.size(); ++i) {
-    SubmitOutcome outcome;
-    outcome.response.body = std::move(outcomes[i]);
-    outcome.replan_done = replan_done;
-    outcome.ticket = admitted[i];
-    MROAM_FLIGHT_EVENT("ticket.replan_done", outcome.ticket);
-    batch[i].outcome.set_value(std::move(outcome));
+  // Group-commit publish: move each outcome into the ticket table (the
+  // respond stage — replan finished -> result visible to polls), with
+  // the oldest committed results evicted past the history bound.
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const int64_t ticket = batch[i].ticket;
+      pending_tickets_.erase(ticket);
+      committed_tickets_[ticket] = std::move(outcomes[i]);
+      committed_order_.push_back(ticket);
+    }
+    while (committed_tickets_.size() >
+           static_cast<size_t>(config_.ticket_history)) {
+      committed_tickets_.erase(committed_order_.front());
+      committed_order_.pop_front();
+    }
+  }
+  const auto published = std::chrono::steady_clock::now();
+  const double respond_seconds =
+      std::chrono::duration<double>(published - replan_done).count();
+  for (const PendingArrival& pending : batch) {
+    MROAM_FLIGHT_EVENT("ticket.replan_done", pending.ticket);
+    MROAM_FLIGHT_EVENT("ticket.respond", pending.ticket);
+    MROAM_HISTOGRAM_OBSERVE("serve.stage.respond_seconds", respond_seconds);
   }
 }
 

@@ -5,12 +5,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <future>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -25,8 +27,10 @@ struct MarketServerConfig {
   /// TCP port to listen on; 0 picks an ephemeral port (tests/benches read
   /// it back via MarketServer::port()).
   int port = 8080;
-  /// Connection-handling workers (reuses common::ThreadPool). Each worker
-  /// owns one request end to end, so this bounds in-flight requests.
+  /// Handler workers (reuses common::ThreadPool). The event loop serves
+  /// the hot admission path inline; handlers that take the market lock
+  /// or block (reads, /debug/trace captures) run here, so this bounds
+  /// in-flight *blocking* handlers, not connections.
   int num_threads = 4;
   /// Admission batching: a queued contract waits until either the batch
   /// reaches `max_batch` arrivals or the oldest has waited
@@ -41,18 +45,21 @@ struct MarketServerConfig {
 
   // --- Overload contract (DESIGN.md §6.2) --------------------------------
   /// Per-connection read deadlines: `read_idle_timeout_ms` bounds the wait
-  /// between bytes (slow-loris), `request_timeout_ms` bounds the whole
-  /// head+body read. A tripped deadline answers 408 and reclaims the
-  /// worker. -1 disables (fully blocking, the pre-hardening behavior).
+  /// between bytes (slow-loris) — and, on a kept-alive connection, how
+  /// long an idle connection is retained between requests — while
+  /// `request_timeout_ms` bounds one whole head+body read. A deadline
+  /// tripped mid-request answers 408; one tripped between requests just
+  /// closes. -1 disables (connections are then retained forever).
   int read_idle_timeout_ms = 5000;
   int request_timeout_ms = 15000;
-  /// Bound on writing one response; a peer that stops draining its window
-  /// costs at most this long before the worker is reclaimed.
+  /// Bound on draining the response buffer to a peer; one that stops
+  /// reading its socket costs at most this long before the connection is
+  /// reclaimed.
   int write_timeout_ms = 5000;
   /// Accept-side connection cap: at most this many connections are open
-  /// at once. At the cap the accept loop stops accepting, so further
+  /// at once. At the cap the event loop stops accepting, so further
   /// clients queue in the kernel backlog (and eventually time out there)
-  /// instead of growing an unbounded fd/task backlog in-process.
+  /// instead of growing an unbounded fd backlog in-process.
   int max_connections = 256;
   /// Admission high-watermark: past it POST /contracts sheds with 429 +
   /// Retry-After instead of queueing unboundedly.
@@ -62,17 +69,40 @@ struct MarketServerConfig {
   /// reads with X-Mroam-Stale, while still serving the last committed
   /// book.
   int degraded_watermark = 256;
+  /// Committed ticket results retained for GET /tickets/<id>; the oldest
+  /// are evicted past this bound (a poll after eviction sees 404).
+  int ticket_history = 1 << 16;
 };
 
 /// The always-on host process the paper's operational setting assumes
 /// (§1): advertisers submit contracts over HTTP, an admission batcher
 /// groups arrivals, and every flush replans the market through
-/// core::DailyMarket. Endpoints:
+/// core::DailyMarket.
 ///
-///   POST   /contracts       {"demand": I_i, "payment": L_i} -> ticket;
-///                           the response is sent after the contract's
-///                           batch has been replanned, so it reports the
-///                           achieved influence and satisfaction.
+/// Serving model: one epoll event loop (level-triggered, non-blocking
+/// sockets) owns every connection as a small state machine — read bytes
+/// into an incremental RequestFramer, dispatch complete requests,
+/// stream out queued responses. Connections are persistent: HTTP/1.1
+/// keep-alive with pipelining, Connection negotiated per request.
+/// Deadlines (read idle / request total / write) live on a hashed
+/// TimerWheel, so slow-loris protection survives without a
+/// thread-per-connection. The admission path (POST /contracts,
+/// GET /tickets/<id>) is served inline on the loop; handlers that take
+/// the market lock or block run on the worker pool and complete back to
+/// the loop over an eventfd.
+///
+/// Endpoints:
+///
+///   POST   /contracts       {"demand": I_i, "payment": L_i} -> 202 with
+///                           a ticket; admission is decoupled from
+///                           replanning, so the response returns
+///                           immediately and the group-commit result is
+///                           polled via the ticket.
+///   GET    /tickets/<id>    the ticket's group-commit result: 200 with
+///                           {"status":"pending"} before the batch
+///                           flushes, 200 with the committed outcome
+///                           (satisfied/influence/day) after, 404 for an
+///                           unknown or evicted ticket.
 ///   DELETE /contracts/<id>  withdraw a contract by ticket.
 ///   GET    /assignment      active contracts with their billboard sets.
 ///   GET    /report          last replan's regret breakdown + server stats.
@@ -92,16 +122,17 @@ struct MarketServerConfig {
 /// Ticket lifecycle tracing: every request is minted a request id at
 /// routing time (RequestTrace); a submitted contract's id rides with it
 /// through the admission queue, the batch replan, and the group-commit
-/// response, leaving flight-recorder events (ticket.enqueue,
+/// publish, leaving flight-recorder events (ticket.enqueue,
 /// ticket.flush, ticket.replan_done, ticket.respond) and per-stage
 /// histograms (serve.stage.queue_wait/replan/respond/read _seconds) on
 /// the way — the raw material for /debug/flight and BENCH_serve
 /// percentiles.
 ///
 /// Stop() (also run by the destructor) performs a graceful drain: the
-/// listener closes first, in-flight requests finish, every queued
-/// arrival is flushed through a final replan, and MROAM_TRACE output is
-/// flushed to disk.
+/// listener closes first, in-flight requests finish and their
+/// connections close, every queued arrival is flushed through a final
+/// replan (polls for those tickets are answered until the server object
+/// dies), and MROAM_TRACE output is flushed to disk.
 class MarketServer {
  public:
   /// `index` must outlive the server.
@@ -112,12 +143,12 @@ class MarketServer {
   MarketServer(const MarketServer&) = delete;
   MarketServer& operator=(const MarketServer&) = delete;
 
-  /// Binds, listens, and starts the accept/flush/worker threads. Fails
-  /// with kIoError when the port cannot be bound.
+  /// Binds, listens, and starts the event-loop/flush/worker threads.
+  /// Fails with kIoError when the port cannot be bound.
   common::Status Start();
 
-  /// Graceful shutdown (idempotent): stop accepting, drain in-flight
-  /// requests and queued batches, join all threads, flush traces.
+  /// Graceful shutdown (idempotent): stop accepting, finish in-flight
+  /// requests, drain queued batches, join all threads, flush traces.
   void Stop();
 
   /// The bound TCP port (after Start()).
@@ -132,7 +163,7 @@ class MarketServer {
   int64_t shed_total() const {
     return shed_total_.load(std::memory_order_relaxed);
   }
-  /// Requests answered 408 after a read deadline tripped.
+  /// Requests answered 408 after a read deadline tripped mid-request.
   int64_t read_timeouts() const {
     return read_timeouts_.load(std::memory_order_relaxed);
   }
@@ -141,16 +172,18 @@ class MarketServer {
     return dropped_responses_.load(std::memory_order_relaxed);
   }
 
+  /// Where a ticket is in its lifecycle, as served by GET /tickets/<id>
+  /// (exposed directly for post-drain assertions in tests).
+  enum class TicketState { kUnknown, kPending, kCommitted };
+  TicketState TicketStatus(int64_t ticket) const;
+
   /// Per-request trace context, minted at routing time and threaded
-  /// through the submit path so the connection handler can attribute the
-  /// respond stage to the right ticket. Zero-initialized for
-  /// non-contract requests (replan_done stays the epoch).
+  /// through the submit path so stage accounting can attribute the
+  /// enqueue to the right ticket. Zero-initialized for non-contract
+  /// requests.
   struct RequestTrace {
     int64_t request_id = 0;
     int64_t ticket = -1;  ///< set by a successful submit
-    /// When the submitting batch's replan finished; the respond stage is
-    /// measured from here to after the response bytes are written.
-    std::chrono::steady_clock::time_point replan_done{};
   };
 
   /// Routes one parsed request to its handler — the testable core of the
@@ -160,32 +193,29 @@ class MarketServer {
   HttpResponse Handle(const HttpRequest& request, RequestTrace* trace);
 
  private:
-  /// What the flush loop hands back to a blocked submitter: the response
-  /// plus the timing context the connection handler needs to finish the
-  /// ticket's stage accounting.
-  struct SubmitOutcome {
-    HttpResponse response;
-    std::chrono::steady_clock::time_point replan_done{};
-    int64_t ticket = -1;
-  };
+  struct EventLoop;  // epoll loop + connection state machines (.cc only)
+  friend struct EventLoop;
 
-  /// One queued contract arrival waiting for its batch to flush.
+  /// One queued contract arrival waiting for its batch to flush. The
+  /// ticket is minted at admission (the 202 body) and must match what
+  /// DailyMarket assigns at flush — both count monotonically in arrival
+  /// order, which FlushBatch MROAM_CHECKs.
   struct PendingArrival {
     market::Advertiser terms;
-    std::promise<SubmitOutcome> outcome;
     std::chrono::steady_clock::time_point enqueued;
     int64_t request_id = 0;
+    int64_t ticket = 0;
   };
 
-  void AcceptLoop();
   void FlushLoop();
-  void HandleConnection(int fd);
   /// Drains the current queue through one DailyMarket::AdvanceDay and
-  /// fulfils each arrival's promise. Called with batch_mu_ NOT held.
+  /// publishes each arrival's outcome to the ticket table. Called with
+  /// batch_mu_ NOT held.
   void FlushBatch();
 
   HttpResponse HandleSubmit(const HttpRequest& request,
                             RequestTrace* trace);
+  HttpResponse HandleTicket(const HttpRequest& request);
   HttpResponse HandleCancel(const HttpRequest& request);
   HttpResponse HandleAssignment();
   HttpResponse HandleReport();
@@ -219,17 +249,26 @@ class MarketServer {
   /// FlushBatch) — the numerator of X-Mroam-Stale.
   std::atomic<int64_t> last_commit_ns_{0};
 
-  std::thread accept_thread_;
+  std::thread loop_thread_;
   std::thread flush_thread_;
   std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<EventLoop> loop_;
 
-  std::mutex conn_mu_;  ///< guards open_connections_ (accept-side cap)
-  std::condition_variable conn_cv_;
-  int open_connections_ = 0;
-
-  std::mutex batch_mu_;  ///< guards queue_
+  std::mutex batch_mu_;  ///< guards queue_ and next_ticket_
   std::condition_variable batch_cv_;
   std::vector<PendingArrival> queue_;
+  /// Server-side ticket sequence, mirrored from DailyMarket's (both are
+  /// 1-based and monotone in arrival order) so the 202 can name the
+  /// ticket before the replan runs.
+  int64_t next_ticket_ = 0;
+
+  /// Ticket table for GET /tickets/<id>. Lock order: batch_mu_ before
+  /// tickets_mu_ (HandleSubmit registers the pending entry while holding
+  /// both, so a queued arrival is never invisible to a poll).
+  mutable std::mutex tickets_mu_;
+  std::unordered_set<int64_t> pending_tickets_;
+  std::unordered_map<int64_t, std::string> committed_tickets_;
+  std::deque<int64_t> committed_order_;  ///< eviction FIFO
 
   std::mutex market_mu_;  ///< guards market_ and last_day_
   core::DailyMarket market_;

@@ -62,6 +62,7 @@ struct Options {
   int max_connections = 256;
   int max_queue = 1024;
   int degraded_watermark = 256;
+  int ticket_history = 1 << 16;
 };
 
 /// Distinct exit status for a failed --snapshot cold start, so process
@@ -110,6 +111,8 @@ overload contract:
                          sheds with 429 + Retry-After (default 1024)
   --degraded-watermark N queue depth at which /readyz turns 503 and reads
                          carry X-Mroam-Stale (default 256)
+  --ticket-history N     committed ticket results kept for GET /tickets/<id>
+                         before eviction (default 65536)
 
 exit status: 0 ok, 1 boot/serve failure, 2 usage error, 3 snapshot
 load failure (--snapshot path missing or corrupt).
@@ -188,6 +191,9 @@ Status ParseOptions(int argc, char** argv, Options* options) {
     } else if (ParseFlag(argc, argv, &i, "degraded-watermark", &value)) {
       MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
       options->degraded_watermark = static_cast<int>(n);
+    } else if (ParseFlag(argc, argv, &i, "ticket-history", &value)) {
+      MROAM_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      options->ticket_history = static_cast<int>(n);
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
@@ -291,6 +297,7 @@ int Run(const Options& options) {
   config.max_connections = options.max_connections;
   config.max_queue = options.max_queue;
   config.degraded_watermark = options.degraded_watermark;
+  config.ticket_history = options.ticket_history;
   config.market.contract_duration_days = options.duration_days;
   if (options.policy == "reopt") {
     config.market.policy = mroam::core::ReplanPolicy::kReoptimizeAll;

@@ -1,0 +1,80 @@
+#include "serve/timer_wheel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mroam::serve {
+
+TimerWheel::TimerWheel(int tick_ms, int num_slots)
+    : tick_ms_(tick_ms),
+      slots_(static_cast<size_t>(num_slots)),
+      cursor_tick_(TickOf(Clock::now())) {
+  MROAM_CHECK(tick_ms >= 1);
+  MROAM_CHECK(num_slots >= 2);
+}
+
+int64_t TimerWheel::TickOf(Clock::time_point t) const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             t.time_since_epoch())
+             .count() /
+         tick_ms_;
+}
+
+void TimerWheel::Schedule(uint64_t id, Clock::time_point deadline) {
+  // A deadline at or before the swept cursor would land in a slot the
+  // cursor has already passed and wait a full lap; pin it to the next
+  // tick instead so it fires on the next Advance.
+  const int64_t tick = std::max(TickOf(deadline), cursor_tick_ + 1);
+  auto& slot = slots_[static_cast<size_t>(tick) % slots_.size()];
+  slot.push_back(Entry{id, deadline});
+  ++pending_;
+}
+
+void TimerWheel::Advance(Clock::time_point now, std::vector<uint64_t>* due) {
+  const int64_t target = TickOf(now);
+  if (target <= cursor_tick_) return;
+  // Walking more ticks than there are slots would revisit slots; one
+  // full sweep covers everything.
+  const int64_t span = std::min<int64_t>(target - cursor_tick_,
+                                         static_cast<int64_t>(slots_.size()));
+  for (int64_t t = cursor_tick_ + 1; t <= cursor_tick_ + span; ++t) {
+    auto& slot = slots_[static_cast<size_t>(t) % slots_.size()];
+    size_t keep = 0;
+    for (size_t i = 0; i < slot.size(); ++i) {
+      // Fire once the entry's tick has been swept, even when `now` sits
+      // a hair before the deadline inside that tick: retaining the
+      // entry would strand it in an already-passed slot for a full lap
+      // (and pin MsUntilNext at ~0, busy-polling the owner). A sub-tick
+      // early fire is safe — the owner re-checks the real deadline and
+      // re-arms (lazy cancellation), costing one spurious wakeup.
+      if (slot[i].deadline <= now || TickOf(slot[i].deadline) <= target) {
+        due->push_back(slot[i].id);
+        --pending_;
+      } else {
+        // Scheduled a lap (or more) ahead; stays for a later visit.
+        slot[keep++] = slot[i];
+      }
+    }
+    slot.resize(keep);
+  }
+  cursor_tick_ = target;
+}
+
+int TimerWheel::MsUntilNext(Clock::time_point now) const {
+  if (pending_ == 0) return -1;
+  Clock::time_point earliest = Clock::time_point::max();
+  for (const auto& slot : slots_) {
+    for (const Entry& entry : slot) {
+      earliest = std::min(earliest, entry.deadline);
+    }
+  }
+  const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+      earliest - now);
+  // Round up to the tick so the wake-up lands past the deadline instead
+  // of one poll early.
+  return static_cast<int>(
+      std::clamp<int64_t>(wait.count() + 1, 0, 60 * 1000));
+}
+
+}  // namespace mroam::serve

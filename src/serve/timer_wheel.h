@@ -1,0 +1,65 @@
+#ifndef MROAM_SERVE_TIMER_WHEEL_H_
+#define MROAM_SERVE_TIMER_WHEEL_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mroam::serve {
+
+/// Hashed timing wheel for connection deadlines on the serve event loop.
+///
+/// Entries are (id, deadline) pairs hashed into tick-granular slots; one
+/// Advance() walks only the slots between the previous position and
+/// `now`, so N armed connections cost O(due) per loop iteration instead
+/// of O(N log N) heap churn. Cancellation is lazy: re-arming a
+/// connection's deadline just schedules another entry, and the owner
+/// re-checks the connection's *actual* deadline when an entry fires
+/// (re-scheduling if it moved, ignoring it if the connection is gone).
+/// That trades a few spurious wakeups for O(1) arm/disarm — the usual
+/// wheel bargain.
+///
+/// Single-threaded by design: owned and driven by the event loop, never
+/// shared.
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `tick_ms` is the firing granularity (deadlines fire up to one tick
+  /// late); `num_slots` spans tick_ms * num_slots before entries lap.
+  explicit TimerWheel(int tick_ms = 8, int num_slots = 512);
+
+  /// Schedules `id` to fire at `deadline` (immediately-due deadlines
+  /// fire on the next Advance). The same id may be scheduled many times.
+  void Schedule(uint64_t id, Clock::time_point deadline);
+
+  /// Advances the wheel to `now`, appending every id whose deadline has
+  /// passed to *due (slot order, not strict deadline order).
+  void Advance(Clock::time_point now, std::vector<uint64_t>* due);
+
+  /// Milliseconds until the earliest scheduled deadline (0 when already
+  /// due), or -1 when the wheel is empty — the event loop's poll
+  /// timeout. O(pending); the serve loop's pending set is bounded by
+  /// the connection cap.
+  int MsUntilNext(Clock::time_point now) const;
+
+  size_t pending() const { return pending_; }
+
+ private:
+  struct Entry {
+    uint64_t id;
+    Clock::time_point deadline;
+  };
+
+  int64_t TickOf(Clock::time_point t) const;
+
+  const int tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  int64_t cursor_tick_;  ///< last tick whose slot has been swept
+  size_t pending_ = 0;
+};
+
+}  // namespace mroam::serve
+
+#endif  // MROAM_SERVE_TIMER_WHEEL_H_

@@ -165,15 +165,16 @@ TEST_F(ServeChaosTest, WatermarkShedsWith429AndRetryAfter) {
   ASSERT_TRUE(server.Start().ok());
   const int port = server.port();
 
-  // Fill the queue to the cap with blocked submitters.
-  std::vector<int> statuses(2, -1);
-  std::vector<std::thread> blocked;
+  // Fill the queue to the cap: each submission is accepted with 202
+  // immediately and parks in the admission queue.
+  std::vector<int64_t> tickets;
   for (int c = 0; c < 2; ++c) {
-    blocked.emplace_back([&, c] {
-      auto posted = HttpFetch("127.0.0.1", port, "POST", "/contracts",
-                              SubmitBody(2, 4.0));
-      if (posted.ok()) statuses[c] = posted->status;
-    });
+    auto posted = HttpFetch("127.0.0.1", port, "POST", "/contracts",
+                            SubmitBody(2, 4.0));
+    ASSERT_TRUE(posted.ok()) << posted.status().ToString();
+    ASSERT_EQ(posted->status, 202) << posted->body;
+    tickets.push_back(
+        static_cast<int64_t>(*ExtractJsonNumber(posted->body, "ticket")));
   }
   ASSERT_TRUE(WaitForQueueDepth(port, 2.0));
 
@@ -191,11 +192,13 @@ TEST_F(ServeChaosTest, WatermarkShedsWith429AndRetryAfter) {
   EXPECT_LE(*retry_after, 60);
   EXPECT_EQ(server.shed_total(), 1);
 
-  // Queued (non-shed) submitters still complete through the drain.
+  // Queued (non-shed) submissions still commit through the drain.
   server.Stop();
-  for (std::thread& t : blocked) t.join();
-  EXPECT_EQ(statuses[0], 200);
-  EXPECT_EQ(statuses[1], 200);
+  for (int64_t ticket : tickets) {
+    EXPECT_EQ(server.TicketStatus(ticket),
+              MarketServer::TicketState::kCommitted)
+        << "ticket " << ticket;
+  }
 }
 
 TEST_F(ServeChaosTest, ReadinessSplitsFromLivenessAndReadsGoStale) {
@@ -214,12 +217,10 @@ TEST_F(ServeChaosTest, ReadinessSplitsFromLivenessAndReadsGoStale) {
   EXPECT_EQ(ready->status, 200);
 
   // One queued arrival crosses the watermark: not ready, still live.
-  int status = -1;
-  std::thread blocked([&] {
-    auto posted = HttpFetch("127.0.0.1", port, "POST", "/contracts",
-                            SubmitBody(2, 4.0));
-    if (posted.ok()) status = posted->status;
-  });
+  auto posted = HttpFetch("127.0.0.1", port, "POST", "/contracts",
+                          SubmitBody(2, 4.0));
+  ASSERT_TRUE(posted.ok()) << posted.status().ToString();
+  EXPECT_EQ(posted->status, 202) << posted->body;
   ASSERT_TRUE(WaitForQueueDepth(port, 1.0));
 
   auto overloaded = HttpFetch("127.0.0.1", port, "GET", "/readyz");
@@ -245,8 +246,7 @@ TEST_F(ServeChaosTest, ReadinessSplitsFromLivenessAndReadsGoStale) {
   // An un-overloaded read carries no staleness stamp (checked on a fresh
   // server: this one only drains from here).
   server.Stop();
-  blocked.join();
-  EXPECT_EQ(status, 200);
+  EXPECT_EQ(server.TicketStatus(1), MarketServer::TicketState::kCommitted);
 
   MarketServer fresh(&index_, Config());
   ASSERT_TRUE(fresh.Start().ok());
@@ -300,7 +300,7 @@ TEST_F(ServeChaosTest, SeededChaosRunResolvesEveryTicket) {
         if (!posted.ok()) {
           // A dropped connection surfaces as a client-side read error.
           error_count.fetch_add(1);
-        } else if (posted->status == 200) {
+        } else if (posted->status == 202) {
           ok_count.fetch_add(1);
           auto ticket = ExtractJsonNumber(posted->body, "ticket");
           if (ticket.ok()) {
@@ -345,6 +345,14 @@ TEST_F(ServeChaosTest, SeededChaosRunResolvesEveryTicket) {
   ASSERT_TRUE(reported_shed.ok()) << report->body;
   EXPECT_EQ(static_cast<int64_t>(*reported_shed), server.shed_total());
   server.Stop();
+
+  // Every 202-accepted ticket reached committed by the drain — chaos
+  // may cut responses off on the wire, never contracts off the book.
+  for (double ticket : tickets) {
+    EXPECT_EQ(server.TicketStatus(static_cast<int64_t>(ticket)),
+              MarketServer::TicketState::kCommitted)
+        << "ticket " << ticket;
+  }
 }
 
 }  // namespace

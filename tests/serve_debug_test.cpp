@@ -91,6 +91,7 @@ TEST_F(ServeDebugTest, UnknownPathGets404WithEndpointList) {
   EXPECT_NE(response.body.find("\"known_endpoints\":["), std::string::npos);
   EXPECT_NE(response.body.find("GET /debug/flight"), std::string::npos);
   EXPECT_NE(response.body.find("POST /contracts"), std::string::npos);
+  EXPECT_NE(response.body.find("GET /tickets/<id>"), std::string::npos);
 }
 
 TEST_F(ServeDebugTest, KnownPathWrongMethodGets405) {
@@ -164,15 +165,42 @@ TEST_F(ServeDebugTest, SubmissionsPopulateStageHistogramsAndFlight) {
   const int kSubmissions = 6;
   std::vector<std::thread> clients;
   std::atomic<int> ok{0};
+  std::mutex tickets_mu;
+  std::vector<int64_t> tickets;
   for (int i = 0; i < kSubmissions; ++i) {
-    clients.emplace_back([port, &ok] {
+    clients.emplace_back([port, &ok, &tickets_mu, &tickets] {
       auto response = HttpFetch("127.0.0.1", port, "POST", "/contracts",
                                 "{\"demand\": 2, \"payment\": 5.0}");
-      if (response.ok() && response->status == 200) ok.fetch_add(1);
+      if (response.ok() && response->status == 202) {
+        ok.fetch_add(1);
+        auto ticket = ExtractJsonNumber(response->body, "ticket");
+        if (ticket.ok()) {
+          std::lock_guard<std::mutex> lock(tickets_mu);
+          tickets.push_back(static_cast<int64_t>(*ticket));
+        }
+      }
     });
   }
   for (std::thread& t : clients) t.join();
   ASSERT_EQ(ok.load(), kSubmissions);
+
+  // The 202s return before the replan; wait for every ticket's group
+  // commit before asserting on the stage instrumentation.
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    bool all_committed = true;
+    for (int64_t ticket : tickets) {
+      all_committed = all_committed &&
+                      server.TicketStatus(ticket) ==
+                          MarketServer::TicketState::kCommitted;
+    }
+    if (all_committed) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (int64_t ticket : tickets) {
+    ASSERT_EQ(server.TicketStatus(ticket),
+              MarketServer::TicketState::kCommitted)
+        << "ticket " << ticket;
+  }
 
   // Every submission passed through all three ticket stages.
   obs::MetricsSnapshot snapshot =

@@ -1,0 +1,325 @@
+// Persistent-connection behavior of the event-loop server: HTTP/1.1
+// keep-alive, pipelining, Connection negotiation, quiet idle reclaim,
+// and the async ticket lifecycle polled over one connection. Labeled
+// `serve` + `concurrency`; runs under the tsan preset.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/http.h"
+#include "serve/market_server.h"
+#include "test_util.h"
+
+namespace mroam::serve {
+namespace {
+
+using mroam::testing::IndexFromIncidence;
+
+int ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Reads exactly one framed response off fd, buffering across calls in
+/// *buffer so pipelined responses can be peeled off one at a time.
+common::Result<HttpResponse> ReadOneResponse(int fd, std::string* buffer) {
+  while (true) {
+    const size_t head_end = buffer->find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      MROAM_ASSIGN_OR_RETURN(HttpResponse response,
+                             ParseResponseHead(buffer->substr(0, head_end)));
+      const std::string_view length_text =
+          response.HeaderOr("content-length");
+      size_t length = 0;
+      if (!length_text.empty()) {
+        MROAM_ASSIGN_OR_RETURN(length, ParseContentLength(length_text));
+      }
+      const size_t body_start = head_end + 4;
+      if (buffer->size() >= body_start + length) {
+        response.body = buffer->substr(body_start, length);
+        buffer->erase(0, body_start + length);
+        return response;
+      }
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return common::Status::IoError("EOF before a full response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return common::Status::IoError("recv failed");
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+/// Reads until the server closes the connection.
+std::string ReadToEof(int fd) {
+  std::string all;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      all.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return all;
+  }
+}
+
+class ServeKeepAliveTest : public ::testing::Test {
+ protected:
+  ServeKeepAliveTest()
+      : index_(IndexFromIncidence(
+            {{0, 1, 2, 3},
+             {4, 5, 6, 7},
+             {8, 9, 10, 11},
+             {12, 13, 14, 15},
+             {16, 17},
+             {18, 19},
+             {20, 21},
+             {22, 23}},
+            24, &dataset_)) {}
+
+  MarketServerConfig Config() {
+    MarketServerConfig config;
+    config.port = 0;
+    config.num_threads = 4;
+    config.max_batch = 4;
+    config.max_batch_delay_seconds = 0.01;
+    config.market.policy = core::ReplanPolicy::kLockExisting;
+    return config;
+  }
+
+  static std::string SubmitBody(int64_t demand, double payment) {
+    return "{\"demand\": " + std::to_string(demand) +
+           ", \"payment\": " + std::to_string(payment) + "}";
+  }
+
+  model::Dataset dataset_;
+  influence::InfluenceIndex index_;
+};
+
+TEST_F(ServeKeepAliveTest, PipelinedRequestsAnswerInOrderOnOneConnection) {
+  MarketServer server(&index_, Config());
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // Two requests in a single write; two framed responses must come back
+  // in order, and the connection must stay open after both.
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /readyz HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_TRUE(WriteAll(fd, wire).ok());
+
+  std::string buffer;
+  auto first = ReadOneResponse(fd, &buffer);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, 200);
+  EXPECT_NE(first->body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(first->HeaderOr("connection"), "keep-alive");
+
+  auto second = ReadOneResponse(fd, &buffer);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->status, 200);
+  EXPECT_NE(second->body.find("queue_depth"), std::string::npos);
+  EXPECT_EQ(second->HeaderOr("connection"), "keep-alive");
+
+  // Still serving: a third request on the same connection answers too.
+  ASSERT_TRUE(WriteAll(fd, "GET /healthz HTTP/1.1\r\n\r\n").ok());
+  auto third = ReadOneResponse(fd, &buffer);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ(third->status, 200);
+
+  ::close(fd);
+  server.Stop();
+}
+
+TEST_F(ServeKeepAliveTest, MalformedPipelinedRequestGets400ThenClose) {
+  MarketServer server(&index_, Config());
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // A good request pipelined with a malformed request line: the good one
+  // answers normally, the bad one gets 400 + Connection: close, and the
+  // server hangs up (the stream is desynchronized past the error).
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "GET /a b HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(WriteAll(fd, wire).ok());
+
+  std::string buffer;
+  auto first = ReadOneResponse(fd, &buffer);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, 200);
+
+  auto second = ReadOneResponse(fd, &buffer);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->status, 400);
+  EXPECT_EQ(second->HeaderOr("connection"), "close");
+
+  // Nothing further: the server closed after the 400.
+  EXPECT_EQ(ReadToEof(fd), "");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST_F(ServeKeepAliveTest, ConnectionNegotiationPerRequest) {
+  MarketServer server(&index_, Config());
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // HTTP/1.1 with an explicit Connection: close is honored.
+    int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(
+        WriteAll(fd,
+                 "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .ok());
+    std::string buffer;
+    auto response = ReadOneResponse(fd, &buffer);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->HeaderOr("connection"), "close");
+    EXPECT_EQ(ReadToEof(fd), "");
+    ::close(fd);
+  }
+  {
+    // HTTP/1.0 defaults to close.
+    int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(WriteAll(fd, "GET /healthz HTTP/1.0\r\n\r\n").ok());
+    std::string buffer;
+    auto response = ReadOneResponse(fd, &buffer);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->HeaderOr("connection"), "close");
+    EXPECT_EQ(ReadToEof(fd), "");
+    ::close(fd);
+  }
+  server.Stop();
+}
+
+TEST_F(ServeKeepAliveTest, TicketLifecycleOverOneKeptAliveConnection) {
+  MarketServer server(&index_, Config());
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // 202 + ticket immediately; the submit does not wait for the replan.
+  auto posted =
+      client.Fetch("POST", "/contracts", SubmitBody(4, 10.0));
+  ASSERT_TRUE(posted.ok()) << posted.status().ToString();
+  ASSERT_EQ(posted->status, 202) << posted->body;
+  const int64_t ticket =
+      static_cast<int64_t>(*ExtractJsonNumber(posted->body, "ticket"));
+  EXPECT_EQ(ticket, 1);
+  EXPECT_NE(posted->body.find("\"status\":\"pending\""), std::string::npos);
+
+  // Poll the same connection until the group commit publishes it.
+  std::string committed;
+  for (int attempt = 0; attempt < 500 && committed.empty(); ++attempt) {
+    auto polled = client.Fetch("GET", "/tickets/1");
+    ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+    ASSERT_EQ(polled->status, 200) << polled->body;
+    if (polled->body.find("\"status\":\"committed\"") != std::string::npos) {
+      committed = polled->body;
+    } else {
+      EXPECT_NE(polled->body.find("\"status\":\"pending\""),
+                std::string::npos)
+          << polled->body;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_FALSE(committed.empty()) << "ticket never committed";
+  EXPECT_DOUBLE_EQ(*ExtractJsonNumber(committed, "influence"), 4.0);
+  EXPECT_DOUBLE_EQ(*ExtractJsonNumber(committed, "active_contracts"), 1.0);
+  EXPECT_NE(committed.find("\"satisfied\":true"), std::string::npos);
+
+  // Unknown and malformed ticket ids, still on the same connection.
+  auto unknown = client.Fetch("GET", "/tickets/424242");
+  ASSERT_TRUE(unknown.ok()) << unknown.status().ToString();
+  EXPECT_EQ(unknown->status, 404);
+  auto malformed = client.Fetch("GET", "/tickets/notanumber");
+  ASSERT_TRUE(malformed.ok()) << malformed.status().ToString();
+  EXPECT_EQ(malformed->status, 400);
+  auto wrong_method = client.Fetch("POST", "/tickets/1", "{}");
+  ASSERT_TRUE(wrong_method.ok()) << wrong_method.status().ToString();
+  EXPECT_EQ(wrong_method->status, 405);
+
+  // The whole lifecycle rode one TCP connection.
+  EXPECT_TRUE(client.connected());
+  client.Close();
+  server.Stop();
+}
+
+TEST_F(ServeKeepAliveTest, IdleKeptAliveConnectionIsReclaimedQuietly) {
+  MarketServerConfig config = Config();
+  config.read_idle_timeout_ms = 60;
+  MarketServer server(&index_, config);
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  ASSERT_TRUE(WriteAll(fd, "GET /healthz HTTP/1.1\r\n\r\n").ok());
+  std::string buffer;
+  auto response = ReadOneResponse(fd, &buffer);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->HeaderOr("connection"), "keep-alive");
+  EXPECT_EQ(buffer, "");
+
+  // Idle past the budget between requests: the server reclaims the
+  // connection with a bare close — no 408 bytes (there is no request to
+  // answer), and read_timeouts() stays untouched.
+  EXPECT_EQ(ReadToEof(fd), "");
+  EXPECT_EQ(server.read_timeouts(), 0);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST_F(ServeKeepAliveTest, MidRequestIdleStillAnswers408) {
+  MarketServerConfig config = Config();
+  config.read_idle_timeout_ms = 60;
+  MarketServer server(&index_, config);
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // Half a request then silence: slow-loris protection must survive the
+  // event-loop rewrite — explicit 408, then close.
+  ASSERT_TRUE(WriteAll(fd, "POST /contracts HTTP/1.1\r\n").ok());
+  std::string buffer;
+  auto response = ReadOneResponse(fd, &buffer);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 408);
+  EXPECT_EQ(response->HeaderOr("connection"), "close");
+  EXPECT_EQ(ReadToEof(fd), "");
+  EXPECT_EQ(server.read_timeouts(), 1);
+  ::close(fd);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace mroam::serve

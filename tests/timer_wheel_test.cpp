@@ -1,0 +1,134 @@
+#include "serve/timer_wheel.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace mroam::serve {
+namespace {
+
+using Clock = TimerWheel::Clock;
+using std::chrono::milliseconds;
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(TimerWheelTest, EmptyWheelReportsNoDeadline) {
+  TimerWheel wheel(8, 16);
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_EQ(wheel.MsUntilNext(Clock::now()), -1);
+  std::vector<uint64_t> due;
+  wheel.Advance(Clock::now() + milliseconds(500), &due);
+  EXPECT_TRUE(due.empty());
+}
+
+TEST(TimerWheelTest, FiresAtDeadlineNotBefore) {
+  TimerWheel wheel(8, 64);
+  const auto now = Clock::now();
+  wheel.Schedule(7, now + milliseconds(100));
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  std::vector<uint64_t> due;
+  wheel.Advance(now + milliseconds(50), &due);
+  EXPECT_TRUE(due.empty());
+
+  wheel.Advance(now + milliseconds(120), &due);
+  EXPECT_EQ(due, std::vector<uint64_t>{7});
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel(8, 64);
+  const auto now = Clock::now();
+  wheel.Schedule(1, now - milliseconds(500));
+  std::vector<uint64_t> due;
+  wheel.Advance(now + milliseconds(20), &due);
+  EXPECT_EQ(due, std::vector<uint64_t>{1});
+}
+
+TEST(TimerWheelTest, WrapAroundDoesNotFireALapEarly) {
+  // 16 slots x 8ms = 128ms horizon; a 300ms deadline shares a slot with
+  // the first lap and must survive the early visits.
+  TimerWheel wheel(8, 16);
+  const auto now = Clock::now();
+  wheel.Schedule(42, now + milliseconds(300));
+
+  std::vector<uint64_t> due;
+  wheel.Advance(now + milliseconds(150), &due);
+  EXPECT_TRUE(due.empty());
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  wheel.Advance(now + milliseconds(310), &due);
+  EXPECT_EQ(due, std::vector<uint64_t>{42});
+}
+
+TEST(TimerWheelTest, DeadlineLateInSweptTickDoesNotStrandALap) {
+  // Regression: an Advance landing inside the deadline's tick but a few
+  // ms before the deadline used to keep the entry in the already-swept
+  // slot, where the cursor would not revisit it for a full lap
+  // (slots x tick ms) — meanwhile MsUntilNext kept asking for immediate
+  // polls. The entry must instead fire with the sweep of its tick.
+  const int kTickMs = 8;
+  TimerWheel wheel(kTickMs, 16);
+  const auto now = Clock::now();
+  // Place the deadline 6ms into a tick at least 3 ticks out, so
+  // Schedule() hashes it by deadline rather than pinning to cursor+1.
+  const int64_t now_ms =
+      std::chrono::duration_cast<milliseconds>(now.time_since_epoch()).count();
+  const int64_t deadline_ms = (now_ms / kTickMs + 4) * kTickMs + 6;
+  const auto deadline = now + milliseconds(deadline_ms - now_ms);
+
+  wheel.Schedule(9, deadline);
+
+  // Sweep the deadline's tick 4ms before the deadline itself: a
+  // sub-tick early fire (the owner re-checks and re-arms) beats a
+  // stranded lap.
+  std::vector<uint64_t> due;
+  wheel.Advance(deadline - milliseconds(4), &due);
+  EXPECT_EQ(due, std::vector<uint64_t>{9});
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, LargeJumpSweepsEverything) {
+  TimerWheel wheel(8, 16);
+  const auto now = Clock::now();
+  for (uint64_t id = 0; id < 10; ++id) {
+    wheel.Schedule(id, now + milliseconds(1 + 40 * static_cast<int64_t>(id)));
+  }
+  // One advance far past every deadline (and far past a full lap).
+  std::vector<uint64_t> due;
+  wheel.Advance(now + milliseconds(10000), &due);
+  EXPECT_EQ(Sorted(due), Sorted({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, SameIdMayBeScheduledManyTimes) {
+  TimerWheel wheel(8, 64);
+  const auto now = Clock::now();
+  wheel.Schedule(5, now + milliseconds(40));
+  wheel.Schedule(5, now + milliseconds(80));
+  std::vector<uint64_t> due;
+  wheel.Advance(now + milliseconds(100), &due);
+  EXPECT_EQ(due, (std::vector<uint64_t>{5, 5}));
+}
+
+TEST(TimerWheelTest, MsUntilNextTracksEarliestEntry) {
+  TimerWheel wheel(8, 64);
+  const auto now = Clock::now();
+  wheel.Schedule(1, now + milliseconds(200));
+  wheel.Schedule(2, now + milliseconds(64));
+  const int wait = wheel.MsUntilNext(now);
+  // Earliest is ~64ms out; the wheel may round up to its tick.
+  EXPECT_GE(wait, 1);
+  EXPECT_LE(wait, 64 + 8 + 1);
+
+  // Already-due entries ask for an immediate poll.
+  wheel.Schedule(3, now - milliseconds(10));
+  EXPECT_EQ(wheel.MsUntilNext(now), 0);
+}
+
+}  // namespace
+}  // namespace mroam::serve
