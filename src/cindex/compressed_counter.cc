@@ -1,0 +1,32 @@
+#include "cindex/compressed_counter.h"
+
+#include <algorithm>
+
+namespace mroam::cindex {
+
+int64_t CompressedCoverageCounter::MarginalGainAfterRemove(int32_t add,
+                                                           int32_t rem) const {
+  // Same rule as the plain counter: trajectory t newly reaches the
+  // threshold through `add` iff, after removing `rem`, its count is
+  // threshold-1 — counts_[t] == threshold-1 (rem not covering t) or
+  // counts_[t] == threshold (rem covering t).
+  rem_scratch_.clear();
+  covered_->Decode(rem, &rem_scratch_);
+  const std::vector<int32_t>& rem_list = rem_scratch_;
+  const uint16_t at_gain = threshold_ - 1;
+  int64_t gain = 0;
+  size_t ri = 0;
+  covered_->ForEach(add, [&](int32_t t) {
+    const uint16_t count = counts_[t];
+    if (count != at_gain && count != threshold_) return;
+    while (ri < rem_list.size() && rem_list[ri] < t) ++ri;
+    const bool rem_covers = ri < rem_list.size() && rem_list[ri] == t;
+    if (static_cast<int>(count) - (rem_covers ? 1 : 0) ==
+        static_cast<int>(at_gain)) {
+      ++gain;
+    }
+  });
+  return gain;
+}
+
+}  // namespace mroam::cindex

@@ -1,0 +1,115 @@
+#ifndef MROAM_CINDEX_COMPRESSED_COUNTER_H_
+#define MROAM_CINDEX_COMPRESSED_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cindex/postings.h"
+#include "common/logging.h"
+
+namespace mroam::cindex {
+
+/// influence::CoverageCounter's arithmetic over compressed posting lists:
+/// per-trajectory coverage counts of one billboard set, the number of
+/// trajectories at or past the impression threshold, and the marginal
+/// gain/loss primitives the solvers evaluate in their inner loops.
+///
+/// Bit-identical to the plain counter by construction — every operation
+/// decodes the same sorted trajectory ids the plain lists hold and runs
+/// the same integer updates. The one kernel-level divergence is
+/// threshold-1 MarginalGain, which answers from a covered-trajectory
+/// bitmap via the dense popcount kernel (CountAbsent); "count == 0" and
+/// "bit clear" are the same predicate, so the result is still exact.
+///
+/// Epoch bookkeeping stays in the influence::CoverageCounter wrapper —
+/// this class only maintains counts and influence.
+class CompressedCoverageCounter {
+ public:
+  /// `covered` maps billboard -> sorted trajectory lists and must outlive
+  /// the counter. Its universe is the trajectory count.
+  explicit CompressedCoverageCounter(const CompressedPostings* covered,
+                                     uint16_t impression_threshold = 1)
+      : covered_(covered),
+        threshold_(impression_threshold),
+        counts_(static_cast<size_t>(covered->universe()), 0),
+        covered_bits_(BitmapWords(covered->universe()), 0) {
+    MROAM_CHECK(impression_threshold >= 1);
+  }
+
+  void Add(int32_t o) {
+    covered_->ForEach(o, [this](int32_t t) {
+      MROAM_DCHECK(counts_[t] < UINT16_MAX);
+      if (++counts_[t] == 1) {
+        covered_bits_[static_cast<uint32_t>(t) >> 6] |=
+            uint64_t{1} << (t & 63);
+      }
+      if (counts_[t] == threshold_) ++influence_;
+    });
+  }
+
+  void Remove(int32_t o) {
+    covered_->ForEach(o, [this](int32_t t) {
+      MROAM_DCHECK(counts_[t] > 0);
+      if (counts_[t]-- == threshold_) --influence_;
+      if (counts_[t] == 0) {
+        covered_bits_[static_cast<uint32_t>(t) >> 6] &=
+            ~(uint64_t{1} << (t & 63));
+      }
+    });
+  }
+
+  int64_t MarginalGain(int32_t o) const {
+    if (threshold_ == 1) {
+      // counts_[t] == 0 iff bit t is clear: count o's uncovered
+      // trajectories with the block popcount kernel.
+      return covered_->CountAbsent(o, covered_bits_.data());
+    }
+    int64_t gain = 0;
+    const uint16_t at_gain = threshold_ - 1;
+    covered_->ForEach(o, [this, at_gain, &gain](int32_t t) {
+      if (counts_[t] == at_gain) ++gain;
+    });
+    return gain;
+  }
+
+  int64_t MarginalLoss(int32_t o) const {
+    int64_t loss = 0;
+    covered_->ForEach(o, [this, &loss](int32_t t) {
+      if (counts_[t] == threshold_) ++loss;
+    });
+    return loss;
+  }
+
+  /// I(S \ {rem} ∪ {add}) - I(S \ {rem}) without mutation; the same
+  /// merge-pointer pass as the plain counter, with `rem`'s list decoded
+  /// into reusable scratch (ForEach yields ascending order, so the merge
+  /// invariant holds without a sort).
+  int64_t MarginalGainAfterRemove(int32_t add, int32_t rem) const;
+
+  uint16_t CountOf(int32_t t) const { return counts_[t]; }
+  int64_t influence() const { return influence_; }
+  uint16_t impression_threshold() const { return threshold_; }
+
+  void Clear() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    std::fill(covered_bits_.begin(), covered_bits_.end(), 0);
+    influence_ = 0;
+  }
+
+  const CompressedPostings& postings() const { return *covered_; }
+
+ private:
+  const CompressedPostings* covered_;
+  uint16_t threshold_;
+  std::vector<uint16_t> counts_;
+  /// Bit t set iff counts_[t] > 0; block-padded (BitmapWords) for the
+  /// dense kernel. Maintained on every Add/Remove — cheap relative to the
+  /// count update it rides on.
+  std::vector<uint64_t> covered_bits_;
+  int64_t influence_ = 0;
+  mutable std::vector<int32_t> rem_scratch_;  ///< MarginalGainAfterRemove
+};
+
+}  // namespace mroam::cindex
+
+#endif  // MROAM_CINDEX_COMPRESSED_COUNTER_H_

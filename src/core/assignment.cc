@@ -11,11 +11,13 @@ using model::BillboardId;
 
 Assignment::Assignment(const influence::InfluenceIndex* index,
                        std::vector<market::Advertiser> advertisers,
-                       RegretParams params, uint16_t impression_threshold)
+                       RegretParams params, uint16_t impression_threshold,
+                       influence::IndexBackend backend)
     : index_(index),
       advertisers_(std::move(advertisers)),
       params_(params),
       impression_threshold_(impression_threshold),
+      backend_(backend),
       owner_(index->num_billboards(), kNoAdvertiser),
       slot_(index->num_billboards(), 0),
       sets_(advertisers_.size()),
@@ -33,7 +35,7 @@ Assignment::Assignment(const influence::InfluenceIndex* index,
   }
   counters_.reserve(advertisers_.size());
   for (size_t a = 0; a < advertisers_.size(); ++a) {
-    counters_.emplace_back(index_, impression_threshold_);
+    counters_.emplace_back(index_, impression_threshold_, backend_);
     regret_[a] = Regret(advertisers_[a], 0, params_);
     total_regret_ += regret_[a];
   }
@@ -265,7 +267,7 @@ void Assignment::VerifyInvariants() const {
   // Influence and regret caches.
   double expected_total = 0.0;
   for (int32_t a = 0; a < num_advertisers(); ++a) {
-    influence::CoverageCounter fresh(index_, impression_threshold_);
+    influence::CoverageCounter fresh(index_, impression_threshold_, backend_);
     for (BillboardId o : sets_[a]) fresh.Add(o);
     MROAM_CHECK(fresh.influence() == InfluenceOf(a))
         << "advertiser " << a << " influence cache stale";

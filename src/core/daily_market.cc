@@ -56,6 +56,44 @@ void DailyMarket::RefreshCaches() {
   }
 }
 
+market::ContractBook DailyMarket::ExportBook() const {
+  market::ContractBook book;
+  book.day = day_;
+  book.next_ticket = next_ticket_;
+  book.entries.reserve(contracts_.size());
+  for (const Contract& c : contracts_) {
+    market::ContractBookEntry entry;
+    entry.terms = c.terms;
+    entry.ticket = c.ticket;
+    entry.expires_on = c.expires_on;
+    entry.billboards = c.billboards;
+    book.entries.push_back(std::move(entry));
+  }
+  return book;
+}
+
+void DailyMarket::RestoreBook(const market::ContractBook& book) {
+  MROAM_CHECK(day_ == 0 && next_ticket_ == 1 && contracts_.empty())
+      << "RestoreBook requires a fresh market (day " << day_ << ", "
+      << contracts_.size() << " contracts held)";
+  MROAM_CHECK(book.next_ticket >= 1);
+  day_ = book.day;
+  next_ticket_ = book.next_ticket;
+  contracts_.reserve(book.entries.size());
+  for (const market::ContractBookEntry& entry : book.entries) {
+    MROAM_CHECK(entry.ticket >= 1 && entry.ticket < book.next_ticket)
+        << "restored ticket " << entry.ticket
+        << " outside the minted range";
+    Contract c;
+    c.terms = entry.terms;
+    c.ticket = entry.ticket;
+    c.expires_on = entry.expires_on;
+    c.billboards = entry.billboards;
+    contracts_.push_back(std::move(c));
+  }
+  RefreshCaches();
+}
+
 bool DailyMarket::Cancel(int64_t ticket) {
   auto it = ticket_index_.find(ticket);
   if (it == ticket_index_.end()) return false;
@@ -110,7 +148,8 @@ void DailyMarket::ReplanIncremental(
   // Restore yesterday's deployment over today's roster (survivors keep
   // their boards; arrivals start empty).
   Assignment state(index_, terms_cache_, config_.solver.regret,
-                   config_.solver.impression_threshold);
+                   config_.solver.impression_threshold,
+                   config_.solver.backend);
   state.RestoreDeployment(sets_cache_);
 
   // Blast radius of the churn: every billboard sharing a trajectory with
@@ -119,11 +158,11 @@ void DailyMarket::ReplanIncremental(
                            false);
   for (model::BillboardId o : churn) {
     radius[static_cast<size_t>(o)] = true;
-    for (model::TrajectoryId t : index_->CoveredBy(o)) {
-      for (model::BillboardId b : index_->CoveringOf(t)) {
+    index_->ForEachCovered(o, [&](model::TrajectoryId t) {
+      index_->ForEachCovering(t, [&](model::BillboardId b) {
         radius[static_cast<size_t>(b)] = true;
-      }
-    }
+      });
+    });
   }
 
   // Affected advertisers: today's arrivals, anyone still unsatisfied
@@ -178,7 +217,8 @@ void DailyMarket::ReplanIncremental(
   // restored incumbent if it was better.
   if (state.TotalRegret() > incumbent_regret + 1e-9) {
     Assignment revert(index_, terms_cache_, config_.solver.regret,
-                      config_.solver.impression_threshold);
+                      config_.solver.impression_threshold,
+                      config_.solver.backend);
     revert.RestoreDeployment(sets_cache_);
     state = std::move(revert);
   }
@@ -279,7 +319,8 @@ DayResult DailyMarket::AdvanceDay(
     // inventory to the (new or still-unsatisfied) contracts greedily.
     MROAM_TRACE_SPAN("market.replan_lock");
     Assignment state(index_, terms_cache_, config_.solver.regret,
-                     config_.solver.impression_threshold);
+                     config_.solver.impression_threshold,
+                     config_.solver.backend);
     for (size_t i = 0; i < first_new; ++i) {
       for (model::BillboardId o : contracts_[i].billboards) {
         state.Assign(o, static_cast<market::AdvertiserId>(i));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/solver.h"
+#include "market/contract_book.h"
 
 namespace mroam::core {
 
@@ -149,6 +150,17 @@ class DailyMarket {
   const std::vector<int64_t>& ActiveTickets() const {
     return tickets_cache_;
   }
+
+  /// Snapshots the open book — day, ticket sequence, and every active
+  /// contract with its deployment — into the portable form the snapshot
+  /// v2 writer persists (and a restarted server restores).
+  market::ContractBook ExportBook() const;
+
+  /// Restores a previously exported book into this (fresh, never-advanced)
+  /// market: day and ticket sequence resume where the exporting market
+  /// left off and the restored contracts keep their billboards until the
+  /// next replan. CHECK-fails if this market already holds state.
+  void RestoreBook(const market::ContractBook& book);
 
  private:
   struct Contract {

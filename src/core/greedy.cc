@@ -1,6 +1,7 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "core/lazy_selector.h"
@@ -14,14 +15,32 @@ using model::BillboardId;
 
 namespace {
 
+/// Selector effort counters captured at the start of a greedy run, so the
+/// per-run registry flush stays correct for *persistent* selectors (whose
+/// lifetime counters span many runs) as well as locally constructed ones.
+struct SelectorEffort {
+  int64_t exact_evaluations = 0;
+  int64_t lazy_hits = 0;
+  int64_t lazy_reevals = 0;
+
+  static SelectorEffort Of(const LazySelector& selector) {
+    return {selector.exact_evaluations(), selector.lazy_hits(),
+            selector.lazy_reevals()};
+  }
+};
+
 /// One registry flush per greedy run: exact evaluations (incidence-list
 /// walks) under the shared "greedy.deltas" name — the number the
 /// lazy-vs-exhaustive comparison in micro_algorithms reads — plus the
-/// lazy engine's hit/re-evaluation split.
-void FlushSelectorCounters(const LazySelector& selector) {
-  MROAM_COUNTER_ADD("greedy.deltas", selector.exact_evaluations());
-  MROAM_COUNTER_ADD("greedy.lazy_hits", selector.lazy_hits());
-  MROAM_COUNTER_ADD("greedy.lazy_reevals", selector.lazy_reevals());
+/// lazy engine's hit/re-evaluation split. Flushes the delta over `entry`,
+/// i.e. the effort this run added.
+void FlushSelectorCounters(const LazySelector& selector,
+                           const SelectorEffort& entry) {
+  MROAM_COUNTER_ADD("greedy.deltas",
+                    selector.exact_evaluations() - entry.exact_evaluations);
+  MROAM_COUNTER_ADD("greedy.lazy_hits", selector.lazy_hits() - entry.lazy_hits);
+  MROAM_COUNTER_ADD("greedy.lazy_reevals",
+                    selector.lazy_reevals() - entry.lazy_reevals);
 }
 
 }  // namespace
@@ -34,6 +53,7 @@ BillboardId BestBillboardFor(const Assignment& assignment, AdvertiserId a) {
 void BudgetEffectiveGreedy(Assignment* assignment, bool lazy_selection) {
   MROAM_TRACE_SPAN("greedy.budget_effective");
   LazySelector selector(assignment, lazy_selection);
+  const SelectorEffort entry = SelectorEffort::Of(selector);
   int64_t assigned = 0;
   std::vector<AdvertiserId> order(assignment->num_advertisers());
   for (int32_t a = 0; a < assignment->num_advertisers(); ++a) order[a] = a;
@@ -55,7 +75,7 @@ void BudgetEffectiveGreedy(Assignment* assignment, bool lazy_selection) {
   // One flush per call: the registry never sits in the inner loop.
   MROAM_COUNTER_ADD("greedy.budget_effective_runs", 1);
   MROAM_COUNTER_ADD("greedy.assignments", assigned);
-  FlushSelectorCounters(selector);
+  FlushSelectorCounters(selector, entry);
 }
 
 void SynchronousGreedy(Assignment* assignment, bool lazy_selection) {
@@ -66,9 +86,16 @@ void SynchronousGreedy(Assignment* assignment, bool lazy_selection) {
 
 void SynchronousGreedyOver(Assignment* assignment,
                            const std::vector<AdvertiserId>& targets,
-                           bool lazy_selection) {
+                           bool lazy_selection, LazySelector* external) {
   MROAM_TRACE_SPAN("greedy.synchronous");
-  LazySelector selector(assignment, lazy_selection);
+  std::optional<LazySelector> local;
+  if (external == nullptr) {
+    local.emplace(assignment, lazy_selection);
+  } else {
+    MROAM_DCHECK(external->assignment() == assignment);
+  }
+  LazySelector& selector = external != nullptr ? *external : *local;
+  const SelectorEffort entry = SelectorEffort::Of(selector);
   int64_t assigned = 0;
   int64_t victims = 0;
   const int32_t n = assignment->num_advertisers();
@@ -91,7 +118,7 @@ void SynchronousGreedyOver(Assignment* assignment,
     MROAM_COUNTER_ADD("greedy.synchronous_runs", 1);
     MROAM_COUNTER_ADD("greedy.assignments", assigned);
     MROAM_COUNTER_ADD("greedy.victims_released", victims);
-    FlushSelectorCounters(selector);
+    FlushSelectorCounters(selector, entry);
   };
 
   while (true) {

@@ -5,6 +5,8 @@
 
 namespace mroam::core {
 
+class LazySelector;
+
 /// Picks the free billboard maximizing the paper's greedy selection rule
 /// (R(S_a) - R(S_a ∪ {o})) / I({o}) for advertiser `a` (Algorithms 1 & 2,
 /// lines 1.5 / 2.6). Billboards with I({o}) = 0 are always skipped.
@@ -55,9 +57,17 @@ void SynchronousGreedy(Assignment* assignment, bool lazy_selection = true);
 /// With `targets` = {0, ..., n-1} this is bit-identical to
 /// SynchronousGreedy. The incremental replanner hands it the blast radius
 /// of a day's churn so the rest of the book stays stable.
+///
+/// `selector`, when non-null, is an externally owned LazySelector bound to
+/// `assignment` that this run reuses instead of constructing its own —
+/// the BLS sweep loop persists one across its move-4 completions so the
+/// per-advertiser cache vectors stay warm (selection results are
+/// identical either way: epoch stamps invalidate whatever went stale).
+/// Its effort counters are flushed as deltas over this run only.
 void SynchronousGreedyOver(Assignment* assignment,
                            const std::vector<market::AdvertiserId>& targets,
-                           bool lazy_selection = true);
+                           bool lazy_selection = true,
+                           LazySelector* selector = nullptr);
 
 }  // namespace mroam::core
 

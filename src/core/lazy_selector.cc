@@ -109,11 +109,11 @@ BillboardId LazySelector::BestBillboard(AdvertiserId a) {
   if (diffing) {
     touched_.assign(static_cast<size_t>(assignment_->num_billboards()), 0);
     for (size_t k = state.seen_set_size; k < set.size(); ++k) {
-      for (model::TrajectoryId t : index.CoveredBy(set[k])) {
-        for (BillboardId o : index.CoveringOf(t)) {
+      index.ForEachCovered(set[k], [&](model::TrajectoryId t) {
+        index.ForEachCovering(t, [&](BillboardId o) {
           touched_[static_cast<size_t>(o)] = 1;
-        }
-      }
+        });
+      });
     }
   }
   // An empty set means every count is zero, so each candidate's gain is

@@ -97,6 +97,10 @@ class LazySelector {
   /// impression_threshold == 1).
   bool lazy_active() const { return lazy_active_; }
 
+  /// The assignment this selector observes (callers reusing one selector
+  /// across greedy runs assert they hand it the matching assignment).
+  const Assignment* assignment() const { return assignment_; }
+
   // Effort counters over the selector's lifetime. The greedy drivers
   // flush them into the obs registry once per run (never per pick).
 

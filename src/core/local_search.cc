@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/greedy.h"
+#include "core/lazy_selector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -226,6 +227,16 @@ LocalSearchStats BillboardDrivenLocalSearchOver(
   MROAM_TRACE_SPAN("bls.search");
   LocalSearchStats stats;
   const size_t t = targets.size();
+  // Move 4's candidate plan and its lazy selector persist across sweeps:
+  // the candidate is copy-assigned in place each round (its counter
+  // objects survive the copy, so the selector's pointer stays valid and
+  // its per-advertiser cache vectors stay warm), and CopyDeploymentFrom
+  // marks every counter structurally changed — stale stamps then fail the
+  // selector's validity test exactly as they would against a freshly
+  // built selector, keeping selection (and greedy.deltas) bit-identical
+  // to the rebuild-per-call behaviour.
+  std::optional<Assignment> candidate;
+  std::optional<LazySelector> completer;
   bool improved = true;
   while (improved && stats.sweeps < config.max_sweeps) {
     MROAM_TRACE_SPAN_ID("bls.sweep", stats.sweeps);
@@ -253,11 +264,17 @@ LocalSearchStats BillboardDrivenLocalSearchOver(
     // deployments untouched, as the contract promises.
     if (!assignment->FreeBillboards().empty()) {
       MROAM_TRACE_SPAN("bls.move.complete");
-      Assignment candidate = *assignment;
-      SynchronousGreedyOver(&candidate, targets, config.lazy_selection);
-      if (Accepts(candidate.TotalRegret() - assignment->TotalRegret(),
+      if (!candidate.has_value()) {
+        candidate.emplace(*assignment);
+        completer.emplace(&*candidate, config.lazy_selection);
+      } else {
+        candidate->CopyDeploymentFrom(*assignment);
+      }
+      SynchronousGreedyOver(&*candidate, targets, config.lazy_selection,
+                            &*completer);
+      if (Accepts(candidate->TotalRegret() - assignment->TotalRegret(),
                   assignment->TotalRegret(), config.improvement_ratio)) {
-        assignment->CopyDeploymentFrom(candidate);
+        assignment->CopyDeploymentFrom(*candidate);
         ++stats.moves_applied;
         MROAM_COUNTER_ADD("bls.moves.complete", 1);
         improved = true;
@@ -303,7 +320,8 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
                                  SearchStrategy strategy,
                                  const LocalSearchConfig& config,
                                  common::Rng* rng, LocalSearchStats* stats,
-                                 uint16_t impression_threshold) {
+                                 uint16_t impression_threshold,
+                                 influence::IndexBackend backend) {
   MROAM_TRACE_SPAN("rls.run");
   const int32_t restarts = std::max(config.restarts, 0);
   const int32_t tasks = restarts + 1;  // task 0 is the greedy incumbent
@@ -325,7 +343,7 @@ Assignment RandomizedLocalSearch(const influence::InfluenceIndex& index,
     MROAM_TRACE_SPAN_ID(t == 0 ? "rls.incumbent" : "rls.restart", t);
     common::Stopwatch phase_watch;
     common::Rng* task_rng = &task_rngs[t];
-    Assignment plan(&index, ads, params, impression_threshold);
+    Assignment plan(&index, ads, params, impression_threshold, backend);
     if (t == 0) {
       // Line 3.1: incumbent from the deterministic synchronous greedy —
       // improved by the same local search as every restart, so it

@@ -6,6 +6,7 @@ namespace mroam::influence {
 
 int64_t CoverageCounter::MarginalGainAfterRemove(model::BillboardId add,
                                                  model::BillboardId rem) const {
+  if (compressed_) return compressed_->MarginalGainAfterRemove(add, rem);
   // A trajectory t newly reaches the threshold through `add` iff, after
   // removing `rem`, its count is threshold-1 — i.e. counts_[t] equals
   // threshold-1 (and rem does not cover t), or threshold (and rem covers

@@ -2,8 +2,10 @@
 #define MROAM_INFLUENCE_COVERAGE_COUNTER_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "cindex/compressed_counter.h"
 #include "common/logging.h"
 #include "influence/influence_index.h"
 
@@ -24,35 +26,56 @@ namespace mroam::influence {
 /// Every operation costs O(|incidence list of the billboard|). This is the
 /// data structure that makes the greedy selection rule and the local-search
 /// move deltas cheap (DESIGN.md §5.1).
+///
+/// The counter runs over either index representation (IndexBackend): the
+/// plain vector lists inline below, or the block-compressed kernels via a
+/// delegated cindex::CompressedCoverageCounter — bit-identical by
+/// construction and gated by the equivalence suites. Epoch bookkeeping
+/// lives here in the wrapper either way, so the lazy-selection machinery
+/// is backend-oblivious.
 class CoverageCounter {
  public:
   /// Creates an empty counter over `index`'s trajectory universe with the
   /// given impression threshold (>= 1). The index must outlive the
-  /// counter.
+  /// counter. Falls back to the compressed backend when the index holds
+  /// no plain lists (mmap-served snapshots), whatever `backend` says.
   explicit CoverageCounter(const InfluenceIndex* index,
-                           uint16_t impression_threshold = 1)
-      : index_(index),
-        threshold_(impression_threshold),
-        counts_(index->num_trajectories(), 0) {
+                           uint16_t impression_threshold = 1,
+                           IndexBackend backend = IndexBackend::kPlain)
+      : index_(index), threshold_(impression_threshold) {
     MROAM_CHECK(impression_threshold >= 1);
+    if (backend == IndexBackend::kCompressed || !index->has_plain()) {
+      compressed_.emplace(&index->compressed_covered(),
+                          impression_threshold);
+    } else {
+      counts_.assign(static_cast<size_t>(index->num_trajectories()), 0);
+    }
   }
 
   /// Adds billboard `o`'s coverage. Must not be called twice for the same
   /// billboard without an intervening Remove (the caller tracks set
   /// membership).
   void Add(model::BillboardId o) {
-    for (model::TrajectoryId t : index_->CoveredBy(o)) {
-      MROAM_DCHECK(counts_[t] < UINT16_MAX);
-      if (++counts_[t] == threshold_) ++influence_;
+    if (compressed_) {
+      compressed_->Add(o);
+    } else {
+      for (model::TrajectoryId t : index_->CoveredBy(o)) {
+        MROAM_DCHECK(counts_[t] < UINT16_MAX);
+        if (++counts_[t] == threshold_) ++influence_;
+      }
     }
     ++epoch_;
   }
 
   /// Removes billboard `o`'s coverage (must currently be counted).
   void Remove(model::BillboardId o) {
-    for (model::TrajectoryId t : index_->CoveredBy(o)) {
-      MROAM_DCHECK(counts_[t] > 0);
-      if (counts_[t]-- == threshold_) --influence_;
+    if (compressed_) {
+      compressed_->Remove(o);
+    } else {
+      for (model::TrajectoryId t : index_->CoveredBy(o)) {
+        MROAM_DCHECK(counts_[t] > 0);
+        if (counts_[t]-- == threshold_) --influence_;
+      }
     }
     ++epoch_;
     last_shrink_epoch_ = epoch_;
@@ -61,6 +84,7 @@ class CoverageCounter {
   /// Influence gained if `o` were added: #trajectories in o's list one
   /// impression short of the threshold. Does not modify the counter.
   int64_t MarginalGain(model::BillboardId o) const {
+    if (compressed_) return compressed_->MarginalGain(o);
     int64_t gain = 0;
     const uint16_t at_gain = threshold_ - 1;
     for (model::TrajectoryId t : index_->CoveredBy(o)) {
@@ -73,6 +97,7 @@ class CoverageCounter {
   /// threshold that `o` contributes to. Only meaningful when `o` is
   /// currently counted.
   int64_t MarginalLoss(model::BillboardId o) const {
+    if (compressed_) return compressed_->MarginalLoss(o);
     int64_t loss = 0;
     for (model::TrajectoryId t : index_->CoveredBy(o)) {
       if (counts_[t] == threshold_) ++loss;
@@ -89,10 +114,19 @@ class CoverageCounter {
                                   model::BillboardId rem) const;
 
   /// Number of billboards of S covering trajectory `t`.
-  uint16_t CountOf(model::TrajectoryId t) const { return counts_[t]; }
+  uint16_t CountOf(model::TrajectoryId t) const {
+    return compressed_ ? compressed_->CountOf(t) : counts_[t];
+  }
 
   /// Current I(S).
-  int64_t influence() const { return influence_; }
+  int64_t influence() const {
+    return compressed_ ? compressed_->influence() : influence_;
+  }
+
+  /// The backend this counter runs on.
+  IndexBackend backend() const {
+    return compressed_ ? IndexBackend::kCompressed : IndexBackend::kPlain;
+  }
 
   /// The impression threshold m (1 = the paper's set-union measure).
   uint16_t impression_threshold() const { return threshold_; }
@@ -122,8 +156,12 @@ class CoverageCounter {
 
   /// Resets to the empty set.
   void Clear() {
-    std::fill(counts_.begin(), counts_.end(), 0);
-    influence_ = 0;
+    if (compressed_) {
+      compressed_->Clear();
+    } else {
+      std::fill(counts_.begin(), counts_.end(), 0);
+      influence_ = 0;
+    }
     ++epoch_;
     last_shrink_epoch_ = epoch_;
   }
@@ -133,10 +171,13 @@ class CoverageCounter {
  private:
   const InfluenceIndex* index_;
   uint16_t threshold_;
+  /// Plain backend state; empty when the compressed delegate is engaged.
   std::vector<uint16_t> counts_;
   int64_t influence_ = 0;
   uint64_t epoch_ = 1;              ///< 0 is reserved for "never stamped"
   uint64_t last_shrink_epoch_ = 1;
+  /// Engaged iff running compressed; holds counts/influence then.
+  std::optional<cindex::CompressedCoverageCounter> compressed_;
 };
 
 }  // namespace mroam::influence

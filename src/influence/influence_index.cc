@@ -18,6 +18,7 @@ InfluenceIndex InfluenceIndex::Build(const model::Dataset& dataset,
   common::Stopwatch watch;
   InfluenceIndex index;
   index.lambda_ = lambda;
+  index.num_billboards_ = static_cast<int32_t>(dataset.billboards.size());
   index.num_trajectories_ =
       static_cast<int32_t>(dataset.trajectories.size());
   index.covered_.assign(dataset.billboards.size(), {});
@@ -51,6 +52,7 @@ InfluenceIndex InfluenceIndex::Build(const model::Dataset& dataset,
     index.total_supply_ += static_cast<int64_t>(list.size());
   }
   index.BuildReverseIndex();
+  index.BuildCompressed();
   MROAM_COUNTER_ADD("influence.index_builds", 1);
   MROAM_HISTOGRAM_OBSERVE("influence.index_build_seconds",
                           watch.ElapsedSeconds());
@@ -69,6 +71,7 @@ InfluenceIndex InfluenceIndex::FromIncidence(
   index.lambda_ = lambda;
   index.num_trajectories_ = num_trajectories;
   index.covered_ = std::move(covered);
+  index.num_billboards_ = static_cast<int32_t>(index.covered_.size());
   for (size_t o = 0; o < index.covered_.size(); ++o) {
     const auto& list = index.covered_[o];
     MROAM_CHECK(std::is_sorted(list.begin(), list.end()))
@@ -86,7 +89,41 @@ InfluenceIndex InfluenceIndex::FromIncidence(
     index.total_supply_ += static_cast<int64_t>(list.size());
   }
   index.BuildReverseIndex();
+  index.BuildCompressed();
   return index;
+}
+
+InfluenceIndex InfluenceIndex::FromCompressed(
+    cindex::CompressedPostings covered, cindex::CompressedPostings covering,
+    double lambda) {
+  // The two blobs must describe one incidence relation from both ends.
+  // Universe/list-count symmetry and matching totals are cheap to verify
+  // here; full content symmetry is the snapshot writer's contract (and
+  // what the v2 round-trip tests pin down).
+  MROAM_CHECK(covered.universe() ==
+              static_cast<int32_t>(covering.num_lists()))
+      << "FromCompressed: covered universe " << covered.universe()
+      << " != covering list count " << covering.num_lists();
+  MROAM_CHECK(covering.universe() ==
+              static_cast<int32_t>(covered.num_lists()))
+      << "FromCompressed: covering universe " << covering.universe()
+      << " != covered list count " << covered.num_lists();
+  MROAM_CHECK(covered.total_count() == covering.total_count())
+      << "FromCompressed: forward/reverse posting totals disagree";
+  InfluenceIndex index;
+  index.lambda_ = lambda;
+  index.has_plain_ = false;
+  index.num_billboards_ = static_cast<int32_t>(covered.num_lists());
+  index.num_trajectories_ = covered.universe();
+  index.total_supply_ = static_cast<int64_t>(covered.total_count());
+  index.covered_c_ = std::move(covered);
+  index.covering_c_ = std::move(covering);
+  return index;
+}
+
+void InfluenceIndex::BuildCompressed() {
+  covered_c_ = cindex::CompressedPostings::Build(covered_, num_trajectories_);
+  covering_c_ = cindex::CompressedPostings::Build(covering_, num_billboards_);
 }
 
 void InfluenceIndex::BuildReverseIndex() {
@@ -106,7 +143,7 @@ int64_t InfluenceIndex::InfluenceOfSet(
   std::vector<model::TrajectoryId> all;
   for (model::BillboardId o : set) {
     MROAM_CHECK(o >= 0 && o < num_billboards());
-    all.insert(all.end(), covered_[o].begin(), covered_[o].end());
+    ForEachCovered(o, [&all](model::TrajectoryId t) { all.push_back(t); });
   }
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());

@@ -4,10 +4,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "cindex/postings.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "model/dataset.h"
 
 namespace mroam::influence {
+
+/// Which posting-list representation a CoverageCounter (and everything
+/// stacked on it — Assignment, the greedies, local search) walks.
+/// kPlain is the default; kCompressed routes marginals through the
+/// block-compressed kernels in src/cindex, bit-identical by construction
+/// (gated by the equivalence suites). Indexes without plain lists (the
+/// mmap serving path) use kCompressed regardless of the knob.
+enum class IndexBackend {
+  kPlain,
+  kCompressed,
+};
 
 /// Precomputed billboard -> trajectory incidence under the paper's meet
 /// model: billboard o influences trajectory t iff some point of t lies
@@ -19,6 +32,13 @@ namespace mroam::influence {
 /// reduces to the number of distinct trajectories present in the union of
 /// the lists of S's billboards — which CoverageCounter maintains
 /// incrementally.
+///
+/// Both directions are also held block-compressed (src/cindex): Build and
+/// FromIncidence compress eagerly so the compressed backend is available
+/// on any index, and FromCompressed constructs an index from compressed
+/// blobs alone (no plain lists — the zero-copy mmap path), in which case
+/// CoveredBy/CoveringOf are unavailable and callers must go through the
+/// ForEachCovered/ForEachCovering dispatchers.
 class InfluenceIndex {
  public:
   /// An empty index (no billboards, no trajectories). Useful as a member
@@ -37,9 +57,25 @@ class InfluenceIndex {
       std::vector<std::vector<model::TrajectoryId>> covered,
       int32_t num_trajectories, double lambda);
 
+  /// Builds a plain-list-free index over compressed blobs (typically
+  /// borrowed views into an mmapped snapshot — the caller keeps the
+  /// mapping alive). `covered` maps billboards -> trajectories and
+  /// `covering` the reverse; the two must describe the same incidence
+  /// (universe/list counts and totals are CHECKed, content equality is
+  /// the snapshot writer's contract).
+  static InfluenceIndex FromCompressed(cindex::CompressedPostings covered,
+                                       cindex::CompressedPostings covering,
+                                       double lambda);
+
+  /// Whether plain vector lists are present (false only for
+  /// FromCompressed indexes).
+  bool has_plain() const { return has_plain_; }
+
   /// Trajectories influenced by billboard `o`, sorted ascending.
+  /// Requires has_plain().
   const std::vector<model::TrajectoryId>& CoveredBy(
       model::BillboardId o) const {
+    MROAM_DCHECK(has_plain_);
     return covered_[o];
   }
 
@@ -47,33 +83,71 @@ class InfluenceIndex {
   /// of CoveredBy. Built once with the index (O(total supply)) and shared
   /// by every consumer: the lazy greedy selector uses it to localize cache
   /// invalidation instead of rebuilding the reverse map per run, and the
-  /// snapshot format persists it alongside the forward lists.
+  /// snapshot format persists it alongside the forward lists. Requires
+  /// has_plain().
   const std::vector<model::BillboardId>& CoveringOf(
       model::TrajectoryId t) const {
+    MROAM_DCHECK(has_plain_);
     return covering_[t];
   }
 
+  /// Calls fn(TrajectoryId) for each trajectory billboard `o` influences,
+  /// ascending, from whichever representation the index holds. The
+  /// backend-agnostic form of CoveredBy for consumers that must work on
+  /// compressed-only indexes.
+  template <typename Fn>
+  void ForEachCovered(model::BillboardId o, Fn&& fn) const {
+    if (has_plain_) {
+      for (model::TrajectoryId t : covered_[o]) fn(t);
+    } else {
+      covered_c_.ForEach(o, fn);
+    }
+  }
+
+  /// Calls fn(BillboardId) for each billboard influencing trajectory `t`,
+  /// ascending (backend-agnostic CoveringOf).
+  template <typename Fn>
+  void ForEachCovering(model::TrajectoryId t, Fn&& fn) const {
+    if (has_plain_) {
+      for (model::BillboardId o : covering_[t]) fn(o);
+    } else {
+      covering_c_.ForEach(t, fn);
+    }
+  }
+
   /// The full reverse index, aligned with trajectory ids (snapshot IO).
+  /// Requires has_plain().
   const std::vector<std::vector<model::BillboardId>>& covering() const {
+    MROAM_DCHECK(has_plain_);
     return covering_;
   }
 
   /// The full forward incidence, aligned with billboard ids (snapshot IO).
+  /// Requires has_plain().
   const std::vector<std::vector<model::TrajectoryId>>& covered() const {
+    MROAM_DCHECK(has_plain_);
     return covered_;
+  }
+
+  /// The block-compressed forward/reverse incidence. Always available:
+  /// built eagerly by Build/FromIncidence, borrowed by FromCompressed.
+  const cindex::CompressedPostings& compressed_covered() const {
+    return covered_c_;
+  }
+  const cindex::CompressedPostings& compressed_covering() const {
+    return covering_c_;
   }
 
   /// I({o}) — the number of trajectories billboard `o` influences.
   int64_t InfluenceOf(model::BillboardId o) const {
-    return static_cast<int64_t>(covered_[o].size());
+    return has_plain_ ? static_cast<int64_t>(covered_[o].size())
+                      : static_cast<int64_t>(covered_c_.ListSize(o));
   }
 
   /// The host's supply I* = sum_o I({o}) (§7.1.3).
   int64_t TotalSupply() const { return total_supply_; }
 
-  int32_t num_billboards() const {
-    return static_cast<int32_t>(covered_.size());
-  }
+  int32_t num_billboards() const { return num_billboards_; }
   int32_t num_trajectories() const { return num_trajectories_; }
   double lambda() const { return lambda_; }
 
@@ -86,13 +160,24 @@ class InfluenceIndex {
   /// the forward lists are final).
   void BuildReverseIndex();
 
+  /// Compresses covered_/covering_ into covered_c_/covering_c_ (called
+  /// after BuildReverseIndex; deterministic, so a snapshot round trip
+  /// reproduces the blobs bit-exactly).
+  void BuildCompressed();
+
   double lambda_ = 0.0;
+  int32_t num_billboards_ = 0;
   int32_t num_trajectories_ = 0;
   int64_t total_supply_ = 0;
+  bool has_plain_ = true;
   std::vector<std::vector<model::TrajectoryId>> covered_;
   /// Reverse incidence: covering_[t] lists the billboards whose covered_
   /// list contains t, ascending. Always sized num_trajectories_.
   std::vector<std::vector<model::BillboardId>> covering_;
+  /// Block-compressed mirrors of covered_/covering_ (or the only
+  /// representation, for FromCompressed indexes).
+  cindex::CompressedPostings covered_c_;
+  cindex::CompressedPostings covering_c_;
 };
 
 /// Reference implementation of the meet model by exhaustive distance

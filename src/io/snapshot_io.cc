@@ -1,6 +1,8 @@
 #include "io/snapshot_io.h"
 
-#include <bit>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +13,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "io/snapshot_wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -18,112 +21,84 @@ namespace mroam::io {
 
 using common::Result;
 using common::Status;
+using wire::Cursor;
+using wire::PutF64;
+using wire::PutI32;
+using wire::PutString;
+using wire::PutU32;
+using wire::PutU64;
+
+namespace wire {
+
+Result<SectionTableV2> WalkSectionsV2(std::string_view data,
+                                      uint32_t max_section_id,
+                                      size_t file_header_bytes) {
+  SectionTableV2 table;
+  table.payloads.resize(max_section_id + 1);
+  table.seen.assign(max_section_id + 1, false);
+  Cursor cur(data, "v2 section chain");
+  MROAM_RETURN_IF_ERROR(cur.Skip(file_header_bytes));
+  bool ended = false;
+  while (!ended) {
+    MROAM_ASSIGN_OR_RETURN(uint32_t id, cur.GetU32());
+    MROAM_ASSIGN_OR_RETURN(uint32_t pad, cur.GetU32());
+    MROAM_ASSIGN_OR_RETURN(uint64_t length, cur.GetU64());
+    if (id > max_section_id) {
+      return Status::DataLoss("unknown snapshot section id " +
+                              std::to_string(id));
+    }
+    if (table.seen[id]) {
+      return Status::DataLoss("duplicate snapshot section id " +
+                              std::to_string(id));
+    }
+    table.seen[id] = true;
+    // The pad must be exactly what places the payload on the next 64-byte
+    // file offset, and must be zero bytes — anything else is tampering or
+    // a buggy writer, and the zero-copy path depends on the alignment.
+    const size_t want_pad =
+        (kSectionAlignmentV2 - cur.offset() % kSectionAlignmentV2) %
+        kSectionAlignmentV2;
+    if (pad != want_pad) {
+      return Status::DataLoss(
+          "snapshot section " + std::to_string(id) + " pad " +
+          std::to_string(pad) + " does not align its payload (want " +
+          std::to_string(want_pad) + ")");
+    }
+    MROAM_ASSIGN_OR_RETURN(std::string_view padding, cur.GetBytes(pad));
+    for (char c : padding) {
+      if (c != '\0') {
+        return Status::DataLoss("snapshot section " + std::to_string(id) +
+                                " has nonzero padding");
+      }
+    }
+    MROAM_ASSIGN_OR_RETURN(std::string_view payload,
+                           cur.GetBytes(static_cast<size_t>(length)));
+    MROAM_ASSIGN_OR_RETURN(uint32_t stored_crc, cur.GetU32());
+    const uint32_t actual_crc = common::Crc32(payload);
+    if (stored_crc != actual_crc) {
+      return Status::DataLoss("CRC mismatch in snapshot section " +
+                              std::to_string(id) + " (stored " +
+                              std::to_string(stored_crc) + ", computed " +
+                              std::to_string(actual_crc) + ")");
+    }
+    if (id == static_cast<uint32_t>(SnapshotSection::kEnd)) {
+      if (length != 0) {
+        return Status::DataLoss("snapshot end section carries a payload");
+      }
+      ended = true;
+    } else {
+      table.payloads[id] = payload;
+    }
+  }
+  if (cur.remaining() != 0) {
+    return Status::DataLoss("trailing bytes after snapshot end section");
+  }
+  return table;
+}
+
+}  // namespace wire
 
 namespace {
-
-// --- Little-endian primitive encoding --------------------------------------
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
-  }
-}
-
-void PutI32(std::string* out, int32_t v) {
-  PutU32(out, static_cast<uint32_t>(v));
-}
-
-void PutF64(std::string* out, double v) {
-  PutU64(out, std::bit_cast<uint64_t>(v));
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-/// Bounds-checked reader over a loaded snapshot. Every Get* fails with
-/// kDataLoss once the cursor would pass the end, so a truncated file
-/// surfaces as a typed error no matter where the cut lands.
-class Cursor {
- public:
-  Cursor(std::string_view data, std::string_view what)
-      : data_(data), what_(what) {}
-
-  size_t offset() const { return offset_; }
-  size_t remaining() const { return data_.size() - offset_; }
-
-  Status Skip(size_t n) {
-    if (remaining() < n) return Truncated();
-    offset_ += n;
-    return Status::Ok();
-  }
-
-  Result<uint32_t> GetU32() {
-    if (remaining() < 4) return Truncated();
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(
-               static_cast<unsigned char>(data_[offset_ + i]))
-           << (8 * i);
-    }
-    offset_ += 4;
-    return v;
-  }
-
-  Result<uint64_t> GetU64() {
-    if (remaining() < 8) return Truncated();
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(
-               static_cast<unsigned char>(data_[offset_ + i]))
-           << (8 * i);
-    }
-    offset_ += 8;
-    return v;
-  }
-
-  Result<int32_t> GetI32() {
-    MROAM_ASSIGN_OR_RETURN(uint32_t v, GetU32());
-    return static_cast<int32_t>(v);
-  }
-
-  Result<double> GetF64() {
-    MROAM_ASSIGN_OR_RETURN(uint64_t v, GetU64());
-    return std::bit_cast<double>(v);
-  }
-
-  Result<std::string> GetString() {
-    MROAM_ASSIGN_OR_RETURN(uint32_t len, GetU32());
-    if (remaining() < len) return Truncated();
-    std::string s(data_.substr(offset_, len));
-    offset_ += len;
-    return s;
-  }
-
-  Result<std::string_view> GetBytes(size_t n) {
-    if (remaining() < n) return Truncated();
-    std::string_view view = data_.substr(offset_, n);
-    offset_ += n;
-    return view;
-  }
-
- private:
-  Status Truncated() const {
-    return Status::DataLoss("snapshot truncated in " + std::string(what_) +
-                            " at offset " + std::to_string(offset_));
-  }
-
-  std::string_view data_;
-  std::string_view what_;
-  size_t offset_ = 0;
-};
 
 // --- Section payload encoders ----------------------------------------------
 
@@ -174,10 +149,26 @@ std::string EncodeLists(const std::vector<std::vector<IdT>>& lists) {
   return out;
 }
 
-void AppendSection(std::string* file, SnapshotSection id,
-                   const std::string& payload) {
+void AppendSectionV1(std::string* file, SnapshotSection id,
+                     const std::string& payload) {
   PutU32(file, static_cast<uint32_t>(id));
   PutU64(file, payload.size());
+  file->append(payload);
+  PutU32(file, common::Crc32(payload));
+}
+
+/// v2 framing: 16-byte header, then zero padding placing the payload on a
+/// 64-byte file offset, then the payload and its CRC.
+void AppendSectionV2(std::string* file, SnapshotSection id,
+                     std::string_view payload) {
+  const size_t header_end = file->size() + kSnapshotSectionHeaderBytesV2;
+  const size_t pad =
+      (wire::kSectionAlignmentV2 - header_end % wire::kSectionAlignmentV2) %
+      wire::kSectionAlignmentV2;
+  PutU32(file, static_cast<uint32_t>(id));
+  PutU32(file, static_cast<uint32_t>(pad));
+  PutU64(file, payload.size());
+  file->append(pad, '\0');
   file->append(payload);
   PutU32(file, common::Crc32(payload));
 }
@@ -252,13 +243,10 @@ Result<std::vector<std::vector<IdT>>> DecodeLists(std::string_view payload,
   return lists;
 }
 
-}  // namespace
+// --- Shared save plumbing --------------------------------------------------
 
-Status SaveIndexSnapshot(const std::string& path,
-                         const model::Dataset& dataset,
-                         const influence::InfluenceIndex& index) {
-  MROAM_TRACE_SPAN("io.snapshot_save");
-  common::Stopwatch watch;
+Status ValidateForSave(const model::Dataset& dataset,
+                       const influence::InfluenceIndex& index) {
   if (dataset.billboards.empty() || dataset.trajectories.empty()) {
     return Status::InvalidArgument(
         "refusing to snapshot an empty dataset (" +
@@ -278,24 +266,18 @@ Status SaveIndexSnapshot(const std::string& path,
   }
   std::string problem = model::ValidateDataset(dataset);
   if (!problem.empty()) {
-    return Status::InvalidArgument("refusing to snapshot an invalid dataset: " +
-                                   problem);
+    return Status::InvalidArgument(
+        "refusing to snapshot an invalid dataset: " + problem);
   }
+  return Status::Ok();
+}
 
-  std::string file;
-  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
-  PutU32(&file, kSnapshotVersion);
-  AppendSection(&file, SnapshotSection::kMeta, EncodeMeta(dataset, index));
-  AppendSection(&file, SnapshotSection::kBillboards,
-                EncodeBillboards(dataset));
-  AppendSection(&file, SnapshotSection::kTrajectories,
-                EncodeTrajectories(dataset));
-  AppendSection(&file, SnapshotSection::kIncidence,
-                EncodeLists(index.covered()));
-  AppendSection(&file, SnapshotSection::kCovering,
-                EncodeLists(index.covering()));
-  AppendSection(&file, SnapshotSection::kEnd, "");
-
+/// Writes `file` to `path` through a temp file in the target directory,
+/// renamed over `path` only once every byte is on disk — a crash (or the
+/// armed "io.snapshot_write" fault point, which simulates one by writing
+/// half the bytes and stopping short of the rename) leaves at worst a
+/// stray .tmp file, never a truncated snapshot under the final name.
+Status WriteFileAtomic(const std::string& path, const std::string& file) {
   std::filesystem::path target(path);
   if (target.has_parent_path()) {
     std::error_code ec;
@@ -306,58 +288,133 @@ Status SaveIndexSnapshot(const std::string& path,
                              ec.message());
     }
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open snapshot for writing: " + path);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const bool crash_mid_write = MROAM_FAULT_POINT("io.snapshot_write").fire;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open snapshot for writing: " + tmp);
+    }
+    const size_t bytes = crash_mid_write ? file.size() / 2 : file.size();
+    out.write(file.data(), static_cast<std::streamsize>(bytes));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::IoError("short write to snapshot: " + tmp);
+    }
   }
-  out.write(file.data(), static_cast<std::streamsize>(file.size()));
-  out.flush();
-  if (!out) {
-    return Status::IoError("short write to snapshot: " + path);
+  if (crash_mid_write) {
+    // Simulated crash: the half-written temp file stays behind (as it
+    // would after a real crash) and the target is never touched.
+    return Status::IoError("fault injection: io.snapshot_write armed for " +
+                           path);
   }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return Status::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::Ok();
+}
+
+Status FinishSave(const std::string& path, const std::string& file,
+                  const model::Dataset& dataset, uint32_t version,
+                  common::Stopwatch* watch) {
+  MROAM_RETURN_IF_ERROR(WriteFileAtomic(path, file));
   MROAM_COUNTER_ADD("io.snapshot_saves", 1);
   MROAM_HISTOGRAM_OBSERVE("io.snapshot_save_seconds",
-                          watch.ElapsedSeconds());
-  MROAM_LOG(Info) << "snapshot saved to " << path << " ("
-                  << file.size() << " bytes, "
+                          watch->ElapsedSeconds());
+  MROAM_LOG(Info) << "snapshot (v" << version << ") saved to " << path
+                  << " (" << file.size() << " bytes, "
                   << dataset.billboards.size() << " billboards, "
                   << dataset.trajectories.size() << " trajectories)";
   return Status::Ok();
 }
 
-Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path) {
-  MROAM_TRACE_SPAN("io.snapshot_load");
-  // Chaos: lets mroam_serve's snapshot-failure exit path be exercised
-  // without corrupting a file on disk (MROAM_FAULT="io.snapshot_load=1").
-  if (MROAM_FAULT_POINT("io.snapshot_load").fire) {
-    return Status::IoError("fault injection: io.snapshot_load armed for " +
-                           path);
-  }
-  common::Stopwatch watch;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("snapshot not found: " + path);
-  }
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    return Status::IoError("read error on snapshot: " + path);
-  }
+}  // namespace
 
+Status SaveIndexSnapshot(const std::string& path,
+                         const model::Dataset& dataset,
+                         const influence::InfluenceIndex& index,
+                         const market::ContractBook& book) {
+  MROAM_TRACE_SPAN("io.snapshot_save");
+  common::Stopwatch watch;
+  MROAM_RETURN_IF_ERROR(ValidateForSave(dataset, index));
+
+  std::string file;
+  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&file, kSnapshotVersionV2);
+  AppendSectionV2(&file, SnapshotSection::kMeta, EncodeMeta(dataset, index));
+  AppendSectionV2(&file, SnapshotSection::kBillboards,
+                  EncodeBillboards(dataset));
+  AppendSectionV2(&file, SnapshotSection::kTrajectories,
+                  EncodeTrajectories(dataset));
+  // The compressed blobs' owned layout IS the wire layout: the payloads
+  // below are byte-identical to what MappedSnapshot later borrows in
+  // place, and to what the loader re-encodes for its integrity check.
+  AppendSectionV2(&file, SnapshotSection::kCompressedIncidence,
+                  index.compressed_covered().bytes());
+  AppendSectionV2(&file, SnapshotSection::kCompressedCovering,
+                  index.compressed_covering().bytes());
+  AppendSectionV2(&file, SnapshotSection::kContractBook,
+                  wire::EncodeBook(book));
+  AppendSectionV2(&file, SnapshotSection::kEnd, "");
+  return FinishSave(path, file, dataset, kSnapshotVersionV2, &watch);
+}
+
+Status SaveIndexSnapshotV1(const std::string& path,
+                           const model::Dataset& dataset,
+                           const influence::InfluenceIndex& index) {
+  MROAM_TRACE_SPAN("io.snapshot_save");
+  common::Stopwatch watch;
+  MROAM_RETURN_IF_ERROR(ValidateForSave(dataset, index));
+
+  std::string file;
+  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&file, kSnapshotVersionV1);
+  AppendSectionV1(&file, SnapshotSection::kMeta, EncodeMeta(dataset, index));
+  AppendSectionV1(&file, SnapshotSection::kBillboards,
+                  EncodeBillboards(dataset));
+  AppendSectionV1(&file, SnapshotSection::kTrajectories,
+                  EncodeTrajectories(dataset));
+  AppendSectionV1(&file, SnapshotSection::kIncidence,
+                  EncodeLists(index.covered()));
+  AppendSectionV1(&file, SnapshotSection::kCovering,
+                  EncodeLists(index.covering()));
+  AppendSectionV1(&file, SnapshotSection::kEnd, "");
+  return FinishSave(path, file, dataset, kSnapshotVersionV1, &watch);
+}
+
+namespace {
+
+/// Shared tail of both load paths: decode the dataset sections, validate,
+/// and cross-check against the meta counts.
+Result<IndexSnapshot> DecodeDataset(const MetaSection& meta,
+                                    std::string_view billboards_payload,
+                                    std::string_view trajectories_payload) {
+  IndexSnapshot snapshot;
+  snapshot.dataset.name = meta.name;
+  MROAM_ASSIGN_OR_RETURN(snapshot.dataset.billboards,
+                         DecodeBillboards(billboards_payload));
+  MROAM_ASSIGN_OR_RETURN(snapshot.dataset.trajectories,
+                         DecodeTrajectories(trajectories_payload));
+  if (snapshot.dataset.billboards.size() != meta.num_billboards ||
+      snapshot.dataset.trajectories.size() != meta.num_trajectories) {
+    return Status::DataLoss(
+        "snapshot entity counts disagree with meta section");
+  }
+  std::string problem = model::ValidateDataset(snapshot.dataset);
+  if (!problem.empty()) {
+    return Status::DataLoss("snapshot dataset invalid: " + problem);
+  }
+  return snapshot;
+}
+
+Result<IndexSnapshot> LoadV1(std::string_view data) {
   Cursor cur(data, "file header");
-  MROAM_ASSIGN_OR_RETURN(std::string_view magic,
-                         cur.GetBytes(sizeof(kSnapshotMagic)));
-  if (std::memcmp(magic.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
-      0) {
-    return Status::InvalidArgument("not a mroam index snapshot: " + path);
-  }
-  MROAM_ASSIGN_OR_RETURN(uint32_t version, cur.GetU32());
-  if (version != kSnapshotVersion) {
-    return Status::InvalidArgument(
-        "unsupported snapshot version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kSnapshotVersion) +
-        ")");
-  }
+  MROAM_RETURN_IF_ERROR(cur.Skip(kSnapshotFileHeaderBytes));
 
   // Walk the sections: each must appear exactly once, CRC-verified, with
   // kEnd closing the file.
@@ -410,25 +467,11 @@ Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path) {
   MROAM_ASSIGN_OR_RETURN(
       MetaSection meta,
       DecodeMeta(payloads[static_cast<uint32_t>(SnapshotSection::kMeta)]));
-  IndexSnapshot snapshot;
-  snapshot.dataset.name = meta.name;
   MROAM_ASSIGN_OR_RETURN(
-      snapshot.dataset.billboards,
-      DecodeBillboards(
-          payloads[static_cast<uint32_t>(SnapshotSection::kBillboards)]));
-  MROAM_ASSIGN_OR_RETURN(
-      snapshot.dataset.trajectories,
-      DecodeTrajectories(
+      IndexSnapshot snapshot,
+      DecodeDataset(
+          meta, payloads[static_cast<uint32_t>(SnapshotSection::kBillboards)],
           payloads[static_cast<uint32_t>(SnapshotSection::kTrajectories)]));
-  if (snapshot.dataset.billboards.size() != meta.num_billboards ||
-      snapshot.dataset.trajectories.size() != meta.num_trajectories) {
-    return Status::DataLoss(
-        "snapshot entity counts disagree with meta section");
-  }
-  std::string problem = model::ValidateDataset(snapshot.dataset);
-  if (!problem.empty()) {
-    return Status::DataLoss("snapshot dataset invalid: " + problem);
-  }
 
   MROAM_ASSIGN_OR_RETURN(
       std::vector<std::vector<model::TrajectoryId>> covered,
@@ -455,13 +498,140 @@ Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path) {
     return Status::DataLoss(
         "snapshot covering section does not match the incidence lists");
   }
+  return snapshot;
+}
+
+Result<IndexSnapshot> LoadV2(std::string_view data) {
+  constexpr uint32_t kMaxSectionId =
+      static_cast<uint32_t>(SnapshotSection::kContractBook);
+  MROAM_ASSIGN_OR_RETURN(
+      wire::SectionTableV2 table,
+      wire::WalkSectionsV2(data, kMaxSectionId, kSnapshotFileHeaderBytes));
+  for (SnapshotSection required :
+       {SnapshotSection::kMeta, SnapshotSection::kBillboards,
+        SnapshotSection::kTrajectories,
+        SnapshotSection::kCompressedIncidence,
+        SnapshotSection::kCompressedCovering}) {
+    if (!table.seen[static_cast<uint32_t>(required)]) {
+      return Status::DataLoss(
+          "snapshot is missing section id " +
+          std::to_string(static_cast<uint32_t>(required)));
+    }
+  }
+  for (SnapshotSection plain :
+       {SnapshotSection::kIncidence, SnapshotSection::kCovering}) {
+    if (table.seen[static_cast<uint32_t>(plain)]) {
+      return Status::DataLoss("v2 snapshot carries a v1 plain-list section");
+    }
+  }
+
+  MROAM_ASSIGN_OR_RETURN(
+      MetaSection meta,
+      DecodeMeta(
+          table.payloads[static_cast<uint32_t>(SnapshotSection::kMeta)]));
+  MROAM_ASSIGN_OR_RETURN(
+      IndexSnapshot snapshot,
+      DecodeDataset(
+          meta,
+          table.payloads[static_cast<uint32_t>(SnapshotSection::kBillboards)],
+          table.payloads[static_cast<uint32_t>(
+              SnapshotSection::kTrajectories)]));
+
+  const std::string_view covered_blob = table.payloads[static_cast<uint32_t>(
+      SnapshotSection::kCompressedIncidence)];
+  const std::string_view covering_blob = table.payloads[static_cast<uint32_t>(
+      SnapshotSection::kCompressedCovering)];
+  // Borrowing is safe here (`data` outlives the decode), and FromBytes
+  // runs the full structural validation either way.
+  MROAM_ASSIGN_OR_RETURN(
+      cindex::CompressedPostings covered_c,
+      cindex::CompressedPostings::FromBytes(covered_blob,
+                                            cindex::Ownership::kBorrow));
+  if (covered_c.num_lists() != meta.num_billboards ||
+      covered_c.universe() != static_cast<int32_t>(meta.num_trajectories)) {
+    return Status::DataLoss(
+        "snapshot compressed incidence shape disagrees with meta section");
+  }
+  std::vector<std::vector<model::TrajectoryId>> covered(
+      covered_c.num_lists());
+  for (uint32_t o = 0; o < covered_c.num_lists(); ++o) {
+    covered_c.Decode(static_cast<int32_t>(o), &covered[o]);
+  }
+
+  // FromIncidence re-validates the decoded lists and deterministically
+  // re-encodes both compressed blobs; byte-identity with the stored
+  // payloads is the v2 integrity check (it also certifies the covering
+  // blob without a separate decode).
+  snapshot.index = influence::InfluenceIndex::FromIncidence(
+      std::move(covered), static_cast<int32_t>(meta.num_trajectories),
+      meta.lambda);
+  if (snapshot.index.compressed_covered().bytes() != covered_blob ||
+      snapshot.index.compressed_covering().bytes() != covering_blob) {
+    return Status::DataLoss(
+        "snapshot compressed sections do not re-encode to the stored "
+        "bytes");
+  }
+
+  if (table.seen[static_cast<uint32_t>(SnapshotSection::kContractBook)]) {
+    MROAM_ASSIGN_OR_RETURN(
+        snapshot.book,
+        wire::DecodeBook(table.payloads[static_cast<uint32_t>(
+            SnapshotSection::kContractBook)]));
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path) {
+  MROAM_TRACE_SPAN("io.snapshot_load");
+  // Chaos: lets mroam_serve's snapshot-failure exit path be exercised
+  // without corrupting a file on disk (MROAM_FAULT="io.snapshot_load=1").
+  if (MROAM_FAULT_POINT("io.snapshot_load").fire) {
+    return Status::IoError("fault injection: io.snapshot_load armed for " +
+                           path);
+  }
+  common::Stopwatch watch;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("snapshot not found: " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IoError("read error on snapshot: " + path);
+  }
+
+  Cursor cur(data, "file header");
+  MROAM_ASSIGN_OR_RETURN(std::string_view magic,
+                         cur.GetBytes(sizeof(kSnapshotMagic)));
+  if (std::memcmp(magic.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    return Status::InvalidArgument("not a mroam index snapshot: " + path);
+  }
+  MROAM_ASSIGN_OR_RETURN(uint32_t version, cur.GetU32());
+  Result<IndexSnapshot> loaded = [&]() -> Result<IndexSnapshot> {
+    switch (version) {
+      case kSnapshotVersionV1:
+        return LoadV1(data);
+      case kSnapshotVersionV2:
+        return LoadV2(data);
+      default:
+        return Status::InvalidArgument(
+            "unsupported snapshot version " + std::to_string(version) +
+            " (this build reads versions 1-" +
+            std::to_string(kSnapshotVersion) + ")");
+    }
+  }();
+  MROAM_RETURN_IF_ERROR(loaded.status());
+  IndexSnapshot snapshot = std::move(*loaded);
 
   MROAM_COUNTER_ADD("io.snapshot_loads", 1);
   MROAM_HISTOGRAM_OBSERVE("io.snapshot_load_seconds",
                           watch.ElapsedSeconds());
-  MROAM_LOG(Info) << "snapshot loaded from " << path << " ("
-                  << snapshot.dataset.billboards.size() << " billboards, "
-                  << snapshot.dataset.trajectories.size()
+  MROAM_LOG(Info) << "snapshot (v" << version << ") loaded from " << path
+                  << " (" << snapshot.dataset.billboards.size()
+                  << " billboards, " << snapshot.dataset.trajectories.size()
                   << " trajectories, supply "
                   << snapshot.index.TotalSupply() << ") in "
                   << watch.ElapsedSeconds() << "s";

@@ -1,0 +1,215 @@
+#ifndef MROAM_IO_SNAPSHOT_WIRE_H_
+#define MROAM_IO_SNAPSHOT_WIRE_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/status.h"
+#include "market/contract_book.h"
+
+// ---------------------------------------------------------------------------
+// Wire-level helpers shared by the snapshot writer/loader (snapshot_io.cc)
+// and the zero-copy mmap loader (mmap_snapshot.cc): little-endian primitive
+// encoding, a bounds-checked cursor, the version-2 section walker, and the
+// contract-book codec. Internal to src/io — the public surface is
+// snapshot_io.h / mmap_snapshot.h.
+// ---------------------------------------------------------------------------
+
+namespace mroam::io::wire {
+
+// --- Little-endian primitive encoding --------------------------------------
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked reader over a loaded snapshot. Every Get* fails with
+/// kDataLoss once the cursor would pass the end, so a truncated file
+/// surfaces as a typed error no matter where the cut lands.
+class Cursor {
+ public:
+  Cursor(std::string_view data, std::string_view what)
+      : data_(data), what_(what) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+
+  common::Status Skip(size_t n) {
+    if (remaining() < n) return Truncated();
+    offset_ += n;
+    return common::Status::Ok();
+  }
+
+  common::Result<uint32_t> GetU32() {
+    if (remaining() < 4) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[offset_ + i]))
+           << (8 * i);
+    }
+    offset_ += 4;
+    return v;
+  }
+
+  common::Result<uint64_t> GetU64() {
+    if (remaining() < 8) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[offset_ + i]))
+           << (8 * i);
+    }
+    offset_ += 8;
+    return v;
+  }
+
+  common::Result<int32_t> GetI32() {
+    MROAM_ASSIGN_OR_RETURN(uint32_t v, GetU32());
+    return static_cast<int32_t>(v);
+  }
+
+  common::Result<int64_t> GetI64() {
+    MROAM_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+    return static_cast<int64_t>(v);
+  }
+
+  common::Result<double> GetF64() {
+    MROAM_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+    return std::bit_cast<double>(v);
+  }
+
+  common::Result<std::string> GetString() {
+    MROAM_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+    if (remaining() < len) return Truncated();
+    std::string s(data_.substr(offset_, len));
+    offset_ += len;
+    return s;
+  }
+
+  common::Result<std::string_view> GetBytes(size_t n) {
+    if (remaining() < n) return Truncated();
+    std::string_view view = data_.substr(offset_, n);
+    offset_ += n;
+    return view;
+  }
+
+ private:
+  common::Status Truncated() const {
+    return common::Status::DataLoss(
+        "snapshot truncated in " + std::string(what_) + " at offset " +
+        std::to_string(offset_));
+  }
+
+  std::string_view data_;
+  std::string_view what_;
+  size_t offset_ = 0;
+};
+
+// --- Contract-book codec (snapshot v2 kContractBook section) ---------------
+
+inline std::string EncodeBook(const market::ContractBook& book) {
+  std::string out;
+  PutI32(&out, book.day);
+  PutI64(&out, book.next_ticket);
+  PutU32(&out, static_cast<uint32_t>(book.entries.size()));
+  for (const market::ContractBookEntry& entry : book.entries) {
+    PutI32(&out, entry.terms.id);
+    PutI64(&out, entry.terms.demand);
+    PutF64(&out, entry.terms.payment);
+    PutI64(&out, entry.ticket);
+    PutI32(&out, entry.expires_on);
+    PutU32(&out, static_cast<uint32_t>(entry.billboards.size()));
+    for (model::BillboardId o : entry.billboards) {
+      PutI32(&out, static_cast<int32_t>(o));
+    }
+  }
+  return out;
+}
+
+inline common::Result<market::ContractBook> DecodeBook(
+    std::string_view payload) {
+  Cursor cur(payload, "contract-book section");
+  market::ContractBook book;
+  MROAM_ASSIGN_OR_RETURN(book.day, cur.GetI32());
+  MROAM_ASSIGN_OR_RETURN(book.next_ticket, cur.GetI64());
+  MROAM_ASSIGN_OR_RETURN(uint32_t count, cur.GetU32());
+  book.entries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    market::ContractBookEntry& entry = book.entries[i];
+    MROAM_ASSIGN_OR_RETURN(entry.terms.id, cur.GetI32());
+    MROAM_ASSIGN_OR_RETURN(entry.terms.demand, cur.GetI64());
+    MROAM_ASSIGN_OR_RETURN(entry.terms.payment, cur.GetF64());
+    MROAM_ASSIGN_OR_RETURN(entry.ticket, cur.GetI64());
+    MROAM_ASSIGN_OR_RETURN(entry.expires_on, cur.GetI32());
+    MROAM_ASSIGN_OR_RETURN(uint32_t boards, cur.GetU32());
+    entry.billboards.resize(boards);
+    for (uint32_t k = 0; k < boards; ++k) {
+      MROAM_ASSIGN_OR_RETURN(int32_t id, cur.GetI32());
+      entry.billboards[k] = static_cast<model::BillboardId>(id);
+    }
+  }
+  if (cur.remaining() != 0) {
+    return common::Status::DataLoss(
+        "trailing bytes in contract-book section");
+  }
+  return book;
+}
+
+// --- Version-2 section framing ---------------------------------------------
+
+/// Payload alignment of every v2 section — matches
+/// cindex::kPostingsAlignment so a mapped compressed blob can be borrowed
+/// in place.
+inline constexpr size_t kSectionAlignmentV2 = 64;
+
+/// Payload views of a walked v2 file, indexed by section id. Views point
+/// into the walked buffer (heap copy or mmap) — they live as long as it
+/// does.
+struct SectionTableV2 {
+  std::vector<std::string_view> payloads;
+  std::vector<bool> seen;
+};
+
+/// Walks the v2 section chain of `data` (the whole file; the walk starts
+/// after the 12-byte file header): per section a 16-byte header {id u32,
+/// pad u32, len u64}, `pad` zero bytes placing the payload on a 64-byte
+/// file offset, the payload, then its CRC-32. Verifies framing, alignment,
+/// CRC, and single occurrence of each id up to `max_section_id`; requires
+/// a terminating kEnd (id 0) with no trailing bytes.
+common::Result<SectionTableV2> WalkSectionsV2(std::string_view data,
+                                              uint32_t max_section_id,
+                                              size_t file_header_bytes);
+
+}  // namespace mroam::io::wire
+
+#endif  // MROAM_IO_SNAPSHOT_WIRE_H_

@@ -1,0 +1,41 @@
+#ifndef MROAM_MARKET_CONTRACT_BOOK_H_
+#define MROAM_MARKET_CONTRACT_BOOK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "market/advertiser.h"
+#include "model/billboard.h"
+
+namespace mroam::market {
+
+/// One active contract's durable state: the terms, the stable ticket the
+/// serving layer handed out, when it expires, and the billboards it holds.
+/// This is exactly what a drained server must persist so a restart can
+/// restore the open book instead of starting empty (the snapshot v2
+/// contract-book section, docs/snapshot_format.md).
+struct ContractBookEntry {
+  Advertiser terms;
+  int64_t ticket = 0;
+  int32_t expires_on = 0;  ///< first market day the contract is gone
+  std::vector<model::BillboardId> billboards;
+};
+
+/// The portable image of a DailyMarket's open book: the current day, the
+/// next ticket to mint (so restored servers keep tickets monotone), and
+/// the active contracts in dense-id order. Produced by
+/// DailyMarket::ExportBook / MarketServer::ExportBook, consumed by
+/// DailyMarket::RestoreBook, persisted in snapshot v2.
+struct ContractBook {
+  int32_t day = 0;
+  int64_t next_ticket = 1;
+  std::vector<ContractBookEntry> entries;
+
+  bool empty() const {
+    return day == 0 && next_ticket == 1 && entries.empty();
+  }
+};
+
+}  // namespace mroam::market
+
+#endif  // MROAM_MARKET_CONTRACT_BOOK_H_

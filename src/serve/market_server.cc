@@ -725,6 +725,17 @@ MarketServer::MarketServer(const influence::InfluenceIndex* index,
     : index_(index),
       config_(std::move(config)),
       market_(index, config_.market) {
+  if (!config_.initial_book.empty()) {
+    market_.RestoreBook(config_.initial_book);
+    // The 202 path mints tickets with ++next_ticket_, so the mirror sits
+    // one below the next ticket DailyMarket will assign at flush.
+    next_ticket_ = config_.initial_book.next_ticket - 1;
+    MROAM_LOG(Info) << "restored contract book: day "
+                    << config_.initial_book.day << ", "
+                    << config_.initial_book.entries.size()
+                    << " active contracts, next ticket "
+                    << config_.initial_book.next_ticket;
+  }
   MROAM_CHECK(config_.max_batch >= 1);
   MROAM_CHECK(config_.max_batch_delay_seconds >= 0.0);
   MROAM_CHECK(config_.num_threads >= 1);
@@ -1043,6 +1054,11 @@ HttpResponse MarketServer::HandleTicket(const HttpRequest& request) {
   return JsonError(404, "no such ticket " + std::to_string(*ticket) +
                             " (unknown, or evicted from the result "
                             "history)");
+}
+
+market::ContractBook MarketServer::ExportBook() {
+  std::lock_guard<std::mutex> lock(market_mu_);
+  return market_.ExportBook();
 }
 
 MarketServer::TicketState MarketServer::TicketStatus(int64_t ticket) const {

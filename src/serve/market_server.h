@@ -72,6 +72,14 @@ struct MarketServerConfig {
   /// Committed ticket results retained for GET /tickets/<id>; the oldest
   /// are evicted past this bound (a poll after eviction sees 404).
   int ticket_history = 1 << 16;
+
+  /// Contract book to restore at construction (snapshot v2's
+  /// kContractBook section, as loaded by LoadIndexSnapshot or
+  /// MappedSnapshot): the market resumes at the stored day with every
+  /// stored contract active and the ticket sequence continuing where the
+  /// exporting server stopped, so tickets stay unique across a restart.
+  /// Default (empty) starts a fresh book.
+  market::ContractBook initial_book;
 };
 
 /// The always-on host process the paper's operational setting assumes
@@ -171,6 +179,13 @@ class MarketServer {
   int64_t dropped_responses() const {
     return dropped_responses_.load(std::memory_order_relaxed);
   }
+
+  /// Snapshots the market's open book (day, ticket sequence, active
+  /// contracts with their deployments) — what a draining host hands to
+  /// io::SaveIndexSnapshot so a restart resumes instead of starting
+  /// empty. Meaningful after Stop() (every queued arrival has flushed);
+  /// callable any time for inspection.
+  market::ContractBook ExportBook();
 
   /// Where a ticket is in its lifecycle, as served by GET /tickets/<id>
   /// (exposed directly for post-drain assertions in tests).

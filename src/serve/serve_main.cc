@@ -5,9 +5,20 @@
 //                     parsing, no O(|U| x |T|) index build — the obs
 //                     report shows io.snapshot_load_seconds and no
 //                     influence.index_build_seconds entry.
+//   --snapshot PATH --mmap
+//                     zero-copy cold start: the (v2) snapshot is mmapped
+//                     and the compressed posting blobs are served straight
+//                     out of the mapping — no decoded incidence copy ever
+//                     exists, so boot cost is page faults plus one CRC
+//                     pass and resident memory stays bounded by the file.
 //   --gen nyc|sg      generate a synthetic city and build the index
 //                     in-process (slow path; useful with --save-snapshot
 //                     to produce the snapshot for later cold starts).
+//
+// A v2 snapshot also carries the serving layer's open contract book;
+// both snapshot boot paths restore it, and a drain with --save-snapshot
+// persists the current book, so a restart resumes the market instead of
+// starting empty.
 //
 // The process serves until SIGTERM/SIGINT, then drains: in-flight
 // requests finish, queued arrivals are flushed through a final replan,
@@ -18,6 +29,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "common/logging.h"
@@ -27,6 +39,7 @@
 #include "common/strings.h"
 #include "gen/city_generators.h"
 #include "influence/influence_index.h"
+#include "io/mmap_snapshot.h"
 #include "io/snapshot_io.h"
 #include "obs/crash_handler.h"
 #include "obs/metrics.h"
@@ -40,6 +53,7 @@ using mroam::common::Status;
 
 struct Options {
   std::string snapshot;       // load path ("" = none)
+  bool mmap = false;          // zero-copy --snapshot boot
   std::string save_snapshot;  // save path ("" = none)
   std::string gen;            // "nyc" | "sg" | ""
   int32_t gen_billboards = 400;
@@ -78,7 +92,11 @@ boot (exactly one of):
   --gen nyc|sg           generate a synthetic city and build the index
 
 options:
-  --save-snapshot PATH   write the booted index as a snapshot, then serve
+  --mmap                 with --snapshot: mmap the (v2) snapshot and serve
+                         the compressed index zero-copy out of the mapping
+  --save-snapshot PATH   write the booted index as a snapshot before
+                         serving, and again with the open contract book on
+                         drain (incompatible with --mmap)
   --billboards N         with --gen: billboard count (default 400)
   --trajectories N       with --gen: trajectory count (default 20000)
   --lambda METERS        with --gen: influence radius (default 100)
@@ -115,7 +133,8 @@ overload contract:
                          before eviction (default 65536)
 
 exit status: 0 ok, 1 boot/serve failure, 2 usage error, 3 snapshot
-load failure (--snapshot path missing or corrupt).
+load/map failure (--snapshot path missing, corrupt, or — with --mmap —
+not a v2 snapshot).
 )");
 }
 
@@ -139,6 +158,8 @@ Status ParseOptions(int argc, char** argv, Options* options) {
       std::exit(0);
     } else if (arg == "--once") {
       options->once = true;
+    } else if (arg == "--mmap") {
+      options->mmap = true;
     } else if (ParseFlag(argc, argv, &i, "snapshot", &options->snapshot) ||
                ParseFlag(argc, argv, &i, "save-snapshot",
                          &options->save_snapshot) ||
@@ -202,6 +223,14 @@ Status ParseOptions(int argc, char** argv, Options* options) {
     return Status::InvalidArgument(
         "exactly one of --snapshot and --gen is required");
   }
+  if (options->mmap && options->snapshot.empty()) {
+    return Status::InvalidArgument("--mmap requires --snapshot");
+  }
+  if (options->mmap && !options->save_snapshot.empty()) {
+    return Status::InvalidArgument(
+        "--save-snapshot needs the decoded dataset, which a --mmap boot "
+        "never materializes; load without --mmap to re-save");
+  }
   if (!options->gen.empty() && options->gen != "nyc" &&
       options->gen != "sg") {
     return Status::InvalidArgument("--gen must be nyc or sg, got '" +
@@ -262,24 +291,56 @@ Status Boot(const Options& options, mroam::io::IndexSnapshot* booted) {
 }
 
 int Run(const Options& options) {
+  // Exactly one of the two boot forms owns the index: `mapped` keeps a
+  // borrowed-postings index alive over the mmap for the whole serving
+  // lifetime, `booted` holds a decoded dataset + index.
   mroam::io::IndexSnapshot booted;
-  Status status = Boot(options, &booted);
-  if (!status.ok()) {
-    if (!options.snapshot.empty()) {
-      MROAM_LOG(Error) << "snapshot load failed (" << options.snapshot
-                       << "): " << status.ToString()
+  std::optional<mroam::io::MappedSnapshot> mapped;
+  const mroam::influence::InfluenceIndex* index = nullptr;
+  const mroam::market::ContractBook* book = nullptr;
+  Status status = Status::Ok();
+  if (options.mmap) {
+    mroam::common::Stopwatch watch;
+    auto result = mroam::io::MappedSnapshot::Map(options.snapshot);
+    if (!result.ok()) {
+      MROAM_LOG(Error) << "snapshot map failed (" << options.snapshot
+                       << "): " << result.status().ToString()
                        << " — exiting with status "
                        << kExitSnapshotLoadFailed
                        << " (redeploy or regenerate the snapshot)";
       return kExitSnapshotLoadFailed;
     }
-    MROAM_LOG(Error) << "boot failed: " << status.ToString();
-    return 1;
+    mapped.emplace(std::move(*result));
+    index = &mapped->index();
+    book = &mapped->book();
+    MROAM_LOG(Info) << "zero-copy cold start from " << options.snapshot
+                    << ": " << index->num_billboards() << " billboards, "
+                    << index->num_trajectories() << " trajectories, supply "
+                    << index->TotalSupply() << " served from a "
+                    << mapped->file_bytes() << "-byte mapping in "
+                    << watch.ElapsedSeconds() << "s (no decode)";
+  } else {
+    status = Boot(options, &booted);
+    if (!status.ok()) {
+      if (!options.snapshot.empty()) {
+        MROAM_LOG(Error) << "snapshot load failed (" << options.snapshot
+                         << "): " << status.ToString()
+                         << " — exiting with status "
+                         << kExitSnapshotLoadFailed
+                         << " (redeploy or regenerate the snapshot)";
+        return kExitSnapshotLoadFailed;
+      }
+      MROAM_LOG(Error) << "boot failed: " << status.ToString();
+      return 1;
+    }
+    index = &booted.index;
+    book = &booted.book;
   }
 
   if (!options.save_snapshot.empty()) {
     status = mroam::io::SaveIndexSnapshot(options.save_snapshot,
-                                          booted.dataset, booted.index);
+                                          booted.dataset, booted.index,
+                                          booted.book);
     if (!status.ok()) {
       MROAM_LOG(Error) << "snapshot save failed: " << status.ToString();
       return 1;
@@ -314,8 +375,9 @@ int Run(const Options& options) {
   }
   config.market.solver.method = *method;
   config.market.solver.seed = options.seed;
+  config.initial_book = *book;
 
-  mroam::serve::MarketServer server(&booted.index, config);
+  mroam::serve::MarketServer server(index, config);
   status = server.Start();
   if (!status.ok()) {
     MROAM_LOG(Error) << "server start failed: " << status.ToString();
@@ -340,6 +402,17 @@ int Run(const Options& options) {
   }
 
   server.Stop();
+  if (!options.save_snapshot.empty()) {
+    // Persist the drained book so the next boot resumes this market
+    // (every queued arrival has flushed by now, so the book is final).
+    status = mroam::io::SaveIndexSnapshot(options.save_snapshot,
+                                          booted.dataset, booted.index,
+                                          server.ExportBook());
+    if (!status.ok()) {
+      MROAM_LOG(Error) << "drain-time snapshot save failed: "
+                       << status.ToString();
+    }
+  }
   MROAM_LOG(Info) << "drained after " << server.batches_flushed()
                   << " admission batches; metrics snapshot:\n"
                   << mroam::obs::MetricsRegistry::Global()

@@ -1,5 +1,7 @@
 #include "io/snapshot_io.h"
 
+#include "io/snapshot_wire.h"
+
 #include <unistd.h>
 
 #include <cstring>
@@ -15,6 +17,8 @@
 #include "common/rng.h"
 #include "core/solver.h"
 #include "gen/city_generators.h"
+#include "io/mmap_snapshot.h"
+#include "market/contract_book.h"
 #include "test_util.h"
 
 namespace mroam::io {
@@ -48,11 +52,59 @@ class SnapshotIoTest : public ::testing::Test {
     return made;
   }
 
+  /// A v2 (current-format) snapshot of the city.
   std::string SavedCityPath() {
     IndexSnapshot city = MakeCity();
     std::string path = PathFor("city.snap");
     EXPECT_TRUE(SaveIndexSnapshot(path, city.dataset, city.index).ok());
     return path;
+  }
+
+  /// A v1 (legacy-format) snapshot — the framing the v1 tamper tests
+  /// below pick apart with FindSection.
+  std::string SavedCityPathV1() {
+    IndexSnapshot city = MakeCity();
+    std::string path = PathFor("city_v1.snap");
+    EXPECT_TRUE(SaveIndexSnapshotV1(path, city.dataset, city.index).ok());
+    return path;
+  }
+
+  /// A nontrivial open book: two live contracts and a minted-ahead
+  /// ticket counter, as a drained server would export.
+  static market::ContractBook MakeBook() {
+    market::ContractBook book;
+    book.day = 5;
+    book.next_ticket = 9;
+    market::ContractBookEntry a;
+    a.terms = testing::Adv(0, 120, 35.5);
+    a.ticket = 3;
+    a.expires_on = 8;
+    a.billboards = {1, 4, 17};
+    market::ContractBookEntry b;
+    b.terms = testing::Adv(7, 60, 12.25);
+    b.ticket = 8;
+    b.expires_on = 6;
+    b.billboards = {2};
+    book.entries = {a, b};
+    return book;
+  }
+
+  static void ExpectBooksEqual(const market::ContractBook& got,
+                               const market::ContractBook& want) {
+    EXPECT_EQ(got.day, want.day);
+    EXPECT_EQ(got.next_ticket, want.next_ticket);
+    ASSERT_EQ(got.entries.size(), want.entries.size());
+    for (size_t i = 0; i < want.entries.size(); ++i) {
+      const market::ContractBookEntry& g = got.entries[i];
+      const market::ContractBookEntry& w = want.entries[i];
+      EXPECT_EQ(g.terms.id, w.terms.id);
+      EXPECT_EQ(g.terms.demand, w.terms.demand);
+      EXPECT_EQ(std::bit_cast<uint64_t>(g.terms.payment),
+                std::bit_cast<uint64_t>(w.terms.payment));
+      EXPECT_EQ(g.ticket, w.ticket);
+      EXPECT_EQ(g.expires_on, w.expires_on);
+      EXPECT_EQ(g.billboards, w.billboards);
+    }
   }
 
   static std::string ReadBytes(const std::string& path) {
@@ -98,7 +150,7 @@ class SnapshotIoTest : public ::testing::Test {
     size_t crc_offset = 0;
   };
 
-  /// Walks the section framing to locate one section's payload — the
+  /// Walks the v1 section framing to locate one section's payload — the
   /// format knowledge the tamper tests rely on lives in the public
   /// constants, not in copied magic numbers.
   static SectionSpan FindSection(const std::string& data,
@@ -115,6 +167,35 @@ class SnapshotIoTest : public ::testing::Test {
       offset = span.crc_offset + 4;
     }
     ADD_FAILURE() << "section " << static_cast<uint32_t>(wanted)
+                  << " not found";
+    return {};
+  }
+
+  struct SectionSpanV2 : SectionSpan {
+    size_t header_offset = 0;
+    size_t pad = 0;
+  };
+
+  /// The v2 equivalent: 16-byte headers whose pad field floats the
+  /// payload out to the next 64-byte file offset.
+  static SectionSpanV2 FindSectionV2(const std::string& data,
+                                     SnapshotSection wanted) {
+    size_t offset = kSnapshotFileHeaderBytes;
+    while (offset + kSnapshotSectionHeaderBytesV2 <= data.size()) {
+      uint32_t id = ReadU32(data, offset);
+      uint32_t pad = ReadU32(data, offset + 4);
+      uint64_t length = ReadU64(data, offset + 8);
+      SectionSpanV2 span;
+      span.header_offset = offset;
+      span.pad = pad;
+      span.payload_offset = offset + kSnapshotSectionHeaderBytesV2 + pad;
+      span.payload_length = static_cast<size_t>(length);
+      span.crc_offset = span.payload_offset + span.payload_length;
+      if (id == static_cast<uint32_t>(wanted)) return span;
+      if (id == static_cast<uint32_t>(SnapshotSection::kEnd)) break;
+      offset = span.crc_offset + 4;
+    }
+    ADD_FAILURE() << "v2 section " << static_cast<uint32_t>(wanted)
                   << " not found";
     return {};
   }
@@ -271,7 +352,7 @@ TEST_F(SnapshotIoTest, LoadRejectsTruncationAnywhere) {
 }
 
 TEST_F(SnapshotIoTest, LoadRejectsFlippedPayloadByte) {
-  std::string path = SavedCityPath();
+  std::string path = SavedCityPathV1();
   std::string data = ReadBytes(path);
   SectionSpan span = FindSection(data, SnapshotSection::kTrajectories);
   ASSERT_GT(span.payload_length, 10u);
@@ -284,7 +365,7 @@ TEST_F(SnapshotIoTest, LoadRejectsFlippedPayloadByte) {
 }
 
 TEST_F(SnapshotIoTest, LoadRejectsMismatchedCoveringSection) {
-  std::string path = SavedCityPath();
+  std::string path = SavedCityPathV1();
   std::string data = ReadBytes(path);
   // Forge the reverse index: truncate the first non-empty covering list
   // by one entry (keeping the encoding well-formed) and re-sign the CRC.
@@ -341,10 +422,229 @@ TEST_F(SnapshotIoTest, SnapshotLoadFaultPointFailsTyped) {
   EXPECT_TRUE(LoadIndexSnapshot(path).ok());
 }
 
+// --- format v2: alignment, book persistence, tamper rejection ------------
+
+TEST_F(SnapshotIoTest, V1FileStillLoadsThroughTheSameEntryPoint) {
+  IndexSnapshot city = MakeCity();
+  std::string path = PathFor("compat_v1.snap");
+  ASSERT_TRUE(SaveIndexSnapshotV1(path, city.dataset, city.index).ok());
+  auto loaded = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->index.covered(), city.index.covered());
+  EXPECT_EQ(loaded->index.covering(), city.index.covering());
+  EXPECT_TRUE(loaded->book.empty());  // v1 carries no book
+}
+
+TEST_F(SnapshotIoTest, V2RoundTripRestoresContractBook) {
+  IndexSnapshot city = MakeCity();
+  std::string path = PathFor("book.snap");
+  market::ContractBook book = MakeBook();
+  ASSERT_TRUE(SaveIndexSnapshot(path, city.dataset, city.index, book).ok());
+  auto loaded = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectBooksEqual(loaded->book, book);
+  // The restored index still matches, book or no book.
+  EXPECT_EQ(loaded->index.covered(), city.index.covered());
+}
+
+TEST_F(SnapshotIoTest, V2PayloadsAre64ByteAligned) {
+  std::string path = SavedCityPath();
+  const std::string data = ReadBytes(path);
+  ASSERT_EQ(ReadU32(data, sizeof(kSnapshotMagic)), kSnapshotVersionV2);
+  for (SnapshotSection section :
+       {SnapshotSection::kMeta, SnapshotSection::kBillboards,
+        SnapshotSection::kTrajectories, SnapshotSection::kCompressedIncidence,
+        SnapshotSection::kCompressedCovering, SnapshotSection::kContractBook}) {
+    SectionSpanV2 span = FindSectionV2(data, section);
+    EXPECT_EQ(span.payload_offset % wire::kSectionAlignmentV2, 0u)
+        << "section " << static_cast<uint32_t>(section);
+  }
+}
+
+TEST_F(SnapshotIoTest, V2RejectsFlippedCompressedPayloadByte) {
+  std::string path = SavedCityPath();
+  std::string data = ReadBytes(path);
+  SectionSpanV2 span =
+      FindSectionV2(data, SnapshotSection::kCompressedIncidence);
+  ASSERT_GT(span.payload_length, 10u);
+  data[span.payload_offset + span.payload_length / 2] ^= 0x40;
+  WriteBytes(path, data);
+  auto loaded = LoadIndexSnapshot(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("CRC mismatch"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotIoTest, V2RejectsNonzeroPadByte) {
+  std::string path = SavedCityPath();
+  std::string data = ReadBytes(path);
+  SectionSpanV2 span = FindSectionV2(data, SnapshotSection::kMeta);
+  ASSERT_GT(span.pad, 0u);  // the first header always needs padding
+  // Pad bytes sit between header and payload and are covered by no CRC;
+  // the walker itself must insist they are zero.
+  data[span.payload_offset - 1] = 0x5A;
+  WriteBytes(path, data);
+  auto loaded = LoadIndexSnapshot(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SnapshotIoTest, V2RejectsResignedCoveringSubstitution) {
+  std::string path = SavedCityPath();
+  std::string data = ReadBytes(path);
+  // Forge the covering blob with a pristine CRC: the framing layer now
+  // passes, and only the loader's re-encode byte comparison against the
+  // forward lists can catch the substitution.
+  SectionSpanV2 span =
+      FindSectionV2(data, SnapshotSection::kCompressedCovering);
+  ASSERT_GT(span.payload_length, 50u);
+  data[span.payload_offset + span.payload_length - 1] ^= 0x01;
+  std::string_view payload(data.data() + span.payload_offset,
+                           span.payload_length);
+  StoreU32(&data, span.crc_offset, common::Crc32(payload));
+  WriteBytes(path, data);
+  auto loaded = LoadIndexSnapshot(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+      << loaded.status().ToString();
+}
+
+// --- atomic save ---------------------------------------------------------
+
+TEST_F(SnapshotIoTest, FaultedSaveLeavesExistingSnapshotIntact) {
+  IndexSnapshot city = MakeCity();
+  std::string path = PathFor("atomic.snap");
+  ASSERT_TRUE(SaveIndexSnapshot(path, city.dataset, city.index).ok());
+  const std::string before = ReadBytes(path);
+
+  auto& injector = common::FaultInjector::Global();
+  ASSERT_TRUE(injector.ArmFromSpec("seed=1;io.snapshot_write=1.0").ok());
+  common::Status faulted =
+      SaveIndexSnapshot(path, city.dataset, city.index, MakeBook());
+  injector.Disarm();
+  EXPECT_EQ(faulted.code(), StatusCode::kIoError);
+  EXPECT_NE(faulted.message().find("fault injection"), std::string::npos);
+
+  // The crash-simulated write went to the temp file only: the published
+  // snapshot is byte-identical and still loads.
+  EXPECT_EQ(ReadBytes(path), before);
+  EXPECT_TRUE(LoadIndexSnapshot(path).ok());
+  // The stray temp file (what a real crash would leave) is present.
+  EXPECT_TRUE(std::filesystem::exists(
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()))));
+}
+
+TEST_F(SnapshotIoTest, FaultedSaveToFreshPathPublishesNothing) {
+  IndexSnapshot city = MakeCity();
+  std::string path = PathFor("never_published.snap");
+  auto& injector = common::FaultInjector::Global();
+  ASSERT_TRUE(injector.ArmFromSpec("seed=1;io.snapshot_write=1.0").ok());
+  common::Status faulted =
+      SaveIndexSnapshot(path, city.dataset, city.index);
+  injector.Disarm();
+  EXPECT_EQ(faulted.code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+// --- zero-copy mapping ---------------------------------------------------
+
+TEST_F(SnapshotIoTest, MappedSnapshotServesTheSameIndexZeroCopy) {
+  IndexSnapshot city = MakeCity();
+  std::string path = PathFor("mapped.snap");
+  market::ContractBook book = MakeBook();
+  ASSERT_TRUE(SaveIndexSnapshot(path, city.dataset, city.index, book).ok());
+
+  auto mapped = MappedSnapshot::Map(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->file_bytes(), std::filesystem::file_size(path));
+  ExpectBooksEqual(mapped->book(), book);
+
+  const influence::InfluenceIndex& index = mapped->index();
+  EXPECT_FALSE(index.has_plain());
+  EXPECT_EQ(index.num_billboards(), city.index.num_billboards());
+  EXPECT_EQ(index.num_trajectories(), city.index.num_trajectories());
+  EXPECT_EQ(index.TotalSupply(), city.index.TotalSupply());
+  EXPECT_DOUBLE_EQ(index.lambda(), city.index.lambda());
+  for (int32_t o = 0; o < index.num_billboards(); ++o) {
+    std::vector<model::TrajectoryId> walked;
+    index.ForEachCovered(o, [&walked](model::TrajectoryId t) {
+      walked.push_back(t);
+    });
+    ASSERT_EQ(walked, city.index.CoveredBy(o)) << "billboard " << o;
+  }
+
+  // A solver run over the mapped index is bit-identical to one over the
+  // built index on the compressed backend (which a plain-free index
+  // forces anyway).
+  std::vector<market::Advertiser> advertisers;
+  for (int i = 0; i < 8; ++i) {
+    advertisers.push_back(
+        testing::Adv(i, 30 + 11 * i, 4.0 + static_cast<double>(i)));
+  }
+  core::SolverConfig config;
+  config.method = core::Method::kBls;
+  config.local_search.restarts = 2;
+  config.seed = 21;
+  config.backend = influence::IndexBackend::kCompressed;
+  core::SolveResult built = Solve(city.index, advertisers, config);
+  core::SolveResult served = Solve(index, advertisers, config);
+  EXPECT_EQ(served.sets, built.sets);
+  EXPECT_EQ(served.influences, built.influences);
+  EXPECT_DOUBLE_EQ(served.breakdown.total, built.breakdown.total);
+}
+
+TEST_F(SnapshotIoTest, MappedSnapshotSurvivesMoves) {
+  IndexSnapshot city = MakeCity();
+  std::string path = PathFor("moved.snap");
+  ASSERT_TRUE(SaveIndexSnapshot(path, city.dataset, city.index).ok());
+  auto mapped = MappedSnapshot::Map(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const int64_t supply = mapped->index().TotalSupply();
+
+  MappedSnapshot moved = std::move(*mapped);
+  MappedSnapshot assigned = std::move(moved);
+  EXPECT_EQ(assigned.index().TotalSupply(), supply);
+  EXPECT_EQ(assigned.index().InfluenceOf(0), city.index.InfluenceOf(0));
+}
+
+TEST_F(SnapshotIoTest, MapRejectsV1Snapshot) {
+  std::string path = SavedCityPathV1();
+  auto mapped = MappedSnapshot::Map(path);
+  EXPECT_EQ(mapped.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mapped.status().message().find("--mmap"), std::string::npos)
+      << mapped.status().ToString();
+}
+
+TEST_F(SnapshotIoTest, MapMissingFileIsNotFound) {
+  auto mapped = MappedSnapshot::Map(PathFor("absent.snap"));
+  EXPECT_EQ(mapped.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotIoTest, MapRejectsTruncation) {
+  std::string path = SavedCityPath();
+  const std::string data = ReadBytes(path);
+  for (size_t cut : {size_t{0}, size_t{6}, data.size() / 2,
+                     data.size() - 3}) {
+    WriteBytes(path, data.substr(0, cut));
+    auto mapped = MappedSnapshot::Map(path);
+    ASSERT_FALSE(mapped.ok()) << "cut at " << cut << " mapped fine";
+  }
+}
+
+TEST_F(SnapshotIoTest, MapFaultPointFailsTyped) {
+  std::string path = SavedCityPath();
+  auto& injector = common::FaultInjector::Global();
+  ASSERT_TRUE(injector.ArmFromSpec("seed=1;io.mmap_map=1.0").ok());
+  auto faulted = MappedSnapshot::Map(path);
+  injector.Disarm();
+  EXPECT_EQ(faulted.status().code(), StatusCode::kIoError);
+  EXPECT_NE(faulted.status().message().find("fault injection"),
+            std::string::npos);
+  EXPECT_TRUE(MappedSnapshot::Map(path).ok());
+}
+
 using SnapshotIoDeathTest = SnapshotIoTest;
 
 TEST_F(SnapshotIoDeathTest, ForgedIncidenceListAborts) {
-  std::string path = SavedCityPath();
+  std::string path = SavedCityPathV1();
   std::string data = ReadBytes(path);
   // Corrupt an incidence id to an out-of-range value and re-sign the
   // CRC: the framing layer now passes, and the forgery must die on

@@ -30,6 +30,16 @@ Baseline schemas (both accepted when checking):
   multi-counter:         {"counters": ["a", "b"],
                           "values": {bench: {"a": value, "b": value}}}
 
+Either schema may additionally carry a "floors" map with the same shape
+as the multi-counter "values":
+  {"floors": {bench: {"c": minimum}}}
+A "values" entry is a ceiling (the counter must not INCREASE past it);
+a "floors" entry is a minimum (the counter must not DROP below it after
+the tolerance/slack allowance) — for throughput- or ratio-style counters
+where smaller means worse, e.g. the cindex decode rate and compression
+ratio. Floors are hand-maintained (anchored to acceptance criteria, not
+to one machine's measurement) and are left untouched by --update.
+
 Exit codes: 0 ok, 1 regression or malformed input, 2 usage error.
 
 Refreshing a baseline after an intentional change (repeat --counter for a
@@ -84,8 +94,10 @@ def load_counters(path, counters):
 
 
 def load_baseline(path):
-    """Returns (counters, {benchmark: {counter: value}}) from either
-    baseline schema."""
+    """Returns (counters, ceilings, floors), each mapping
+    {benchmark: {counter: value}}, from either baseline schema. The
+    counters list covers every counter named by a ceiling or a floor, so
+    one load_counters pass fetches them all."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -96,20 +108,30 @@ def load_baseline(path):
     if not isinstance(values, dict):
         print(f"check_bench_regression: {path} has no 'values' map")
         sys.exit(1)
+    floors = {
+        name: {c: float(v) for c, v in entry.items()}
+        for name, entry in doc.get("floors", {}).items()
+    }
     if "counters" in doc:
         counters = list(doc["counters"])
         baseline = {
             name: {c: float(v) for c, v in entry.items()}
             for name, entry in values.items()
         }
-        return counters, baseline
-    counter = doc.get("counter")
-    if not isinstance(counter, str):
-        print(f"check_bench_regression: {path} names no counter")
-        sys.exit(1)
-    return [counter], {
-        name: {counter: float(v)} for name, v in values.items()
-    }
+    else:
+        counter = doc.get("counter")
+        if not isinstance(counter, str):
+            print(f"check_bench_regression: {path} names no counter")
+            sys.exit(1)
+        counters = [counter]
+        baseline = {
+            name: {counter: float(v)} for name, v in values.items()
+        }
+    for entry in floors.values():
+        for c in entry:
+            if c not in counters:
+                counters.append(c)
+    return counters, baseline, floors
 
 
 def main():
@@ -157,7 +179,7 @@ def main():
               f"with {len(current)} entries x {len(counters)} counters")
         return
 
-    counters, baseline = load_baseline(args.baseline)
+    counters, baseline, floors = load_baseline(args.baseline)
     current = load_counters(args.current, counters)
     if not current:
         print(f"check_bench_regression: no {counters} counters in "
@@ -190,6 +212,29 @@ def main():
                 verdict = "improved (consider --update)"
             print(f"  {name}: {counter} {actual:g} vs baseline "
                   f"{expected:g} [{verdict}]")
+
+    for name, floors_by_counter in sorted(floors.items()):
+        actual_by_counter = current.get(name)
+        if actual_by_counter is None:
+            failures.append(f"{name}: missing from {args.current}")
+            continue
+        for counter, floor in sorted(floors_by_counter.items()):
+            actual = actual_by_counter.get(counter)
+            if actual is None:
+                failures.append(f"{name}: counter '{counter}' missing "
+                                f"from {args.current}")
+                continue
+            checked += 1
+            allowed = (floor * (1.0 - args.tolerance) - args.slack
+                       - ABS_EPSILON)
+            verdict = "ok"
+            if actual < allowed:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: {counter} {actual:g} fell below floor "
+                    f"{floor:g} by more than {args.tolerance:.0%}")
+            print(f"  {name}: {counter} {actual:g} vs floor "
+                  f"{floor:g} [{verdict}]")
 
     if failures:
         print("check_bench_regression: FAILED")
